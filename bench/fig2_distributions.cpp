@@ -1,0 +1,78 @@
+// Reproduces Fig. 2: spatial (address -> access count) and temporal
+// (timestamp -> address) memory access distributions for dlrm, parsec and
+// sysbench, plus the quantitative claim behind the figure — the spatial
+// distribution fits a mixture of Gaussians, and adding the temporal axis
+// improves the model (motivating the 2-D GMM over a 1-D spatial one).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "gmm/em.hpp"
+#include "trace/distribution.hpp"
+#include "trace/generator.hpp"
+#include "trace/preprocess.hpp"
+
+int main(int argc, char** argv) {
+  using namespace icgmm;
+  const auto opt = bench::Options::parse(argc, argv);
+
+  std::cout << "=== Fig. 2: spatial & temporal access distributions ===\n"
+            << "(paper: dlrm / parsec / sysbench; spatial fits a Gaussian\n"
+            << " mixture, temporal shows phase-clustered access)\n\n";
+
+  Table summary({"benchmark", "spatial concentration", "phase gain",
+                 "1-D GMM mean LL", "2-D GMM mean LL", "2-D advantage"});
+
+  for (trace::Benchmark b : {trace::Benchmark::kDlrm, trace::Benchmark::kParsec,
+                             trace::Benchmark::kSysbench}) {
+    const trace::Trace workload = trace::generate(b, opt.requests, 2024);
+    std::cout << "--- " << workload.name() << " ---\n";
+    std::cout << "spatial distribution (128 bins):\n"
+              << trace::spatial_histogram(workload, 128).ascii_sketch(8);
+    std::cout << "temporal distribution (x: timestamp, y: address):\n"
+              << trace::temporal_grid(workload, {}, 72, 20).ascii_sketch()
+              << "\n";
+
+    // Quantify the figure: fit on the real (page, time) pairs vs on
+    // time-shuffled pairs (same spatial marginal, temporal structure
+    // destroyed — the paper's Fig. 3 step 1 "1-D" null), then evaluate
+    // both models on the real joint samples.
+    auto samples = trace::to_gmm_samples(trace::trim_warmup(workload));
+    samples = trace::stride_subsample(samples, opt.quick ? 8000 : 16000);
+
+    gmm::EmConfig em;
+    em.components = 64;  // enough to show the effect at bench runtime
+    em.max_iters = 25;
+    gmm::EmTrainer trainer2d(em);
+    const gmm::GaussianMixture model2d = trainer2d.fit(samples);
+
+    auto shuffled = samples;
+    Rng rng(99);
+    for (std::size_t i = shuffled.size(); i > 1; --i) {
+      std::swap(shuffled[i - 1].time, shuffled[rng.below(i)].time);
+    }
+    gmm::EmTrainer trainer1d(em);
+    const gmm::GaussianMixture model1d = trainer1d.fit(shuffled);
+
+    auto mean_ll = [&](const gmm::GaussianMixture& m) {
+      double acc = 0.0;
+      for (const auto& s : samples) acc += m.log_score(s.page, s.time);
+      return acc / static_cast<double>(samples.size());
+    };
+    const double ll2d = mean_ll(model2d);
+    const double ll1d = mean_ll(model1d);
+
+    summary.add_row({workload.name(),
+                     Table::fmt(trace::spatial_concentration(workload), 3),
+                     Table::fmt(trace::temporal_phase_gain(workload), 3),
+                     Table::fmt(ll1d, 3), Table::fmt(ll2d, 3),
+                     Table::fmt(ll2d - ll1d, 3) + " nats"});
+  }
+
+  std::cout << summary.render()
+            << "\nSpatial concentration near 1 => tight Gaussian-like "
+               "hotspots; positive phase gain and a positive 2-D advantage "
+               "reproduce the paper's argument for a two-dimensional GMM.\n";
+  return 0;
+}

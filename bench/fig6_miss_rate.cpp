@@ -1,0 +1,84 @@
+// Reproduces Fig. 6: cache miss rate of the baseline LRU policy against
+// the three GMM strategies (smart caching, smart eviction, both) on all
+// seven benchmarks, with the paper's reference values printed beside ours.
+// Cache: 64 MB / 4 KB blocks / 8-way; K = 256 Gaussians (paper §5.1).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "cache/policies/arc.hpp"
+#include "common/table.hpp"
+#include "core/icgmm.hpp"
+#include "sim/engine.hpp"
+
+int main(int argc, char** argv) {
+  using namespace icgmm;
+  const auto opt = bench::Options::parse(argc, argv);
+
+  std::cout << "=== Fig. 6: cache miss rate, LRU vs GMM strategies ===\n"
+            << "requests per benchmark: " << opt.requests << "\n\n";
+
+  Table table({"benchmark", "LRU", "GMM-caching", "GMM-eviction", "GMM-both",
+               "best", "abs. reduction", "paper LRU", "paper GMM",
+               "paper reduction"});
+
+  double min_red = 1e9, max_red = -1e9;
+  for (trace::Benchmark b : trace::kAllBenchmarks) {
+    const trace::Trace workload = trace::generate(b, opt.requests, 7);
+    core::IcgmmSystem system{core::IcgmmConfig{}};
+    system.train(workload);
+    const core::StrategyComparison cmp = system.compare(workload);
+
+    const double reduction = cmp.miss_rate_reduction() * 100.0;
+    min_red = std::min(min_red, reduction);
+    max_red = std::max(max_red, reduction);
+
+    const bench::PaperRow* paper = bench::paper_row(workload.name());
+    table.add_row({workload.name(),
+                   Table::fmt_percent(cmp.lru.miss_rate()),
+                   Table::fmt_percent(cmp.gmm_caching.miss_rate()),
+                   Table::fmt_percent(cmp.gmm_eviction.miss_rate()),
+                   Table::fmt_percent(cmp.gmm_both.miss_rate()),
+                   cmp.best_gmm().policy_name,
+                   Table::fmt(reduction, 2) + " pp",
+                   paper ? Table::fmt(paper->lru_miss_pct, 2) + "%" : "-",
+                   paper ? Table::fmt(paper->gmm_miss_pct, 2) + "%" : "-",
+                   paper ? Table::fmt(paper->lru_miss_pct - paper->gmm_miss_pct, 2) + " pp"
+                         : "-"});
+    std::cout << "." << std::flush;
+  }
+  std::cout << "\n\n" << table.render();
+  std::cout << "\nabsolute miss-rate reduction range: "
+            << Table::fmt(min_red, 2) << " pp .. " << Table::fmt(max_red, 2)
+            << " pp  (paper: 0.32 pp .. 6.14 pp)\n"
+            << "Expected shape: GMM never loses to LRU; eviction-only or the "
+               "combined strategy wins per benchmark; hashmap shows the "
+               "largest absolute gain.\n\n";
+
+  // Extended comparison (beyond the paper): classic scan-resistant
+  // baselines against the best GMM strategy. ARC and SRRIP close part of
+  // the LRU gap without training, but the trained GMM stays ahead where
+  // frequency structure dominates.
+  std::cout << "--- extended baselines (not in the paper) ---\n";
+  Table ext({"benchmark", "LRU", "LFU", "CLOCK", "ARC", "SRRIP", "best GMM"});
+  for (trace::Benchmark b : trace::kAllBenchmarks) {
+    const trace::Trace workload = trace::generate(b, opt.requests, 7);
+    core::IcgmmSystem system{core::IcgmmConfig{}};
+    system.train(workload);
+
+    auto run = [&](std::unique_ptr<cache::ReplacementPolicy> policy) {
+      sim::EngineConfig cfg = core::IcgmmConfig{}.engine;
+      return sim::run_trace(workload, cfg, std::move(policy)).miss_rate();
+    };
+    const core::StrategyComparison cmp = system.compare(workload);
+    ext.add_row({workload.name(),
+                 Table::fmt_percent(cmp.lru.miss_rate()),
+                 Table::fmt_percent(run(std::make_unique<cache::LfuPolicy>())),
+                 Table::fmt_percent(run(std::make_unique<cache::ClockPolicy>())),
+                 Table::fmt_percent(run(std::make_unique<cache::ArcPolicy>())),
+                 Table::fmt_percent(run(std::make_unique<cache::SrripPolicy>())),
+                 Table::fmt_percent(cmp.best_gmm().miss_rate())});
+    std::cout << "." << std::flush;
+  }
+  std::cout << "\n\n" << ext.render();
+  return 0;
+}

@@ -1,0 +1,123 @@
+// google-benchmark micro kernels: the hot paths of both policy engines and
+// the cache substrate. These are host-CPU numbers; the FPGA latencies come
+// from hw::pipeline. The interesting outputs are the relative costs: GMM
+// inference vs LSTM inference, float vs fixed-point scoring, and the
+// per-access cache simulation cost that bounds bench harness runtime.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "cache/policies/classic.hpp"
+#include "core/policy_engine.hpp"
+#include "gmm/em.hpp"
+#include "gmm/quantized.hpp"
+#include "lstm/lstm.hpp"
+#include "sim/engine.hpp"
+#include "trace/generator.hpp"
+#include "trace/preprocess.hpp"
+
+namespace {
+
+using namespace icgmm;
+
+const trace::Trace& shared_trace() {
+  static const trace::Trace t =
+      trace::generate(trace::Benchmark::kSysbench, 200000, 11);
+  return t;
+}
+
+std::vector<trace::GmmSample> shared_samples() {
+  return trace::stride_subsample(
+      trace::to_gmm_samples(trace::trim_warmup(shared_trace())), 8000);
+}
+
+const gmm::GaussianMixture& shared_model(std::uint32_t k) {
+  static std::map<std::uint32_t, gmm::GaussianMixture> cache;
+  auto it = cache.find(k);
+  if (it == cache.end()) {
+    gmm::EmConfig cfg;
+    cfg.components = k;
+    cfg.max_iters = 12;
+    gmm::EmTrainer trainer(cfg);
+    it = cache.emplace(k, trainer.fit(shared_samples())).first;
+  }
+  return it->second;
+}
+
+void BM_GmmInference(benchmark::State& state) {
+  const auto& model = shared_model(static_cast<std::uint32_t>(state.range(0)));
+  double page = 1234.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.log_score(page, 500.0));
+    page += 17.0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GmmInference)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_GmmInferenceFixedPoint(benchmark::State& state) {
+  const auto& model = shared_model(256);
+  const gmm::QuantizedGmm quantized(model);
+  double page = 1234.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quantized.score(page, 500.0));
+    page += 17.0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GmmInferenceFixedPoint);
+
+void BM_LstmInference(benchmark::State& state) {
+  lstm::LstmConfig cfg;
+  cfg.hidden = static_cast<std::size_t>(state.range(0));
+  cfg.layers = 3;
+  lstm::LstmNetwork net(cfg);
+  std::vector<double> seq(cfg.seq_len * cfg.input_dim, 0.25);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.forward(seq));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LstmInference)->Arg(32)->Arg(128);
+
+void BM_EmIteration(benchmark::State& state) {
+  const auto samples = shared_samples();
+  for (auto _ : state) {
+    gmm::EmConfig cfg;
+    cfg.components = static_cast<std::uint32_t>(state.range(0));
+    cfg.max_iters = 1;
+    cfg.kmeans_iters = 1;
+    gmm::EmTrainer trainer(cfg);
+    benchmark::DoNotOptimize(trainer.fit(samples));
+  }
+  state.SetItemsProcessed(state.iterations() * samples.size());
+}
+BENCHMARK(BM_EmIteration)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_CacheAccessLru(benchmark::State& state) {
+  const trace::Trace& t = shared_trace();
+  cache::SetAssociativeCache c({}, std::make_unique<cache::LruPolicy>());
+  trace::TimestampTransform transform;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const trace::Record& r = t[i % t.size()];
+    benchmark::DoNotOptimize(
+        c.access({r.page(), transform.next(), r.is_write()}));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccessLru);
+
+void BM_EndToEndSimulation(benchmark::State& state) {
+  const trace::Trace& t = shared_trace();
+  for (auto _ : state) {
+    sim::EngineConfig cfg;
+    benchmark::DoNotOptimize(
+        sim::run_trace(t, cfg, std::make_unique<cache::LruPolicy>()));
+  }
+  state.SetItemsProcessed(state.iterations() * t.size());
+}
+BENCHMARK(BM_EndToEndSimulation)->Unit(benchmark::kMillisecond);
+
+}  // namespace

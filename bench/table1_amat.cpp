@@ -1,0 +1,53 @@
+// Reproduces Table 1: average SSD access time under LRU vs the best GMM
+// strategy for each benchmark, with the latency breakdown that produces
+// it. Latency constants follow the paper: 1 us DRAM hit, 75 us TLC read,
+// 900 us TLC write, 3 us GMM inference fully overlapped with SSD access.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "core/icgmm.hpp"
+
+int main(int argc, char** argv) {
+  using namespace icgmm;
+  const auto opt = bench::Options::parse(argc, argv);
+
+  std::cout << "=== Table 1: average SSD access time, LRU vs GMM ===\n"
+            << "requests per benchmark: " << opt.requests << "\n\n";
+
+  Table table({"benchmark", "LRU AMAT", "GMM AMAT", "reduction",
+               "paper LRU", "paper GMM", "paper reduction", "GMM writebacks",
+               "GMM policy ns exposed"});
+
+  double min_red = 1e9, max_red = -1e9;
+  for (trace::Benchmark b : trace::kAllBenchmarks) {
+    const trace::Trace workload = trace::generate(b, opt.requests, 7);
+    core::IcgmmSystem system{core::IcgmmConfig{}};
+    system.train(workload);
+    const core::StrategyComparison cmp = system.compare(workload);
+    const sim::RunResult& best = cmp.best_gmm();
+
+    const double reduction = cmp.amat_reduction_percent();
+    min_red = std::min(min_red, reduction);
+    max_red = std::max(max_red, reduction);
+
+    const bench::PaperRow* paper = bench::paper_row(workload.name());
+    table.add_row(
+        {workload.name(), Table::fmt_micros(cmp.lru.amat_us()),
+         Table::fmt_micros(best.amat_us()), Table::fmt(reduction, 2) + "%",
+         paper ? Table::fmt_micros(paper->lru_amat_us) : "-",
+         paper ? Table::fmt_micros(paper->gmm_amat_us) : "-",
+         paper ? Table::fmt(paper->amat_reduction_pct, 2) + "%" : "-",
+         std::to_string(best.stats.dirty_evictions),
+         std::to_string(best.latency.policy_ns)});
+    std::cout << "." << std::flush;
+  }
+  std::cout << "\n\n" << table.render();
+  std::cout << "\nAMAT reduction range: " << Table::fmt(min_red, 2) << "% .. "
+            << Table::fmt(max_red, 2) << "%  (paper: 16.23% .. 39.14%)\n"
+            << "'GMM policy ns exposed' is the policy-engine latency NOT "
+               "hidden by the dataflow overlap; 0 reproduces the paper's "
+               "claim that 3 us inference hides behind 75/900 us SSD "
+               "access.\n";
+  return 0;
+}

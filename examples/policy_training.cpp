@@ -1,0 +1,71 @@
+// Policy-engine training walkthrough: collect -> trim -> transform ->
+// train -> inspect -> persist. Shows the GMM internals a deployment would
+// care about (convergence curve, score distribution, threshold choice,
+// fixed-point fidelity) and writes the model to disk in the weight-buffer
+// format.
+//
+// Usage: policy_training [benchmark] [model_out.txt]
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/icgmm.hpp"
+#include "gmm/model_io.hpp"
+#include "gmm/quantized.hpp"
+
+int main(int argc, char** argv) {
+  using namespace icgmm;
+
+  const std::string bench_name = argc > 1 ? argv[1] : "sysbench";
+  const std::string model_path = argc > 2 ? argv[2] : "icgmm_model.txt";
+  const trace::Benchmark bench = trace::benchmark_from_string(bench_name);
+
+  // --- Collect and preprocess. ---------------------------------------------
+  const trace::Trace raw = trace::generate(bench, 400000, /*seed=*/1234);
+  const trace::Trace trimmed = trace::trim_warmup(raw);  // drop 20% / 10%
+  std::cout << "collected " << raw.size() << " requests, " << trimmed.size()
+            << " after warm-up trim\n";
+
+  const auto samples = trace::to_gmm_samples(trimmed);  // Algorithm 1
+  std::cout << "GMM samples: " << samples.size() << " (page, timestamp) pairs\n";
+
+  // --- Train. ----------------------------------------------------------------
+  core::PolicyEngine engine;
+  const gmm::FitReport& report = engine.train(raw);
+  std::cout << "EM: " << report.iterations << " iterations, converged="
+            << (report.converged ? "yes" : "no")
+            << ", mean log-likelihood=" << report.final_mean_log_likelihood
+            << ", resets=" << report.resets << "\n";
+  std::cout << "LL curve:";
+  for (std::size_t i = 0; i < report.ll_history.size(); i += 5) {
+    std::cout << ' ' << Table::fmt(report.ll_history[i], 3);
+  }
+  std::cout << "\n";
+
+  // --- Inspect the score distribution / pick thresholds. --------------------
+  const auto& scores = engine.training_scores();
+  Table table({"percentile", "log-score threshold"});
+  for (double q : {0.01, 0.05, 0.10, 0.25, 0.50}) {
+    table.add_row({Table::fmt(q * 100, 0) + "%",
+                   Table::fmt(core::threshold_at_percentile(scores, q), 4)});
+  }
+  std::cout << table.render();
+
+  // --- Fixed-point fidelity (what the FPGA datapath computes). --------------
+  const gmm::QuantizedGmm quantized(engine.model());
+  std::vector<gmm::Vec2> probes;
+  for (std::size_t i = 0; i < samples.size(); i += samples.size() / 200 + 1) {
+    probes.push_back({samples[i].page, samples[i].time});
+  }
+  std::cout << "fixed-point max |error| over " << probes.size()
+            << " probes: " << quantized.max_abs_error(engine.model(), probes)
+            << "\n";
+
+  // --- Persist + reload round trip. -----------------------------------------
+  gmm::save_model_file(model_path, engine.model());
+  const gmm::GaussianMixture reloaded = gmm::load_model_file(model_path);
+  std::cout << "model saved to " << model_path << " ("
+            << gmm::weight_buffer_bytes(reloaded)
+            << " bytes in the FPGA weight buffer)\n";
+  return 0;
+}

@@ -1,0 +1,43 @@
+// DRAM-cache geometry. Paper case study: 64 MB capacity, 4 KB blocks
+// (one SSD page), 8-way set associative.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "common/types.hpp"
+
+namespace icgmm::cache {
+
+struct CacheConfig {
+  std::uint64_t capacity_bytes = 64ull << 20;
+  std::uint32_t block_bytes = 4096;
+  std::uint32_t associativity = 8;
+
+  constexpr std::uint64_t blocks() const noexcept {
+    return capacity_bytes / block_bytes;
+  }
+  constexpr std::uint64_t sets() const noexcept {
+    return blocks() / associativity;
+  }
+
+  /// Throws std::invalid_argument on a non-realizable geometry.
+  void validate() const {
+    if (block_bytes == 0 || (block_bytes & (block_bytes - 1)) != 0) {
+      throw std::invalid_argument("CacheConfig: block_bytes must be a power of two");
+    }
+    if (associativity == 0) {
+      throw std::invalid_argument("CacheConfig: associativity must be positive");
+    }
+    if (capacity_bytes % block_bytes != 0) {
+      throw std::invalid_argument("CacheConfig: capacity not a multiple of block size");
+    }
+    if (blocks() % associativity != 0 || blocks() < associativity) {
+      throw std::invalid_argument("CacheConfig: blocks not divisible into sets");
+    }
+  }
+
+  friend constexpr bool operator==(const CacheConfig&, const CacheConfig&) = default;
+};
+
+}  // namespace icgmm::cache

@@ -1,0 +1,135 @@
+#include "cache/policies/arc.hpp"
+
+#include <algorithm>
+
+namespace icgmm::cache {
+
+// ---------- ARC ----------
+
+void ArcPolicy::attach(std::uint64_t sets, std::uint32_t ways) {
+  ways_ = ways;
+  tick_ = 0;
+  list_.assign(sets * ways, List::kT1);
+  stamp_.assign(sets * ways, 0);
+  sets_.assign(sets, SetState{});
+}
+
+void ArcPolicy::ghost_insert(std::vector<PageIndex>& ghost, PageIndex page) {
+  ghost.push_back(page);
+  if (ghost.size() > ways_) ghost.erase(ghost.begin());
+}
+
+bool ArcPolicy::ghost_erase(std::vector<PageIndex>& ghost, PageIndex page) {
+  const auto it = std::find(ghost.begin(), ghost.end(), page);
+  if (it == ghost.end()) return false;
+  ghost.erase(it);
+  return true;
+}
+
+std::uint32_t ArcPolicy::choose_victim(std::uint64_t set,
+                                       std::span<const PageIndex> resident,
+                                       const AccessContext&) {
+  SetState& state = sets_[set];
+  const auto base = set * ways_;
+
+  // Count T1 occupancy and find the LRU block of each list.
+  std::uint32_t t1_count = 0;
+  std::uint32_t lru_t1 = ways_, lru_t2 = ways_;
+  for (std::uint32_t way = 0; way < ways_; ++way) {
+    if (list_[base + way] == List::kT1) {
+      ++t1_count;
+      if (lru_t1 == ways_ || stamp_[base + way] < stamp_[base + lru_t1]) {
+        lru_t1 = way;
+      }
+    } else {
+      if (lru_t2 == ways_ || stamp_[base + way] < stamp_[base + lru_t2]) {
+        lru_t2 = way;
+      }
+    }
+  }
+
+  // REPLACE: evict from T1 when it exceeds its target p, else from T2.
+  std::uint32_t victim;
+  if (lru_t1 != ways_ &&
+      (lru_t2 == ways_ || static_cast<double>(t1_count) > state.p)) {
+    victim = lru_t1;
+  } else {
+    victim = lru_t2 != ways_ ? lru_t2 : lru_t1;
+  }
+  // Remember the victim in the ghost list matching the list it was on.
+  if (victim < resident.size()) {
+    auto& ghost = list_[base + victim] == List::kT1 ? state.b1 : state.b2;
+    ghost_insert(ghost, resident[victim]);
+  }
+  return victim;
+}
+
+void ArcPolicy::on_hit(std::uint64_t set, std::uint32_t way,
+                       const AccessContext&) {
+  // Any re-reference promotes to the frequency list T2.
+  list_[set * ways_ + way] = List::kT2;
+  stamp_[set * ways_ + way] = ++tick_;
+}
+
+void ArcPolicy::on_fill(std::uint64_t set, std::uint32_t way,
+                        const AccessContext& ctx) {
+  SetState& state = sets_[set];
+  const auto idx = set * ways_ + way;
+
+  // Ghost hits adapt p: a B1 hit means T1 was too small; B2 the opposite.
+  if (ghost_erase(state.b1, ctx.page)) {
+    const double delta =
+        state.b1.size() >= state.b2.size()
+            ? 1.0
+            : static_cast<double>(state.b2.size()) /
+                  std::max<std::size_t>(1, state.b1.size());
+    state.p = std::min<double>(state.p + delta, ways_);
+    list_[idx] = List::kT2;  // returning page is frequency-proven
+  } else if (ghost_erase(state.b2, ctx.page)) {
+    const double delta =
+        state.b2.size() >= state.b1.size()
+            ? 1.0
+            : static_cast<double>(state.b1.size()) /
+                  std::max<std::size_t>(1, state.b2.size());
+    state.p = std::max(state.p - delta, 0.0);
+    list_[idx] = List::kT2;
+  } else {
+    list_[idx] = List::kT1;  // brand-new page starts on the recency list
+  }
+  stamp_[idx] = ++tick_;
+}
+
+// ---------- SRRIP ----------
+
+void SrripPolicy::attach(std::uint64_t sets, std::uint32_t ways) {
+  ways_ = ways;
+  rrpv_.assign(sets * ways, max_rrpv_);
+}
+
+std::uint32_t SrripPolicy::choose_victim(std::uint64_t set,
+                                         std::span<const PageIndex>,
+                                         const AccessContext&) {
+  const auto base = set * ways_;
+  // Find a block with RRPV == max; age everyone until one appears.
+  while (true) {
+    for (std::uint32_t way = 0; way < ways_; ++way) {
+      if (rrpv_[base + way] == max_rrpv_) return way;
+    }
+    for (std::uint32_t way = 0; way < ways_; ++way) {
+      ++rrpv_[base + way];
+    }
+  }
+}
+
+void SrripPolicy::on_hit(std::uint64_t set, std::uint32_t way,
+                         const AccessContext&) {
+  rrpv_[set * ways_ + way] = 0;  // near-immediate re-reference
+}
+
+void SrripPolicy::on_fill(std::uint64_t set, std::uint32_t way,
+                          const AccessContext&) {
+  // Insert with a long predicted interval: scans age out quickly.
+  rrpv_[set * ways_ + way] = static_cast<std::uint8_t>(max_rrpv_ - 1);
+}
+
+}  // namespace icgmm::cache

@@ -1,0 +1,71 @@
+// ARC (Adaptive Replacement Cache, Megiddo & Modha, FAST'03) adapted to a
+// set-associative cache: per-set recency (T1) vs frequency (T2) partitions
+// with ghost lists (B1/B2) steering the adaptation parameter. A stronger
+// classic baseline than LRU for the extended Fig. 6 comparison — ARC is
+// scan-resistant like the GMM policy but needs no training.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/policy.hpp"
+
+namespace icgmm::cache {
+
+class ArcPolicy final : public ReplacementPolicy {
+ public:
+  ArcPolicy() : ReplacementPolicy("ARC") {}
+
+  void attach(std::uint64_t sets, std::uint32_t ways) override;
+  std::uint32_t choose_victim(std::uint64_t set,
+                              std::span<const PageIndex> resident,
+                              const AccessContext& ctx) override;
+  void on_hit(std::uint64_t set, std::uint32_t way, const AccessContext& ctx) override;
+  void on_fill(std::uint64_t set, std::uint32_t way, const AccessContext& ctx) override;
+
+  /// Adaptation target for T1 in the given set (tests/introspection).
+  double target_t1(std::uint64_t set) const { return sets_.at(set).p; }
+
+ private:
+  /// Per-way state: which list the block lives on and its recency stamp.
+  enum class List : std::uint8_t { kT1, kT2 };
+
+  struct SetState {
+    double p = 0.0;  ///< target size of T1 (recency list)
+    // Ghost lists: recently evicted pages (bounded at `ways` entries each).
+    std::vector<PageIndex> b1;
+    std::vector<PageIndex> b2;
+  };
+
+  void ghost_insert(std::vector<PageIndex>& ghost, PageIndex page);
+  static bool ghost_erase(std::vector<PageIndex>& ghost, PageIndex page);
+
+  std::uint32_t ways_ = 0;
+  std::uint64_t tick_ = 0;
+  std::vector<List> list_;
+  std::vector<std::uint64_t> stamp_;
+  std::vector<SetState> sets_;
+};
+
+/// SRRIP (Jaleel et al., ISCA'10): static re-reference interval prediction
+/// with 2-bit counters — the standard hardware-cheap scan-resistant
+/// baseline.
+class SrripPolicy final : public ReplacementPolicy {
+ public:
+  explicit SrripPolicy(std::uint8_t max_rrpv = 3)
+      : ReplacementPolicy("SRRIP"), max_rrpv_(max_rrpv) {}
+
+  void attach(std::uint64_t sets, std::uint32_t ways) override;
+  std::uint32_t choose_victim(std::uint64_t set,
+                              std::span<const PageIndex> resident,
+                              const AccessContext& ctx) override;
+  void on_hit(std::uint64_t set, std::uint32_t way, const AccessContext& ctx) override;
+  void on_fill(std::uint64_t set, std::uint32_t way, const AccessContext& ctx) override;
+
+ private:
+  std::uint8_t max_rrpv_;
+  std::uint32_t ways_ = 0;
+  std::vector<std::uint8_t> rrpv_;
+};
+
+}  // namespace icgmm::cache

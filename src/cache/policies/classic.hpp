@@ -1,0 +1,95 @@
+// Classic replacement policies: LRU (the paper's baseline), FIFO, Random,
+// LFU, and CLOCK. All admit every miss; they differ only in victim choice.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/policy.hpp"
+#include "common/rng.hpp"
+
+namespace icgmm::cache {
+
+/// Least Recently Used — the baseline in Fig. 6 / Table 1.
+class LruPolicy final : public ReplacementPolicy {
+ public:
+  LruPolicy() : ReplacementPolicy("LRU") {}
+
+  void attach(std::uint64_t sets, std::uint32_t ways) override;
+  std::uint32_t choose_victim(std::uint64_t set, std::span<const PageIndex> resident, const AccessContext& ctx) override;
+  void on_hit(std::uint64_t set, std::uint32_t way, const AccessContext& ctx) override;
+  void on_fill(std::uint64_t set, std::uint32_t way, const AccessContext& ctx) override;
+
+ private:
+  void touch(std::uint64_t set, std::uint32_t way);
+
+  std::uint32_t ways_ = 0;
+  std::uint64_t tick_ = 0;
+  std::vector<std::uint64_t> last_use_;
+};
+
+/// First-In First-Out: victim is the oldest fill.
+class FifoPolicy final : public ReplacementPolicy {
+ public:
+  FifoPolicy() : ReplacementPolicy("FIFO") {}
+
+  void attach(std::uint64_t sets, std::uint32_t ways) override;
+  std::uint32_t choose_victim(std::uint64_t set, std::span<const PageIndex> resident, const AccessContext& ctx) override;
+  void on_hit(std::uint64_t set, std::uint32_t way, const AccessContext& ctx) override;
+  void on_fill(std::uint64_t set, std::uint32_t way, const AccessContext& ctx) override;
+
+ private:
+  std::uint32_t ways_ = 0;
+  std::uint64_t tick_ = 0;
+  std::vector<std::uint64_t> fill_tick_;
+};
+
+/// Uniform-random victim (deterministic given the seed).
+class RandomPolicy final : public ReplacementPolicy {
+ public:
+  explicit RandomPolicy(std::uint64_t seed = 0xace5eedull)
+      : ReplacementPolicy("Random"), rng_(seed) {}
+
+  void attach(std::uint64_t sets, std::uint32_t ways) override;
+  std::uint32_t choose_victim(std::uint64_t set, std::span<const PageIndex> resident, const AccessContext& ctx) override;
+  void on_hit(std::uint64_t set, std::uint32_t way, const AccessContext& ctx) override;
+  void on_fill(std::uint64_t set, std::uint32_t way, const AccessContext& ctx) override;
+
+ private:
+  std::uint32_t ways_ = 0;
+  Rng rng_;
+};
+
+/// Least Frequently Used with per-fill reset (in-cache frequency).
+class LfuPolicy final : public ReplacementPolicy {
+ public:
+  LfuPolicy() : ReplacementPolicy("LFU") {}
+
+  void attach(std::uint64_t sets, std::uint32_t ways) override;
+  std::uint32_t choose_victim(std::uint64_t set, std::span<const PageIndex> resident, const AccessContext& ctx) override;
+  void on_hit(std::uint64_t set, std::uint32_t way, const AccessContext& ctx) override;
+  void on_fill(std::uint64_t set, std::uint32_t way, const AccessContext& ctx) override;
+
+ private:
+  std::uint32_t ways_ = 0;
+  std::vector<std::uint64_t> freq_;
+};
+
+/// CLOCK (second-chance): reference bits plus a per-set hand.
+class ClockPolicy final : public ReplacementPolicy {
+ public:
+  ClockPolicy() : ReplacementPolicy("CLOCK") {}
+
+  void attach(std::uint64_t sets, std::uint32_t ways) override;
+  std::uint32_t choose_victim(std::uint64_t set, std::span<const PageIndex> resident, const AccessContext& ctx) override;
+  void on_hit(std::uint64_t set, std::uint32_t way, const AccessContext& ctx) override;
+  void on_fill(std::uint64_t set, std::uint32_t way, const AccessContext& ctx) override;
+
+ private:
+  std::uint32_t ways_ = 0;
+  std::vector<std::uint8_t> ref_;
+  std::vector<std::uint32_t> hand_;
+};
+
+}  // namespace icgmm::cache

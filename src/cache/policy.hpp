@@ -1,0 +1,63 @@
+// Replacement + admission policy interface.
+//
+// The cache owns hit/miss determination and block state; the policy owns
+// two decisions the paper's policy engine makes: (1) should a missing page
+// be admitted at all ("smart caching"), and (2) which valid way to evict
+// ("smart eviction"). Classic policies admit everything and differ only in
+// victim choice.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace icgmm::cache {
+
+/// Everything a policy may look at for one request. `timestamp` is the
+/// Algorithm-1 logical time — the same signal the FPGA feeds its GMM.
+struct AccessContext {
+  PageIndex page = 0;
+  Timestamp timestamp = 0;
+  bool is_write = false;
+};
+
+class ReplacementPolicy {
+ public:
+  ReplacementPolicy(const ReplacementPolicy&) = delete;
+  ReplacementPolicy& operator=(const ReplacementPolicy&) = delete;
+  virtual ~ReplacementPolicy() = default;
+
+  const std::string& name() const noexcept { return name_; }
+
+  /// Called once by the cache so the policy can size its metadata.
+  virtual void attach(std::uint64_t sets, std::uint32_t ways) = 0;
+
+  /// Admission decision for a missing page; default: always admit.
+  virtual bool should_admit(const AccessContext& /*ctx*/) { return true; }
+
+  /// Victim way among [0, ways) — all ways are valid when called.
+  /// `resident` holds the page currently cached in each way (the tags the
+  /// control engine loaded into the on-board buffer, §4.2), enabling
+  /// policies that rescore resident blocks at the current timestamp.
+  virtual std::uint32_t choose_victim(std::uint64_t set,
+                                      std::span<const PageIndex> resident,
+                                      const AccessContext& ctx) = 0;
+
+  /// Notification of a hit on (set, way).
+  virtual void on_hit(std::uint64_t set, std::uint32_t way,
+                      const AccessContext& ctx) = 0;
+
+  /// Notification that (set, way) was filled with ctx.page.
+  virtual void on_fill(std::uint64_t set, std::uint32_t way,
+                       const AccessContext& ctx) = 0;
+
+ protected:
+  explicit ReplacementPolicy(std::string name) : name_(std::move(name)) {}
+
+ private:
+  std::string name_;
+};
+
+}  // namespace icgmm::cache

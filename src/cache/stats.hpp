@@ -1,0 +1,34 @@
+// Counters the cache maintains; everything the Fig. 6 / Table 1 harnesses
+// report derives from these.
+#pragma once
+
+#include <cstdint>
+
+namespace icgmm::cache {
+
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t read_misses = 0;
+  std::uint64_t write_misses = 0;
+  std::uint64_t fills = 0;            ///< misses admitted into the cache
+  std::uint64_t bypasses = 0;         ///< misses the policy declined to cache
+  std::uint64_t evictions = 0;
+  std::uint64_t dirty_evictions = 0;  ///< evictions requiring SSD writeback
+
+  constexpr std::uint64_t misses() const noexcept {
+    return read_misses + write_misses;
+  }
+  constexpr double miss_rate() const noexcept {
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(misses()) /
+                               static_cast<double>(accesses);
+  }
+  constexpr double hit_rate() const noexcept {
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(hits) /
+                               static_cast<double>(accesses);
+  }
+};
+
+}  // namespace icgmm::cache

@@ -1,0 +1,87 @@
+// Q-format fixed-point arithmetic mirroring the HLS datapath.
+//
+// The FPGA GMM kernel computes scores in fixed point; we provide the same
+// representation so the quantized inference path (gmm/quantized.hpp) models
+// the precision the hardware actually achieves, and tests can bound the
+// float-vs-fixed score divergence.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+
+namespace icgmm {
+
+/// Signed fixed-point value with FRAC fractional bits stored in 64 bits.
+/// Saturating arithmetic — HLS `ap_fixed` with AP_SAT semantics.
+template <unsigned Frac>
+class Fixed {
+  static_assert(Frac > 0 && Frac < 63, "fraction width must fit in i64");
+
+ public:
+  static constexpr std::int64_t kOne = std::int64_t{1} << Frac;
+
+  constexpr Fixed() = default;
+
+  static constexpr Fixed from_raw(std::int64_t raw) noexcept {
+    Fixed f;
+    f.raw_ = raw;
+    return f;
+  }
+
+  static constexpr Fixed from_double(double v) noexcept {
+    // Round to nearest; saturate to the representable range.
+    const double scaled = v * static_cast<double>(kOne);
+    if (scaled >= static_cast<double>(std::numeric_limits<std::int64_t>::max()))
+      return from_raw(std::numeric_limits<std::int64_t>::max());
+    if (scaled <= static_cast<double>(std::numeric_limits<std::int64_t>::min()))
+      return from_raw(std::numeric_limits<std::int64_t>::min());
+    return from_raw(static_cast<std::int64_t>(scaled >= 0 ? scaled + 0.5
+                                                          : scaled - 0.5));
+  }
+
+  constexpr std::int64_t raw() const noexcept { return raw_; }
+  constexpr double to_double() const noexcept {
+    return static_cast<double>(raw_) / static_cast<double>(kOne);
+  }
+
+  friend constexpr Fixed operator+(Fixed a, Fixed b) noexcept {
+    return from_raw(sat_add(a.raw_, b.raw_));
+  }
+  friend constexpr Fixed operator-(Fixed a, Fixed b) noexcept {
+    return from_raw(sat_add(a.raw_, -b.raw_));
+  }
+  friend constexpr Fixed operator*(Fixed a, Fixed b) noexcept {
+    const __int128 wide = static_cast<__int128>(a.raw_) * b.raw_;
+    const __int128 shifted = wide >> Frac;
+    if (shifted > std::numeric_limits<std::int64_t>::max())
+      return from_raw(std::numeric_limits<std::int64_t>::max());
+    if (shifted < std::numeric_limits<std::int64_t>::min())
+      return from_raw(std::numeric_limits<std::int64_t>::min());
+    return from_raw(static_cast<std::int64_t>(shifted));
+  }
+
+  friend constexpr bool operator==(Fixed a, Fixed b) noexcept = default;
+  friend constexpr auto operator<=>(Fixed a, Fixed b) noexcept {
+    return a.raw_ <=> b.raw_;
+  }
+
+ private:
+  static constexpr std::int64_t sat_add(std::int64_t a, std::int64_t b) noexcept {
+    std::int64_t r = 0;
+    if (__builtin_add_overflow(a, b, &r)) {
+      return a > 0 ? std::numeric_limits<std::int64_t>::max()
+                   : std::numeric_limits<std::int64_t>::min();
+    }
+    return r;
+  }
+
+  std::int64_t raw_ = 0;
+};
+
+/// Q32.16 — the format the HLS kernel uses for score accumulation.
+using Q16 = Fixed<16>;
+/// Q16.32 — wider fraction for intermediate exp() table values.
+using Q32 = Fixed<32>;
+
+}  // namespace icgmm

@@ -1,0 +1,129 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace icgmm {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (!(hi > lo) || bins == 0) {
+    throw std::invalid_argument("Histogram: need hi > lo and bins > 0");
+  }
+  inv_width_ = static_cast<double>(bins) / (hi - lo);
+}
+
+void Histogram::add(double x, std::uint64_t weight) noexcept {
+  auto bin = static_cast<std::ptrdiff_t>((x - lo_) * inv_width_);
+  bin = std::clamp<std::ptrdiff_t>(
+      bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(bin)] += weight;
+  total_ += weight;
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * (static_cast<double>(bin) + 0.5);
+}
+
+std::size_t Histogram::peak_bin() const noexcept {
+  return static_cast<std::size_t>(std::distance(
+      counts_.begin(), std::max_element(counts_.begin(), counts_.end())));
+}
+
+double Histogram::mass_in_top_bins(std::size_t k) const {
+  if (total_ == 0 || k == 0) return 0.0;
+  std::vector<std::uint64_t> sorted(counts_.begin(), counts_.end());
+  k = std::min(k, sorted.size());
+  std::partial_sort(sorted.begin(), sorted.begin() + static_cast<std::ptrdiff_t>(k),
+                    sorted.end(), std::greater<>());
+  std::uint64_t top = 0;
+  for (std::size_t i = 0; i < k; ++i) top += sorted[i];
+  return static_cast<double>(top) / static_cast<double>(total_);
+}
+
+double Histogram::entropy_bits() const {
+  if (total_ == 0) return 0.0;
+  double h = 0.0;
+  for (std::uint64_t c : counts_) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / static_cast<double>(total_);
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+std::string Histogram::ascii_sketch(std::size_t rows) const {
+  if (counts_.empty() || rows == 0) return {};
+  const std::uint64_t peak = *std::max_element(counts_.begin(), counts_.end());
+  if (peak == 0) return std::string(counts_.size(), '.') + "\n";
+  std::string out;
+  out.reserve((counts_.size() + 1) * rows);
+  for (std::size_t r = rows; r-- > 0;) {
+    const double threshold =
+        static_cast<double>(peak) * (static_cast<double>(r) + 0.5) /
+        static_cast<double>(rows);
+    for (std::uint64_t c : counts_) {
+      out += static_cast<double>(c) > threshold ? '#' : ' ';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Grid2D::Grid2D(double xlo, double xhi, std::size_t xbins, double ylo,
+               double yhi, std::size_t ybins)
+    : xlo_(xlo), xhi_(xhi), ylo_(ylo), yhi_(yhi), xbins_(xbins), ybins_(ybins),
+      cells_(xbins * ybins, 0) {
+  if (!(xhi > xlo) || !(yhi > ylo) || xbins == 0 || ybins == 0) {
+    throw std::invalid_argument("Grid2D: degenerate extent");
+  }
+}
+
+void Grid2D::add(double x, double y, std::uint64_t weight) noexcept {
+  auto xb = static_cast<std::ptrdiff_t>((x - xlo_) / (xhi_ - xlo_) *
+                                        static_cast<double>(xbins_));
+  auto yb = static_cast<std::ptrdiff_t>((y - ylo_) / (yhi_ - ylo_) *
+                                        static_cast<double>(ybins_));
+  xb = std::clamp<std::ptrdiff_t>(xb, 0, static_cast<std::ptrdiff_t>(xbins_) - 1);
+  yb = std::clamp<std::ptrdiff_t>(yb, 0, static_cast<std::ptrdiff_t>(ybins_) - 1);
+  cells_[index(static_cast<std::size_t>(xb), static_cast<std::size_t>(yb))] +=
+      weight;
+  total_ += weight;
+}
+
+std::uint64_t Grid2D::at(std::size_t xb, std::size_t yb) const {
+  if (xb >= xbins_ || yb >= ybins_) throw std::out_of_range("Grid2D::at");
+  return cells_[index(xb, yb)];
+}
+
+double Grid2D::occupancy() const {
+  const auto nonempty = static_cast<double>(
+      std::count_if(cells_.begin(), cells_.end(),
+                    [](std::uint64_t c) { return c != 0; }));
+  return nonempty / static_cast<double>(cells_.size());
+}
+
+std::string Grid2D::ascii_sketch() const {
+  static constexpr char kShades[] = " .:-=+*#%@";
+  const std::uint64_t peak = *std::max_element(cells_.begin(), cells_.end());
+  std::string out;
+  out.reserve((xbins_ + 1) * ybins_);
+  for (std::size_t yb = ybins_; yb-- > 0;) {
+    for (std::size_t xb = 0; xb < xbins_; ++xb) {
+      const std::uint64_t c = cells_[index(xb, yb)];
+      std::size_t shade = 0;
+      if (peak > 0 && c > 0) {
+        shade = 1 + static_cast<std::size_t>(
+                        static_cast<double>(c) / static_cast<double>(peak) * 8.0);
+        shade = std::min<std::size_t>(shade, 9);
+      }
+      out += kShades[shade];
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace icgmm

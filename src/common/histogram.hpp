@@ -1,0 +1,79 @@
+// Fixed-bin histogram used to extract the paper's Fig. 2 distributions
+// (spatial: address -> access count; temporal: timestamp -> address).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace icgmm {
+
+/// Equal-width histogram over [lo, hi) with a fixed bin count.
+/// Out-of-range samples are clamped into the edge bins so totals are
+/// preserved (trace tails matter for miss-rate accounting).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, std::uint64_t weight = 1) noexcept;
+
+  std::size_t bins() const noexcept { return counts_.size(); }
+  double lo() const noexcept { return lo_; }
+  double hi() const noexcept { return hi_; }
+  std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::uint64_t total() const noexcept { return total_; }
+  std::span<const std::uint64_t> counts() const noexcept { return counts_; }
+
+  /// Center x-value of a bin.
+  double bin_center(std::size_t bin) const;
+  /// Index of the fullest bin (first on tie).
+  std::size_t peak_bin() const noexcept;
+  /// Fraction of total mass in the top-k fullest bins; 0 if empty.
+  double mass_in_top_bins(std::size_t k) const;
+  /// Shannon entropy (bits) of the normalized histogram.
+  double entropy_bits() const;
+
+  /// Renders an ASCII sketch (for bench/fig2 output), `width` chars tall bars.
+  std::string ascii_sketch(std::size_t rows = 8) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double inv_width_;
+  std::uint64_t total_ = 0;
+  std::vector<std::uint64_t> counts_;
+};
+
+/// Two-dimensional count grid (timestamp x address) backing the temporal
+/// scatter plots in Fig. 2.
+class Grid2D {
+ public:
+  Grid2D(double xlo, double xhi, std::size_t xbins, double ylo, double yhi,
+         std::size_t ybins);
+
+  void add(double x, double y, std::uint64_t weight = 1) noexcept;
+
+  std::size_t xbins() const noexcept { return xbins_; }
+  std::size_t ybins() const noexcept { return ybins_; }
+  std::uint64_t at(std::size_t xb, std::size_t yb) const;
+  std::uint64_t total() const noexcept { return total_; }
+
+  /// Fraction of nonempty cells; low occupancy indicates clustered access.
+  double occupancy() const;
+
+  std::string ascii_sketch() const;
+
+ private:
+  std::size_t index(std::size_t xb, std::size_t yb) const noexcept {
+    return yb * xbins_ + xb;
+  }
+
+  double xlo_, xhi_, ylo_, yhi_;
+  std::size_t xbins_, ybins_;
+  std::uint64_t total_ = 0;
+  std::vector<std::uint64_t> cells_;
+};
+
+}  // namespace icgmm

@@ -1,0 +1,87 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace icgmm {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double n = na + nb;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  mean_ += delta * nb / n;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ >= 2 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double quantile(std::span<const double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::vector<double> copy(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(copy.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, copy.size() - 1);
+  std::nth_element(copy.begin(), copy.begin() + static_cast<std::ptrdiff_t>(lo),
+                   copy.end());
+  const double vlo = copy[lo];
+  std::nth_element(copy.begin(), copy.begin() + static_cast<std::ptrdiff_t>(hi),
+                   copy.end());
+  const double vhi = copy[hi];
+  const double frac = pos - static_cast<double>(lo);
+  return vlo + (vhi - vlo) * frac;
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) return 0.0;
+  RunningStats sx, sy;
+  for (double x : xs) sx.add(x);
+  for (double y : ys) sy.add(y);
+  if (sx.stddev() == 0.0 || sy.stddev() == 0.0) return 0.0;
+  double cov = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    cov += (xs[i] - sx.mean()) * (ys[i] - sy.mean());
+  }
+  cov /= static_cast<double>(xs.size());
+  return cov / (sx.stddev() * sy.stddev());
+}
+
+void Reservoir::offer(double x, double coin, std::size_t idx_draw) {
+  ++seen_;
+  if (items_.size() < capacity_) {
+    items_.push_back(x);
+    return;
+  }
+  // Keep with probability capacity/seen, replacing a uniform victim.
+  if (coin < static_cast<double>(capacity_) / static_cast<double>(seen_)) {
+    items_[idx_draw % capacity_] = x;
+  }
+}
+
+}  // namespace icgmm

@@ -1,0 +1,62 @@
+// Streaming statistics helpers used by trace analysis and benchmarks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace icgmm {
+
+/// Single-pass mean/variance/min/max accumulator (Welford's algorithm).
+/// Numerically stable for the multi-million-sample traces we process.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Population variance; 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact quantile of a sample set (copies and partially sorts).
+/// q in [0,1]; linear interpolation between order statistics.
+double quantile(std::span<const double> xs, double q);
+
+/// Pearson correlation of two equally sized samples; 0 if degenerate.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Simple fixed-capacity reservoir sample for subsampling huge traces
+/// before EM training (Vitter's algorithm R).
+class Reservoir {
+ public:
+  explicit Reservoir(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Offers x; `coin` must be a uniform draw in [0,1) and `idx_draw`
+  /// a uniform draw in [0, seen) supplied by the caller's RNG so the
+  /// reservoir itself stays deterministic and RNG-agnostic.
+  void offer(double x, double coin, std::size_t idx_draw);
+
+  std::span<const double> items() const noexcept { return items_; }
+  std::size_t seen() const noexcept { return seen_; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t seen_ = 0;
+  std::vector<double> items_;
+};
+
+}  // namespace icgmm

@@ -1,0 +1,55 @@
+#include "common/string_util.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace icgmm {
+
+std::vector<std::string_view> split(std::string_view s, char delim) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string_view trim(std::string_view s) {
+  const auto issp = [](char c) {
+    return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+  };
+  while (!s.empty() && issp(s.front())) s.remove_prefix(1);
+  while (!s.empty() && issp(s.back())) s.remove_suffix(1);
+  return s;
+}
+
+std::uint64_t parse_u64(std::string_view s) {
+  s = trim(s);
+  std::uint64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    throw std::invalid_argument("parse_u64: '" + std::string(s) + "'");
+  }
+  return value;
+}
+
+double parse_double(std::string_view s) {
+  s = trim(s);
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    throw std::invalid_argument("parse_double: '" + std::string(s) + "'");
+  }
+  return value;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace icgmm

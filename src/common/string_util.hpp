@@ -1,0 +1,25 @@
+// Small string helpers shared by trace IO and config parsing.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace icgmm {
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string_view> split(std::string_view s, char delim);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// Parses a non-negative integer; throws std::invalid_argument on junk.
+std::uint64_t parse_u64(std::string_view s);
+
+/// Parses a double; throws std::invalid_argument on junk.
+double parse_double(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+}  // namespace icgmm

@@ -1,0 +1,35 @@
+// Minimal ASCII table renderer for benchmark/report output.
+//
+// Every bench binary regenerates one of the paper's tables or figures; this
+// class keeps their stdout format consistent and diff-friendly.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace icgmm {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience formatting helpers for numeric cells.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt_percent(double fraction, int precision = 2);
+  static std::string fmt_micros(double micros, int precision = 2);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Renders with aligned columns, `| a | b |` style.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace icgmm

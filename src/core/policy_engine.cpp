@@ -1,0 +1,72 @@
+#include "core/policy_engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace icgmm::core {
+
+const gmm::FitReport& PolicyEngine::train(const trace::Trace& collected) {
+  // Warm-up trim, with the head cut rounded DOWN to an access-shot
+  // boundary: Algorithm-1 timestamps are periodic with the shot, so an
+  // unaligned cut would train the GMM on a time axis phase-shifted from
+  // what it sees at run time and corrupt every temporal pattern learned.
+  const std::uint64_t shot_records =
+      static_cast<std::uint64_t>(cfg_.transform.len_window) *
+      trace::TimestampTransform(cfg_.transform).timestamp_bound();
+  auto head = static_cast<std::size_t>(
+      cfg_.trim.head_fraction * static_cast<double>(collected.size()));
+  if (shot_records > 0) head -= head % shot_records;
+  const auto tail = static_cast<std::size_t>(
+      cfg_.trim.tail_fraction * static_cast<double>(collected.size()));
+  const std::size_t keep =
+      collected.size() > head + tail ? collected.size() - head - tail
+                                     : collected.size() - head;
+  const trace::Trace trimmed = collected.slice(head, keep);
+
+  const std::vector<trace::GmmSample> all =
+      trace::to_gmm_samples(trimmed, cfg_.transform);
+  const std::vector<trace::GmmSample> sub =
+      trace::stride_subsample(all, cfg_.train_subsample);
+
+  gmm::EmTrainer trainer(cfg_.em);
+  model_ = trainer.fit(sub);
+  report_ = trainer.report();
+
+  training_scores_.clear();
+  training_scores_.reserve(sub.size());
+  for (const auto& s : sub) {
+    training_scores_.push_back(model_->log_score(s.page, s.time));
+  }
+  std::sort(training_scores_.begin(), training_scores_.end());
+  return report_;
+}
+
+void PolicyEngine::load(gmm::GaussianMixture model) {
+  model_ = std::move(model);
+  training_scores_.clear();
+}
+
+const gmm::GaussianMixture& PolicyEngine::model() const {
+  if (!model_) throw std::logic_error("PolicyEngine: not trained");
+  return *model_;
+}
+
+cache::ScoreFn PolicyEngine::score_fn() const {
+  if (!model_) throw std::logic_error("PolicyEngine: not trained");
+  // Copy the model into the closure: scorers outlive the engine freely and
+  // the model is a few KB (K * 6 doubles).
+  return [model = *model_](PageIndex page, Timestamp ts) {
+    return model.log_score(static_cast<double>(page),
+                           static_cast<double>(ts));
+  };
+}
+
+std::unique_ptr<cache::GmmPolicy> PolicyEngine::make_policy(
+    cache::GmmStrategy strategy, double threshold, bool refresh_on_hit) const {
+  return std::make_unique<cache::GmmPolicy>(
+      score_fn(), cache::GmmPolicyConfig{.strategy = strategy,
+                                         .threshold = threshold,
+                                         .refresh_on_hit = refresh_on_hit});
+}
+
+}  // namespace icgmm::core

@@ -1,0 +1,58 @@
+#include "core/threshold.hpp"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+
+namespace icgmm::core {
+
+double threshold_at_percentile(std::span<const double> sorted_scores,
+                               double q) {
+  if (sorted_scores.empty()) return -std::numeric_limits<double>::infinity();
+  q = std::clamp(q, 0.0, 1.0);
+  if (q == 0.0) return -std::numeric_limits<double>::infinity();
+  const auto idx = std::min(
+      sorted_scores.size() - 1,
+      static_cast<std::size_t>(q * static_cast<double>(sorted_scores.size())));
+  return sorted_scores[idx];
+}
+
+std::vector<ThresholdSweepPoint> sweep_thresholds(
+    const PolicyEngine& engine, const trace::Trace& tuning_trace,
+    const sim::EngineConfig& engine_cfg, cache::GmmStrategy strategy,
+    std::span<const double> percentiles) {
+  std::vector<ThresholdSweepPoint> points;
+  points.reserve(percentiles.size());
+  sim::EngineConfig cfg = engine_cfg;
+  cfg.policy_runs_on_miss = true;
+  for (double q : percentiles) {
+    ThresholdSweepPoint point;
+    point.percentile = q;
+    point.threshold = threshold_at_percentile(engine.training_scores(), q);
+    const sim::RunResult run = sim::run_trace(
+        tuning_trace, cfg, engine.make_policy(strategy, point.threshold));
+    point.miss_rate = run.miss_rate();
+    point.amat_us = run.amat_us();
+    points.push_back(point);
+  }
+  return points;
+}
+
+double tune_threshold(const PolicyEngine& engine,
+                      const trace::Trace& tuning_trace,
+                      const sim::EngineConfig& engine_cfg,
+                      cache::GmmStrategy strategy) {
+  // Coarse grid biased low: bypassing too much is far more dangerous than
+  // bypassing too little (a wrongly bypassed hot page pays the SSD penalty
+  // on every future access until readmitted).
+  static constexpr std::array<double, 5> kGrid = {0.0, 0.02, 0.05, 0.10, 0.20};
+  const auto points =
+      sweep_thresholds(engine, tuning_trace, engine_cfg, strategy, kGrid);
+  const auto best = std::min_element(
+      points.begin(), points.end(),
+      [](const auto& a, const auto& b) { return a.miss_rate < b.miss_rate; });
+  return best == points.end() ? -std::numeric_limits<double>::infinity()
+                              : best->threshold;
+}
+
+}  // namespace icgmm::core

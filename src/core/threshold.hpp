@@ -1,0 +1,42 @@
+// Admission-threshold selection. The paper thresholds the GMM score to
+// decide caching ("a certain threshold", §3.2) without specifying how it
+// is chosen; we tune it as a percentile of the training-score
+// distribution, optionally refined by simulating a few candidates on a
+// trace prefix and keeping the one with the lowest miss rate.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/policy_engine.hpp"
+#include "sim/engine.hpp"
+
+namespace icgmm::core {
+
+/// Log-score at quantile `q` of the (sorted) training scores. q = 0
+/// admits everything; q = 0.5 bypasses the colder half.
+double threshold_at_percentile(std::span<const double> sorted_scores, double q);
+
+struct ThresholdSweepPoint {
+  double percentile = 0.0;
+  double threshold = 0.0;
+  double miss_rate = 0.0;
+  double amat_us = 0.0;
+};
+
+/// Simulates each candidate percentile on `tuning_trace` with the given
+/// strategy and returns all the points (lowest-miss-rate first ordering is
+/// NOT applied; callers sort or scan). Used by the tuner and Ablation B.
+std::vector<ThresholdSweepPoint> sweep_thresholds(
+    const PolicyEngine& engine, const trace::Trace& tuning_trace,
+    const sim::EngineConfig& engine_cfg, cache::GmmStrategy strategy,
+    std::span<const double> percentiles);
+
+/// Convenience: sweep a default percentile grid and return the threshold
+/// with the lowest miss rate.
+double tune_threshold(const PolicyEngine& engine,
+                      const trace::Trace& tuning_trace,
+                      const sim::EngineConfig& engine_cfg,
+                      cache::GmmStrategy strategy);
+
+}  // namespace icgmm::core

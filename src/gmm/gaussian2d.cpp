@@ -1,0 +1,33 @@
+#include "gmm/gaussian2d.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace icgmm::gmm {
+
+Gaussian2D::Gaussian2D(Vec2 mean, Cov2 cov) : mean_(mean), cov_(cov) {
+  const double det = cov.det();
+  if (!(det > 0.0) || !(cov.pp > 0.0) || !(cov.tt > 0.0)) {
+    throw std::invalid_argument("Gaussian2D: covariance not positive definite");
+  }
+  const double inv_det = 1.0 / det;
+  inv_pp_ = cov.tt * inv_det;
+  inv_tt_ = cov.pp * inv_det;
+  inv_pt_ = -cov.pt * inv_det;
+  log_norm_ = -std::log(2.0 * std::numbers::pi) - 0.5 * std::log(det);
+}
+
+double Gaussian2D::mahalanobis2(Vec2 x) const noexcept {
+  const double dp = x.p - mean_.p;
+  const double dt = x.t - mean_.t;
+  return dp * dp * inv_pp_ + 2.0 * dp * dt * inv_pt_ + dt * dt * inv_tt_;
+}
+
+double Gaussian2D::log_pdf(Vec2 x) const noexcept {
+  return log_norm_ - 0.5 * mahalanobis2(x);
+}
+
+double Gaussian2D::pdf(Vec2 x) const noexcept { return std::exp(log_pdf(x)); }
+
+}  // namespace icgmm::gmm

@@ -1,0 +1,57 @@
+// A single 2-D Gaussian component N(x | mu, Sigma) — Eq. (1)/(2) of the
+// paper, with x = [P, T] (normalized page index, logical timestamp).
+#pragma once
+
+#include <cstdint>
+
+namespace icgmm::gmm {
+
+/// 2-vector in (P, T) space.
+struct Vec2 {
+  double p = 0.0;
+  double t = 0.0;
+
+  friend constexpr bool operator==(const Vec2&, const Vec2&) = default;
+};
+
+/// Symmetric 2x2 covariance [[pp, pt], [pt, tt]].
+struct Cov2 {
+  double pp = 1.0;
+  double pt = 0.0;
+  double tt = 1.0;
+
+  constexpr double det() const noexcept { return pp * tt - pt * pt; }
+
+  friend constexpr bool operator==(const Cov2&, const Cov2&) = default;
+};
+
+/// Immutable Gaussian with precomputed inverse covariance and log
+/// normalization so log_pdf is a handful of FLOPs (the HLS kernel does the
+/// same precomputation at model-load time).
+class Gaussian2D {
+ public:
+  /// Throws std::invalid_argument if Sigma is not positive definite.
+  Gaussian2D(Vec2 mean, Cov2 cov);
+
+  const Vec2& mean() const noexcept { return mean_; }
+  const Cov2& cov() const noexcept { return cov_; }
+
+  /// log N(x | mu, Sigma).
+  double log_pdf(Vec2 x) const noexcept;
+  /// N(x | mu, Sigma); underflows to 0 gracefully far from the mean.
+  double pdf(Vec2 x) const noexcept;
+
+  /// Squared Mahalanobis distance (x-mu)^T Sigma^-1 (x-mu).
+  double mahalanobis2(Vec2 x) const noexcept;
+
+ private:
+  Vec2 mean_;
+  Cov2 cov_;
+  // Precomputed: inverse covariance entries and -log((2*pi)*sqrt(det)).
+  double inv_pp_ = 1.0;
+  double inv_pt_ = 0.0;
+  double inv_tt_ = 1.0;
+  double log_norm_ = 0.0;
+};
+
+}  // namespace icgmm::gmm

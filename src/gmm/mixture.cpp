@@ -1,0 +1,67 @@
+#include "gmm/mixture.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace icgmm::gmm {
+
+GaussianMixture::GaussianMixture(std::vector<double> weights,
+                                 std::vector<Gaussian2D> components,
+                                 Normalizer normalizer)
+    : weights_(std::move(weights)),
+      components_(std::move(components)),
+      normalizer_(normalizer) {
+  if (components_.empty() || weights_.size() != components_.size()) {
+    throw std::invalid_argument("GaussianMixture: empty or mismatched sizes");
+  }
+  double sum = 0.0;
+  for (double w : weights_) {
+    if (!(w >= 0.0)) throw std::invalid_argument("GaussianMixture: bad weight");
+    sum += w;
+  }
+  if (!(sum > 0.0)) throw std::invalid_argument("GaussianMixture: zero weight");
+  log_weights_.reserve(weights_.size());
+  for (double& w : weights_) {
+    w /= sum;
+    log_weights_.push_back(w > 0.0 ? std::log(w)
+                                   : -std::numeric_limits<double>::infinity());
+  }
+}
+
+double GaussianMixture::log_score_normalized(Vec2 x) const noexcept {
+  // log-sum-exp with running max for numerical stability.
+  double max_term = -std::numeric_limits<double>::infinity();
+  // Small-K fast path would fit here; K<=512 keeps this loop cheap enough.
+  thread_local std::vector<double> terms;
+  terms.clear();
+  terms.reserve(components_.size());
+  for (std::size_t k = 0; k < components_.size(); ++k) {
+    const double t = log_weights_[k] + components_[k].log_pdf(x);
+    terms.push_back(t);
+    max_term = std::max(max_term, t);
+  }
+  if (!std::isfinite(max_term)) return max_term;
+  double acc = 0.0;
+  for (double t : terms) acc += std::exp(t - max_term);
+  return max_term + std::log(acc);
+}
+
+double GaussianMixture::log_score(double raw_page, double raw_time) const noexcept {
+  return log_score_normalized(normalizer_.apply(raw_page, raw_time));
+}
+
+double GaussianMixture::score(double raw_page, double raw_time) const noexcept {
+  return std::exp(log_score(raw_page, raw_time));
+}
+
+double GaussianMixture::mean_log_likelihood(
+    std::span<const Vec2> normalized) const noexcept {
+  if (normalized.empty()) return 0.0;
+  double acc = 0.0;
+  for (const Vec2& x : normalized) acc += log_score_normalized(x);
+  return acc / static_cast<double>(normalized.size());
+}
+
+}  // namespace icgmm::gmm

@@ -1,0 +1,45 @@
+#include "gmm/model_select.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace icgmm::gmm {
+
+std::vector<SelectionPoint> sweep_components(
+    std::span<const trace::GmmSample> samples,
+    std::span<const std::uint32_t> candidates, const EmConfig& base) {
+  if (samples.empty()) throw std::invalid_argument("sweep_components: empty");
+  std::vector<SelectionPoint> curve;
+  curve.reserve(candidates.size());
+  const auto n = static_cast<double>(samples.size());
+
+  for (std::uint32_t k : candidates) {
+    EmConfig cfg = base;
+    cfg.components = k;
+    EmTrainer trainer(cfg);
+    trainer.fit(samples);
+
+    SelectionPoint point;
+    point.components = k;
+    point.mean_log_likelihood = trainer.report().final_mean_log_likelihood;
+    const double total_ll = point.mean_log_likelihood * n;
+    const auto params = static_cast<double>(gmm_free_parameters(k));
+    point.bic = params * std::log(n) - 2.0 * total_ll;
+    point.aic = 2.0 * params - 2.0 * total_ll;
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+std::uint32_t select_components_bic(std::span<const SelectionPoint> curve) {
+  if (curve.empty()) return 0;
+  const auto best = std::min_element(
+      curve.begin(), curve.end(),
+      [](const SelectionPoint& a, const SelectionPoint& b) {
+        return a.bic < b.bic;
+      });
+  return best->components;
+}
+
+}  // namespace icgmm::gmm

@@ -1,0 +1,36 @@
+// Model selection for K (number of Gaussians): BIC/AIC over candidate
+// sizes. The paper fixes K = 256 empirically; this utility grounds
+// Ablation A by showing where information criteria put the knee.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gmm/em.hpp"
+
+namespace icgmm::gmm {
+
+struct SelectionPoint {
+  std::uint32_t components = 0;
+  double mean_log_likelihood = 0.0;
+  double bic = 0.0;  ///< k_params * ln(n) - 2 * ln(L); lower is better
+  double aic = 0.0;  ///< 2 * k_params - 2 * ln(L); lower is better
+};
+
+/// Free parameters of a K-component full-covariance 2-D GMM:
+/// K-1 weights + 2K means + 3K covariances.
+constexpr std::size_t gmm_free_parameters(std::uint32_t k) noexcept {
+  return static_cast<std::size_t>(k) * 6 - 1;
+}
+
+/// Fits every candidate K with the given base EM config and returns the
+/// information-criterion curve (candidates preserved in input order).
+std::vector<SelectionPoint> sweep_components(
+    std::span<const trace::GmmSample> samples,
+    std::span<const std::uint32_t> candidates, const EmConfig& base);
+
+/// Candidate with the lowest BIC.
+std::uint32_t select_components_bic(std::span<const SelectionPoint> curve);
+
+}  // namespace icgmm::gmm

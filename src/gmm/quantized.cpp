@@ -1,0 +1,105 @@
+#include "gmm/quantized.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace icgmm::gmm {
+
+QuantizedGmm::QuantizedGmm(const GaussianMixture& model, QuantizedConfig cfg)
+    : cfg_(cfg), norm_(model.normalizer()) {
+  const std::size_t k = model.size();
+  pi_.reserve(k);
+  mu_p_.reserve(k);
+  mu_t_.reserve(k);
+  inv_pp_.reserve(k);
+  inv_pt_.reserve(k);
+  inv_tt_.reserve(k);
+  log_norm_.reserve(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    const Gaussian2D& g = model.components()[c];
+    pi_.push_back(Q16::from_double(model.weights()[c]));
+    mu_p_.push_back(Q16::from_double(g.mean().p));
+    mu_t_.push_back(Q16::from_double(g.mean().t));
+    // Recompute the inverse covariance exactly as construction did.
+    const Cov2& cv = g.cov();
+    const double inv_det = 1.0 / cv.det();
+    inv_pp_.push_back(Q16::from_double(cv.tt * inv_det));
+    inv_pt_.push_back(Q16::from_double(-cv.pt * inv_det));
+    inv_tt_.push_back(Q16::from_double(cv.pp * inv_det));
+    log_norm_.push_back(-std::log(2.0 * std::numbers::pi) -
+                        0.5 * std::log(cv.det()));
+  }
+  // exp table over [exp_table_min, 0].
+  exp_table_.resize(cfg_.exp_table_entries);
+  for (std::size_t i = 0; i < cfg_.exp_table_entries; ++i) {
+    const double x = cfg_.exp_table_min *
+                     (1.0 - static_cast<double>(i) /
+                                static_cast<double>(cfg_.exp_table_entries - 1));
+    exp_table_[i] = std::exp(x);
+  }
+}
+
+Q32 QuantizedGmm::exp_fixed(double x) const noexcept {
+  // Hardware decomposition: x = k*ln2 + r with r <= 0, so
+  // exp(x) = 2^k * table(r) — the 2^k is a raw barrel shift.
+  int k = 0;
+  if (x > 0.0) {
+    k = static_cast<int>(x / std::numbers::ln2) + 1;
+    x -= static_cast<double>(k) * std::numbers::ln2;
+  }
+  if (x <= cfg_.exp_table_min) return Q32::from_double(0.0);
+  // Table is indexed linearly over [min, 0].
+  const double pos = (1.0 - x / cfg_.exp_table_min) *
+                     static_cast<double>(cfg_.exp_table_entries - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, exp_table_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  const Q32 mantissa = Q32::from_double(
+      exp_table_[lo] + (exp_table_[hi] - exp_table_[lo]) * frac);
+  if (k == 0) return mantissa;
+  // Saturating left shift (k <= ~40 in practice: scores are bounded by the
+  // narrowest component's peak density).
+  if (k >= 30) return Q32::from_raw(std::numeric_limits<std::int64_t>::max());
+  return Q32::from_raw(mantissa.raw() << k);
+}
+
+double QuantizedGmm::score(double raw_page, double raw_time) const noexcept {
+  const Vec2 x = norm_.apply(raw_page, raw_time);
+  // Inputs and means are Q16 words in the weight buffer; the quadratic
+  // form is evaluated in Q32 (the HLS kernel widens intermediates so the
+  // per-component Mahalanobis term keeps fractional precision even for
+  // narrow components).
+  const Q32 xp = Q32::from_double(Q16::from_double(x.p).to_double());
+  const Q32 xt = Q32::from_double(Q16::from_double(x.t).to_double());
+
+  // Shift-register style accumulation: one component per pipeline stage.
+  Q32 acc = Q32::from_double(0.0);
+  for (std::size_t c = 0; c < pi_.size(); ++c) {
+    const Q32 dp = xp - Q32::from_double(mu_p_[c].to_double());
+    const Q32 dt = xt - Q32::from_double(mu_t_[c].to_double());
+    const Q32 ipp = Q32::from_double(inv_pp_[c].to_double());
+    const Q32 ipt = Q32::from_double(inv_pt_[c].to_double());
+    const Q32 itt = Q32::from_double(inv_tt_[c].to_double());
+    const Q32 q = dp * dp * ipp +
+                  Q32::from_double(2.0) * dp * dt * ipt + dt * dt * itt;
+    // exp argument: log_norm - q/2, evaluated through the LUT.
+    const double arg = log_norm_[c] - 0.5 * q.to_double();
+    const Q32 pdf = exp_fixed(arg);
+    acc = acc + Q32::from_double(pi_[c].to_double()) * pdf;
+  }
+  return acc.to_double();
+}
+
+double QuantizedGmm::max_abs_error(const GaussianMixture& reference,
+                                   std::span<const Vec2> raw_probes) const noexcept {
+  double worst = 0.0;
+  for (const Vec2& probe : raw_probes) {
+    const double fixed = score(probe.p, probe.t);
+    const double exact = reference.score(probe.p, probe.t);
+    worst = std::max(worst, std::abs(fixed - exact));
+  }
+  return worst;
+}
+
+}  // namespace icgmm::gmm

@@ -1,0 +1,56 @@
+// Fixed-point GMM inference mirroring the HLS datapath of the FPGA kernel
+// (paper §4.1): per-component Mahalanobis quadratic form in Q16.16, exp()
+// via a lookup table with linear interpolation, and a saturating score
+// accumulator (the paper's shift-register accumulation).
+//
+// The float model (mixture.hpp) is the algorithmic reference; this class
+// bounds what precision the hardware actually delivers. Tests assert the
+// fixed-vs-float score gap stays small enough not to flip caching
+// decisions near the threshold.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/fixed_point.hpp"
+#include "gmm/mixture.hpp"
+
+namespace icgmm::gmm {
+
+struct QuantizedConfig {
+  std::size_t exp_table_entries = 1024;
+  double exp_table_min = -24.0;  ///< exp() domain lower clamp (underflow->0)
+};
+
+/// Immutable quantized view of a trained mixture.
+class QuantizedGmm {
+ public:
+  explicit QuantizedGmm(const GaussianMixture& model, QuantizedConfig cfg = {});
+
+  std::size_t size() const noexcept { return pi_.size(); }
+
+  /// Score in the linear domain, computed entirely in fixed point
+  /// (comparable against a fixed-point threshold like the FPGA does).
+  double score(double raw_page, double raw_time) const noexcept;
+
+  /// Max |score_fixed - score_float| over a probe set; quality metric
+  /// used in tests and the ablation bench.
+  double max_abs_error(const GaussianMixture& reference,
+                       std::span<const Vec2> raw_probes) const noexcept;
+
+ private:
+  /// exp(x) for x <= 0 via table + linear interpolation, fixed-point in/out.
+  Q32 exp_fixed(double x) const noexcept;
+
+  QuantizedConfig cfg_;
+  Normalizer norm_;
+  // Per-component parameters pre-quantized at load time, as the weight
+  // buffer stores them.
+  std::vector<Q16> pi_;
+  std::vector<Q16> mu_p_, mu_t_;
+  std::vector<Q16> inv_pp_, inv_pt_, inv_tt_;
+  std::vector<double> log_norm_;  // folded into the exp() argument
+  std::vector<double> exp_table_;
+};
+
+}  // namespace icgmm::gmm

@@ -1,0 +1,47 @@
+// FPGA device model. ICGMM is prototyped on a Xilinx Alveo U50 at 233 MHz
+// (paper §5.1); Table 2 reports utilization against this device.
+#pragma once
+
+#include <cstdint>
+
+namespace icgmm::hw {
+
+/// One bundle of FPGA resources (BRAM36 tiles, DSP48 slices, LUTs, FFs).
+struct Resources {
+  std::uint32_t bram36 = 0;
+  std::uint32_t dsp = 0;
+  std::uint32_t lut = 0;
+  std::uint32_t ff = 0;
+
+  friend constexpr bool operator==(const Resources&, const Resources&) = default;
+
+  constexpr Resources operator+(const Resources& o) const noexcept {
+    return {bram36 + o.bram36, dsp + o.dsp, lut + o.lut, ff + o.ff};
+  }
+};
+
+/// Xilinx Alveo U50 (xcu50-fsvh2104-2-e) totals and the design clock.
+struct AlveoU50 {
+  static constexpr Resources kTotal{1344, 5952, 871680, 1743360};
+  static constexpr double kClockMhz = 233.0;
+};
+
+/// Fraction of the device consumed, per resource class.
+struct Utilization {
+  double bram = 0.0;
+  double dsp = 0.0;
+  double lut = 0.0;
+  double ff = 0.0;
+};
+
+constexpr Utilization utilization(const Resources& used,
+                                  const Resources& total = AlveoU50::kTotal) noexcept {
+  return {
+      static_cast<double>(used.bram36) / static_cast<double>(total.bram36),
+      static_cast<double>(used.dsp) / static_cast<double>(total.dsp),
+      static_cast<double>(used.lut) / static_cast<double>(total.lut),
+      static_cast<double>(used.ff) / static_cast<double>(total.ff),
+  };
+}
+
+}  // namespace icgmm::hw

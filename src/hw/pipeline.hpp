@@ -1,0 +1,51 @@
+// Latency models for the policy engines on the FPGA.
+//
+// GMM: the HLS kernel pipelines Gaussians with initiation interval 1, so
+// one inference costs (pipeline fill + K) cycles. The fill constant covers
+// trace decode, normalization multiplies, the exp LUT read latency and the
+// paper's shift-register accumulation; 445 cycles reproduces the measured
+// 3 us at K = 256, 233 MHz.
+//
+// LSTM: the recurrent dependence h_t -> h_{t+1} prevents pipelining across
+// timesteps, and BRAM port limits bound the effective MAC rate near one
+// per cycle regardless of DSP count. cycles ≈ MACs x 1.0256 reproduces the
+// measured 46.3 ms for the 3 x 128 / seq-32 baseline.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "hw/fpga_spec.hpp"
+
+namespace icgmm::hw {
+
+struct GmmPipelineSpec {
+  std::size_t components = 256;
+  std::uint32_t fill_cycles = 445;
+  double clock_mhz = AlveoU50::kClockMhz;
+};
+
+struct LstmPipelineSpec {
+  std::size_t macs = 0;  ///< from lstm_macs_per_inference()
+  double cycles_per_mac = 1.0256;
+  double clock_mhz = AlveoU50::kClockMhz;
+};
+
+constexpr std::uint64_t gmm_inference_cycles(const GmmPipelineSpec& s) noexcept {
+  return s.fill_cycles + s.components;  // II = 1 accumulation over K
+}
+
+constexpr double gmm_inference_us(const GmmPipelineSpec& s) noexcept {
+  return static_cast<double>(gmm_inference_cycles(s)) / s.clock_mhz;
+}
+
+constexpr std::uint64_t lstm_inference_cycles(const LstmPipelineSpec& s) noexcept {
+  return static_cast<std::uint64_t>(static_cast<double>(s.macs) *
+                                    s.cycles_per_mac);
+}
+
+constexpr double lstm_inference_ms(const LstmPipelineSpec& s) noexcept {
+  return static_cast<double>(lstm_inference_cycles(s)) / s.clock_mhz / 1000.0;
+}
+
+}  // namespace icgmm::hw

@@ -1,0 +1,80 @@
+#include "hw/resource_model.hpp"
+
+namespace icgmm::hw {
+namespace {
+
+constexpr std::size_t kBram36Bytes = 4608;  // 36 Kbit
+
+constexpr std::uint32_t ceil_div_u32(std::size_t a, std::size_t b) noexcept {
+  return static_cast<std::uint32_t>((a + b - 1) / b);
+}
+
+// GMM engine calibration (matches Table 2 at K = 256, table = 1024):
+constexpr std::uint32_t kGmmFifoBrams = 5;       // trace/score/rsp FIFOs
+constexpr std::uint32_t kGmmDatapathDsp = 113;   // quadform+exp+accumulate
+constexpr std::uint32_t kGmmBaseLut = 52000;     // control + datapath
+constexpr std::uint32_t kGmmLutPerK_Num = 6353;  // shift-register slice
+constexpr std::uint32_t kGmmBaseFf = 140000;
+constexpr std::uint32_t kGmmFfPerK_Num = 12583;
+constexpr std::uint32_t kGmmCalibK = 256;
+
+// LSTM engine calibration (matches Table 2 at 3 x 128, seq 32):
+constexpr std::uint32_t kLstmBufferBrams = 52;   // activations, gates, state
+constexpr std::uint32_t kLstmDatapathDsp = 145;  // gate MAC array
+constexpr std::uint32_t kLstmBaseLut = 36000;
+constexpr std::uint32_t kLstmLutPerHL_Num = 49029;
+constexpr std::uint32_t kLstmBaseFf = 40000;
+constexpr std::uint32_t kLstmFfPerHL_Num = 63561;
+constexpr std::uint32_t kLstmCalibHL = 384;  // hidden * layers at calibration
+
+}  // namespace
+
+std::size_t lstm_parameter_count(const LstmEngineSpec& s) noexcept {
+  std::size_t count = 0;
+  for (std::size_t l = 0; l < s.layers; ++l) {
+    const std::size_t in = l == 0 ? s.input_dim : s.hidden;
+    count += 4 * s.hidden * (in + s.hidden) + 4 * s.hidden;  // W + b
+  }
+  return count + s.hidden + 1;  // dense head
+}
+
+std::size_t lstm_macs_per_inference(const LstmEngineSpec& s) noexcept {
+  std::size_t per_step = 0;
+  for (std::size_t l = 0; l < s.layers; ++l) {
+    const std::size_t in = l == 0 ? s.input_dim : s.hidden;
+    per_step += 4 * s.hidden * (in + s.hidden);
+  }
+  return per_step * s.seq_len + s.hidden;
+}
+
+Resources estimate_gmm_engine(const GmmEngineSpec& spec) noexcept {
+  Resources r;
+  // Weight buffer: {pi, mu(2), inv-cov(3), log-norm} words per component,
+  // plus the exp() lookup table — both one-time loaded from HBM (§4.1).
+  const std::size_t weight_bytes =
+      spec.components * 7 * spec.word_bytes + 4 * spec.word_bytes;
+  const std::size_t table_bytes = spec.exp_table_entries * spec.word_bytes;
+  r.bram36 = ceil_div_u32(weight_bytes, kBram36Bytes) +
+             ceil_div_u32(table_bytes, kBram36Bytes) + kGmmFifoBrams;
+  r.dsp = kGmmDatapathDsp;
+  r.lut = kGmmBaseLut + static_cast<std::uint32_t>(
+                            kGmmLutPerK_Num * spec.components / kGmmCalibK);
+  r.ff = kGmmBaseFf + static_cast<std::uint32_t>(
+                          kGmmFfPerK_Num * spec.components / kGmmCalibK);
+  return r;
+}
+
+Resources estimate_lstm_engine(const LstmEngineSpec& spec) noexcept {
+  Resources r;
+  const std::size_t weight_bytes = lstm_parameter_count(spec) * spec.word_bytes;
+  r.bram36 = ceil_div_u32(weight_bytes, kBram36Bytes) + kLstmBufferBrams;
+  r.dsp = kLstmDatapathDsp;
+  const std::size_t hl = spec.hidden * spec.layers;
+  r.lut = kLstmBaseLut +
+          static_cast<std::uint32_t>(kLstmLutPerHL_Num * hl / kLstmCalibHL);
+  r.ff = kLstmBaseFf +
+         static_cast<std::uint32_t>(kLstmFfPerHL_Num * hl / kLstmCalibHL);
+  return r;
+}
+
+}  // namespace icgmm::hw

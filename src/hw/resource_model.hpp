@@ -1,0 +1,42 @@
+// Analytic post-synthesis resource estimates for the two policy engines.
+//
+// The models are affine in the architecture knobs with coefficients
+// calibrated so the paper's exact configurations land on Table 2's
+// numbers (GMM K=256 -> 8/113/58353/152583; LSTM 3x128/seq32 ->
+// 339/145/85029/103561), while scaling terms are physically grounded:
+//   * memory (BRAM) scales with weight bytes at 4.5 KB per BRAM36,
+//   * the DSP datapath is a fixed-width pipeline (independent of K / H),
+//   * LUT/FF scale with the accumulation shift register (GMM) or the
+//     gate array width (LSTM).
+#pragma once
+
+#include <cstddef>
+
+#include "hw/fpga_spec.hpp"
+
+namespace icgmm::hw {
+
+struct GmmEngineSpec {
+  std::size_t components = 256;        ///< K
+  std::size_t exp_table_entries = 1024;
+  std::size_t word_bytes = 4;          ///< fixed-point word width
+};
+
+struct LstmEngineSpec {
+  std::size_t layers = 3;
+  std::size_t hidden = 128;
+  std::size_t input_dim = 2;
+  std::size_t seq_len = 32;
+  std::size_t word_bytes = 4;
+};
+
+/// Trainable-parameter count of the LSTM engine (weights + biases + head).
+std::size_t lstm_parameter_count(const LstmEngineSpec& spec) noexcept;
+
+/// MACs of one LSTM inference (gate matrices every timestep + head).
+std::size_t lstm_macs_per_inference(const LstmEngineSpec& spec) noexcept;
+
+Resources estimate_gmm_engine(const GmmEngineSpec& spec) noexcept;
+Resources estimate_lstm_engine(const LstmEngineSpec& spec) noexcept;
+
+}  // namespace icgmm::hw

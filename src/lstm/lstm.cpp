@@ -1,0 +1,111 @@
+#include "lstm/lstm.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace icgmm::lstm {
+
+void LstmCell::init(std::size_t input, std::size_t hidden, Rng& rng) {
+  w = Matrix(4 * hidden, input + hidden);
+  w.init_xavier(rng);
+  b.assign(4 * hidden, 0.0);
+  // Standard trick: forget-gate bias starts positive so early training
+  // doesn't wash out state.
+  for (std::size_t i = hidden; i < 2 * hidden; ++i) b[i] = 1.0;
+}
+
+LstmNetwork::LstmNetwork(LstmConfig cfg) : cfg_(cfg) {
+  if (cfg_.layers == 0 || cfg_.hidden == 0 || cfg_.input_dim == 0 ||
+      cfg_.seq_len == 0) {
+    throw std::invalid_argument("LstmNetwork: degenerate config");
+  }
+  Rng rng(cfg_.seed);
+  cells_.resize(cfg_.layers);
+  for (std::size_t l = 0; l < cfg_.layers; ++l) {
+    const std::size_t in = l == 0 ? cfg_.input_dim : cfg_.hidden;
+    cells_[l].init(in, cfg_.hidden, rng);
+  }
+  head_w_.assign(cfg_.hidden, 0.0);
+  Matrix tmp(1, cfg_.hidden);
+  tmp.init_xavier(rng);
+  for (std::size_t i = 0; i < cfg_.hidden; ++i) head_w_[i] = tmp(0, i);
+}
+
+double LstmNetwork::forward(std::span<const double> sequence, bool keep_cache) {
+  const std::size_t T = cfg_.seq_len;
+  const std::size_t H = cfg_.hidden;
+  assert(sequence.size() == T * cfg_.input_dim);
+
+  if (keep_cache) {
+    caches_.assign(cfg_.layers, std::vector<StepCache>(T));
+  }
+
+  std::vector<Vector> h(cfg_.layers, Vector(H, 0.0));
+  std::vector<Vector> c(cfg_.layers, Vector(H, 0.0));
+  Vector xin;
+  Vector pre(4 * H);
+
+  for (std::size_t t = 0; t < T; ++t) {
+    xin.assign(sequence.begin() + static_cast<std::ptrdiff_t>(t * cfg_.input_dim),
+               sequence.begin() + static_cast<std::ptrdiff_t>((t + 1) * cfg_.input_dim));
+    for (std::size_t l = 0; l < cfg_.layers; ++l) {
+      LstmCell& cell = cells_[l];
+      const std::size_t in_dim = cell.w.cols() - H;
+      assert(xin.size() == in_dim);
+      (void)in_dim;
+
+      // pre = W [x; h] + b
+      Vector xh(xin);
+      xh.insert(xh.end(), h[l].begin(), h[l].end());
+      matvec(cell.w, xh, pre);
+      for (std::size_t i = 0; i < 4 * H; ++i) pre[i] += cell.b[i];
+
+      StepCache* sc = keep_cache ? &caches_[l][t] : nullptr;
+      if (sc) {
+        sc->x = xin;
+        sc->c_prev = c[l];
+        sc->gates.resize(4 * H);
+      }
+
+      Vector h_new(H);
+      for (std::size_t i = 0; i < H; ++i) {
+        const double ig = sigmoid(pre[i]);
+        const double fg = sigmoid(pre[H + i]);
+        const double gg = std::tanh(pre[2 * H + i]);
+        const double og = sigmoid(pre[3 * H + i]);
+        c[l][i] = fg * c[l][i] + ig * gg;
+        h_new[i] = og * std::tanh(c[l][i]);
+        if (sc) {
+          sc->gates[i] = ig;
+          sc->gates[H + i] = fg;
+          sc->gates[2 * H + i] = gg;
+          sc->gates[3 * H + i] = og;
+        }
+      }
+      h[l] = std::move(h_new);
+      if (sc) {
+        sc->c = c[l];
+        sc->h = h[l];
+      }
+      xin = h[l];  // input to the next layer
+    }
+  }
+  return dot(head_w_, h.back()) + head_b_;
+}
+
+std::size_t LstmNetwork::parameter_count() const noexcept {
+  std::size_t count = 0;
+  for (const LstmCell& cell : cells_) count += cell.w.size() + cell.b.size();
+  return count + head_w_.size() + 1;
+}
+
+std::size_t LstmNetwork::macs_per_inference() const noexcept {
+  // Each timestep multiplies W (4H x (I+H)) by [x; h] per layer; the dense
+  // head adds H MACs once.
+  std::size_t per_step = 0;
+  for (const LstmCell& cell : cells_) per_step += cell.w.size();
+  return per_step * cfg_.seq_len + head_w_.size();
+}
+
+}  // namespace icgmm::lstm

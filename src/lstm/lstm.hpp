@@ -1,0 +1,76 @@
+// LSTM cache-policy baseline (paper §5.3 / Table 2): a 3-layer LSTM with
+// hidden dimension 128 over input sequences of length 32, with a dense
+// regression head that scores the future access frequency of the page the
+// sequence ends at. Mirrors the designs of DeepCache [13] / Glider [14].
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "lstm/tensor.hpp"
+
+namespace icgmm::lstm {
+
+struct LstmConfig {
+  std::size_t input_dim = 2;   ///< (normalized page, normalized timestamp)
+  std::size_t hidden = 128;
+  std::size_t layers = 3;
+  std::size_t seq_len = 32;
+  std::uint64_t seed = 0x157f00dull;
+};
+
+/// One LSTM layer: gates [i f g o] stacked row-wise in W (4H x (I+H)).
+struct LstmCell {
+  Matrix w;   ///< 4H x (input+hidden)
+  Vector b;   ///< 4H
+
+  void init(std::size_t input, std::size_t hidden, Rng& rng);
+};
+
+/// Per-timestep activations kept for BPTT.
+struct StepCache {
+  Vector x;       ///< layer input
+  Vector gates;   ///< post-activation [i f g o]
+  Vector c_prev;  ///< cell state entering the step
+  Vector c;       ///< cell state leaving the step
+  Vector h;       ///< hidden output
+};
+
+class LstmNetwork {
+ public:
+  explicit LstmNetwork(LstmConfig cfg = {});
+
+  const LstmConfig& config() const noexcept { return cfg_; }
+
+  /// Scores one sequence (seq_len x input_dim, row-major). Also fills the
+  /// step caches when `keep_cache` (training).
+  double forward(std::span<const double> sequence, bool keep_cache = false);
+
+  /// Total trainable parameters.
+  std::size_t parameter_count() const noexcept;
+
+  /// Multiply-accumulates for one inference — the quantity the FPGA
+  /// pipeline model converts to latency (Table 2).
+  std::size_t macs_per_inference() const noexcept;
+
+  std::vector<LstmCell>& cells() noexcept { return cells_; }
+  const std::vector<LstmCell>& cells() const noexcept { return cells_; }
+  Vector& head_w() noexcept { return head_w_; }
+  const Vector& head_w() const noexcept { return head_w_; }
+  double& head_b() noexcept { return head_b_; }
+  double head_b() const noexcept { return head_b_; }
+
+  /// Step caches per layer per timestep, valid after forward(keep_cache).
+  const std::vector<std::vector<StepCache>>& caches() const noexcept {
+    return caches_;
+  }
+
+ private:
+  LstmConfig cfg_;
+  std::vector<LstmCell> cells_;
+  Vector head_w_;
+  double head_b_ = 0.0;
+  std::vector<std::vector<StepCache>> caches_;  // [layer][t]
+};
+
+}  // namespace icgmm::lstm

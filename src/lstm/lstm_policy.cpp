@@ -1,0 +1,37 @@
+#include "lstm/lstm_policy.hpp"
+
+#include <vector>
+
+namespace icgmm::lstm {
+
+LstmScorer::LstmScorer(LstmNetwork& net, Normalization norm)
+    : net_(net), norm_(norm) {}
+
+double LstmScorer::observe_and_score(PageIndex page, Timestamp time) {
+  const double p = (static_cast<double>(page) - norm_.p_offset) * norm_.p_scale;
+  const double t = (static_cast<double>(time) - norm_.t_offset) * norm_.t_scale;
+  window_.push_back(p);
+  window_.push_back(t);
+  const std::size_t need = net_.config().seq_len * 2;
+  while (window_.size() > need) window_.pop_front();
+
+  // Until the window fills, left-pad with the oldest observation.
+  std::vector<double> seq;
+  seq.reserve(need);
+  for (std::size_t i = window_.size(); i < need; i += 2) {
+    seq.push_back(window_[0]);
+    seq.push_back(window_[1]);
+  }
+  seq.insert(seq.end(), window_.begin(), window_.end());
+
+  ++inferences_;
+  return net_.forward(seq);
+}
+
+cache::ScoreFn LstmScorer::as_score_fn() {
+  return [this](PageIndex page, Timestamp time) {
+    return observe_and_score(page, time);
+  };
+}
+
+}  // namespace icgmm::lstm

@@ -1,0 +1,44 @@
+// Adapter exposing the LSTM as a cache-policy scorer (same ScoreFn shape
+// the GMM policy consumes), so policy *quality* can be compared head-to-
+// head on identical cache simulations — the comparison behind Table 2's
+// narrative that a lightweight LSTM struggles to encode long traces.
+#pragma once
+
+#include <deque>
+#include <memory>
+
+#include "cache/policies/gmm_policy.hpp"
+#include "lstm/lstm.hpp"
+
+namespace icgmm::lstm {
+
+/// Stateful scorer: keeps the last seq_len (page, time) pairs observed and
+/// scores the page a request ends the window at. NOT thread-safe (neither
+/// is the hardware engine — one trace FIFO).
+class LstmScorer {
+ public:
+  struct Normalization {
+    double p_offset = 0.0, p_scale = 1.0;
+    double t_offset = 0.0, t_scale = 1.0;
+  };
+
+  /// The network must outlive the scorer.
+  LstmScorer(LstmNetwork& net, Normalization norm);
+
+  /// Observes a request and returns the network's frequency score for it.
+  double observe_and_score(PageIndex page, Timestamp time);
+
+  /// Wraps this scorer as a cache::ScoreFn. The lambda holds a reference —
+  /// keep the scorer alive for the cache's lifetime.
+  cache::ScoreFn as_score_fn();
+
+  std::uint64_t inferences() const noexcept { return inferences_; }
+
+ private:
+  LstmNetwork& net_;
+  Normalization norm_;
+  std::deque<double> window_;  ///< interleaved (p, t), newest at back
+  std::uint64_t inferences_ = 0;
+};
+
+}  // namespace icgmm::lstm

@@ -1,0 +1,35 @@
+#include "lstm/tensor.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace icgmm::lstm {
+
+void matvec(const Matrix& m, std::span<const double> x, std::span<double> y) {
+  assert(x.size() == m.cols() && y.size() == m.rows());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < m.cols(); ++c) acc += m(r, c) * x[c];
+    y[r] = acc;
+  }
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  assert(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double sigmoid(double x) noexcept { return 1.0 / (1.0 + std::exp(-x)); }
+
+double dsigmoid_from_y(double y) noexcept { return y * (1.0 - y); }
+
+double dtanh_from_y(double y) noexcept { return 1.0 - y * y; }
+
+}  // namespace icgmm::lstm

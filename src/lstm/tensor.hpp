@@ -1,0 +1,62 @@
+// Minimal dense linear algebra for the LSTM baseline. Row-major matrices,
+// no BLAS dependency — sizes here are tiny (hidden 128) and the point of
+// the baseline is cost accounting, not training throughput.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace icgmm::lstm {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t size() const noexcept { return data_.size(); }
+
+  double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  std::span<double> flat() noexcept { return data_; }
+  std::span<const double> flat() const noexcept { return data_; }
+
+  void fill(double v) noexcept { std::fill(data_.begin(), data_.end(), v); }
+
+  /// Xavier/Glorot uniform initialization.
+  void init_xavier(Rng& rng) {
+    const double limit = std::sqrt(6.0 / static_cast<double>(rows_ + cols_));
+    for (double& v : data_) v = rng.uniform(-limit, limit);
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+using Vector = std::vector<double>;
+
+/// y = M x (y sized to M.rows()).
+void matvec(const Matrix& m, std::span<const double> x, std::span<double> y);
+
+/// y += alpha * x.
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+double dot(std::span<const double> a, std::span<const double> b);
+
+double sigmoid(double x) noexcept;
+double dsigmoid_from_y(double y) noexcept;  ///< derivative given sigmoid(x)
+double dtanh_from_y(double y) noexcept;     ///< derivative given tanh(x)
+
+}  // namespace icgmm::lstm

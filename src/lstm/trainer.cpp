@@ -1,0 +1,248 @@
+#include "lstm/trainer.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+
+namespace icgmm::lstm {
+
+Gradients::Gradients(const LstmNetwork& net) {
+  dw.reserve(net.cells().size());
+  db.reserve(net.cells().size());
+  for (const LstmCell& cell : net.cells()) {
+    dw.emplace_back(cell.w.rows(), cell.w.cols());
+    db.emplace_back(cell.b.size(), 0.0);
+  }
+  dhead_w.assign(net.head_w().size(), 0.0);
+}
+
+void Gradients::zero() {
+  for (Matrix& m : dw) m.fill(0.0);
+  for (Vector& v : db) std::fill(v.begin(), v.end(), 0.0);
+  std::fill(dhead_w.begin(), dhead_w.end(), 0.0);
+  dhead_b = 0.0;
+}
+
+Trainer::Trainer(LstmNetwork& net, TrainConfig cfg)
+    : net_(net), cfg_(cfg), rng_(cfg.seed) {
+  std::size_t params = net.parameter_count();
+  m_.assign(params, 0.0);
+  v_.assign(params, 0.0);
+}
+
+double Trainer::accumulate_gradients(const TrainSample& sample,
+                                     Gradients& grads) {
+  const auto& cfg = net_.config();
+  const std::size_t T = cfg.seq_len;
+  const std::size_t H = cfg.hidden;
+  const std::size_t L = cfg.layers;
+
+  const double y = net_.forward(sample.sequence, /*keep_cache=*/true);
+  const double err = y - sample.target;
+  const double loss = 0.5 * err * err;
+
+  const auto& caches = net_.caches();
+
+  // dL/dh for each layer at the *current* timestep of the backward sweep,
+  // and the carried dL/dc.
+  std::vector<Vector> dh(L, Vector(H, 0.0));
+  std::vector<Vector> dc(L, Vector(H, 0.0));
+
+  // Head gradient feeds the top layer at the last timestep.
+  const Vector& h_last = caches[L - 1][T - 1].h;
+  for (std::size_t i = 0; i < H; ++i) {
+    grads.dhead_w[i] += err * h_last[i];
+    dh[L - 1][i] = err * net_.head_w()[i];
+  }
+  grads.dhead_b += err;
+
+  Vector dpre(4 * H);
+  for (std::size_t t = T; t-- > 0;) {
+    // Top-down so a layer's input gradient can be handed to the layer below
+    // at the same timestep.
+    for (std::size_t l = L; l-- > 0;) {
+      const StepCache& sc = caches[l][t];
+      const LstmCell& cell = net_.cells()[l];
+      const std::size_t in_dim = cell.w.cols() - H;
+
+      for (std::size_t i = 0; i < H; ++i) {
+        const double ig = sc.gates[i];
+        const double fg = sc.gates[H + i];
+        const double gg = sc.gates[2 * H + i];
+        const double og = sc.gates[3 * H + i];
+        const double tc = std::tanh(sc.c[i]);
+
+        const double d_o = dh[l][i] * tc;
+        const double d_c = dh[l][i] * og * (1.0 - tc * tc) + dc[l][i];
+        const double d_i = d_c * gg;
+        const double d_g = d_c * ig;
+        const double d_f = d_c * sc.c_prev[i];
+        dc[l][i] = d_c * fg;  // carried to t-1
+
+        dpre[i] = d_i * dsigmoid_from_y(ig);
+        dpre[H + i] = d_f * dsigmoid_from_y(fg);
+        dpre[2 * H + i] = d_g * dtanh_from_y(gg);
+        dpre[3 * H + i] = d_o * dsigmoid_from_y(og);
+      }
+
+      // h entering this step (recurrent input).
+      const Vector* h_prev = t > 0 ? &caches[l][t - 1].h : nullptr;
+
+      // dW += dpre (x) [x ; h_prev]; db += dpre; and propagate dxh.
+      Vector dx(in_dim, 0.0);
+      Vector dh_prev(H, 0.0);
+      for (std::size_t r = 0; r < 4 * H; ++r) {
+        const double g = dpre[r];
+        if (g == 0.0) continue;
+        grads.db[l][r] += g;
+        Matrix& dwl = grads.dw[l];
+        for (std::size_t c = 0; c < in_dim; ++c) {
+          dwl(r, c) += g * sc.x[c];
+          dx[c] += cell.w(r, c) * g;
+        }
+        for (std::size_t c = 0; c < H; ++c) {
+          const double hp = h_prev ? (*h_prev)[c] : 0.0;
+          dwl(r, in_dim + c) += g * hp;
+          dh_prev[c] += cell.w(r, in_dim + c) * g;
+        }
+      }
+
+      // Recurrent gradient to t-1 (overwrites: dh[l] was consumed).
+      dh[l] = std::move(dh_prev);
+      // Input gradient: to layer l-1's hidden output at the same t.
+      if (l > 0) {
+        assert(dx.size() == H);
+        for (std::size_t i = 0; i < H; ++i) dh[l - 1][i] += dx[i];
+      }
+    }
+  }
+  return loss;
+}
+
+void Trainer::adam_step(const Gradients& grads, std::size_t batch_size) {
+  constexpr double kBeta1 = 0.9;
+  constexpr double kBeta2 = 0.999;
+  constexpr double kEps = 1e-8;
+  ++adam_t_;
+  const double scale = 1.0 / static_cast<double>(batch_size);
+
+  // Global-norm clip first.
+  double norm2 = 0.0;
+  auto visit = [&](auto&& fn) {
+    for (std::size_t l = 0; l < grads.dw.size(); ++l) {
+      for (double g : grads.dw[l].flat()) fn(g);
+      for (double g : grads.db[l]) fn(g);
+    }
+    for (double g : grads.dhead_w) fn(g);
+    fn(grads.dhead_b);
+  };
+  visit([&](double g) { norm2 += g * scale * g * scale; });
+  const double norm = std::sqrt(norm2);
+  const double clip =
+      norm > cfg_.grad_clip && norm > 0.0 ? cfg_.grad_clip / norm : 1.0;
+
+  const double bc1 = 1.0 - std::pow(kBeta1, static_cast<double>(adam_t_));
+  const double bc2 = 1.0 - std::pow(kBeta2, static_cast<double>(adam_t_));
+
+  std::size_t idx = 0;
+  auto update = [&](double& param, double grad_raw) {
+    const double g = grad_raw * scale * clip;
+    m_[idx] = kBeta1 * m_[idx] + (1.0 - kBeta1) * g;
+    v_[idx] = kBeta2 * v_[idx] + (1.0 - kBeta2) * g * g;
+    const double mhat = m_[idx] / bc1;
+    const double vhat = v_[idx] / bc2;
+    param -= cfg_.learning_rate * mhat / (std::sqrt(vhat) + kEps);
+    ++idx;
+  };
+
+  for (std::size_t l = 0; l < net_.cells().size(); ++l) {
+    LstmCell& cell = net_.cells()[l];
+    auto wf = cell.w.flat();
+    auto gf = grads.dw[l].flat();
+    for (std::size_t i = 0; i < wf.size(); ++i) update(wf[i], gf[i]);
+    for (std::size_t i = 0; i < cell.b.size(); ++i)
+      update(cell.b[i], grads.db[l][i]);
+  }
+  for (std::size_t i = 0; i < net_.head_w().size(); ++i)
+    update(net_.head_w()[i], grads.dhead_w[i]);
+  update(net_.head_b(), grads.dhead_b);
+  assert(idx == m_.size());
+}
+
+double Trainer::train_epoch(std::span<const TrainSample> samples) {
+  std::vector<std::size_t> order(samples.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  // Fisher-Yates with our deterministic RNG.
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng_.below(i)]);
+  }
+
+  Gradients grads(net_);
+  double total_loss = 0.0;
+  std::size_t in_batch = 0;
+  for (std::size_t i : order) {
+    total_loss += accumulate_gradients(samples[i], grads);
+    if (++in_batch == cfg_.batch) {
+      adam_step(grads, in_batch);
+      grads.zero();
+      in_batch = 0;
+    }
+  }
+  if (in_batch > 0) adam_step(grads, in_batch);
+  return samples.empty() ? 0.0
+                         : total_loss / static_cast<double>(samples.size());
+}
+
+std::vector<double> Trainer::train(std::span<const TrainSample> samples) {
+  std::vector<double> losses;
+  losses.reserve(cfg_.epochs);
+  for (std::uint32_t e = 0; e < cfg_.epochs; ++e) {
+    losses.push_back(train_epoch(samples));
+  }
+  return losses;
+}
+
+std::vector<TrainSample> make_frequency_dataset(
+    std::span<const trace::GmmSample> points, std::size_t seq_len,
+    std::size_t horizon, std::size_t max_samples, std::uint64_t seed) {
+  std::vector<TrainSample> out;
+  if (points.size() < seq_len + horizon || max_samples == 0) return out;
+
+  // Normalization box (same role as the GMM Normalizer).
+  double pmin = points[0].page, pmax = points[0].page;
+  double tmin = points[0].time, tmax = points[0].time;
+  for (const auto& s : points) {
+    pmin = std::min(pmin, s.page);
+    pmax = std::max(pmax, s.page);
+    tmin = std::min(tmin, s.time);
+    tmax = std::max(tmax, s.time);
+  }
+  const double pscale = pmax > pmin ? 1.0 / (pmax - pmin) : 1.0;
+  const double tscale = tmax > tmin ? 1.0 / (tmax - tmin) : 1.0;
+
+  Rng rng(seed);
+  const std::size_t last_start = points.size() - seq_len - horizon;
+  out.reserve(max_samples);
+  for (std::size_t k = 0; k < max_samples; ++k) {
+    const std::size_t start = rng.below(last_start + 1);
+    TrainSample sample;
+    sample.sequence.reserve(seq_len * 2);
+    for (std::size_t i = start; i < start + seq_len; ++i) {
+      sample.sequence.push_back((points[i].page - pmin) * pscale);
+      sample.sequence.push_back((points[i].time - tmin) * tscale);
+    }
+    const double target_page = points[start + seq_len - 1].page;
+    std::size_t freq = 0;
+    for (std::size_t i = start + seq_len; i < start + seq_len + horizon; ++i) {
+      if (points[i].page == target_page) ++freq;
+    }
+    sample.target =
+        static_cast<double>(freq) / static_cast<double>(horizon);
+    out.push_back(std::move(sample));
+  }
+  return out;
+}
+
+}  // namespace icgmm::lstm

@@ -1,0 +1,73 @@
+// BPTT + Adam trainer for the LSTM baseline, with dataset construction
+// from trace samples (predict the near-future access frequency of the page
+// a sequence ends at — the same target the GMM models via density).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "lstm/lstm.hpp"
+#include "trace/preprocess.hpp"
+
+namespace icgmm::lstm {
+
+struct TrainSample {
+  std::vector<double> sequence;  ///< seq_len x input_dim, row-major
+  double target = 0.0;           ///< normalized future access frequency
+};
+
+/// Gradient accumulator shaped like the network.
+struct Gradients {
+  std::vector<Matrix> dw;
+  std::vector<Vector> db;
+  Vector dhead_w;
+  double dhead_b = 0.0;
+
+  explicit Gradients(const LstmNetwork& net);
+  void zero();
+};
+
+struct TrainConfig {
+  std::uint32_t epochs = 10;
+  double learning_rate = 1e-3;
+  double grad_clip = 5.0;     ///< global-norm clip
+  std::uint32_t batch = 32;   ///< samples per Adam step
+  std::uint64_t seed = 0xada3ull;
+};
+
+class Trainer {
+ public:
+  /// The network must outlive the trainer.
+  Trainer(LstmNetwork& net, TrainConfig cfg = {});
+
+  /// Accumulates d(0.5*(y-target)^2)/dparams into `grads`; returns the loss.
+  double accumulate_gradients(const TrainSample& sample, Gradients& grads);
+
+  /// One pass over the dataset (shuffled); returns mean loss.
+  double train_epoch(std::span<const TrainSample> samples);
+
+  /// Full training run; returns per-epoch mean losses.
+  std::vector<double> train(std::span<const TrainSample> samples);
+
+ private:
+  void adam_step(const Gradients& grads, std::size_t batch_size);
+
+  LstmNetwork& net_;
+  TrainConfig cfg_;
+  Rng rng_;
+  // Adam moments, flattened in the same order as the parameters.
+  std::vector<double> m_;
+  std::vector<double> v_;
+  std::uint64_t adam_t_ = 0;
+};
+
+/// Builds (sequence -> future frequency) samples from Algorithm-1 processed
+/// trace points. The target for the sequence ending at index i is the count
+/// of accesses to page(i) within the next `horizon` requests, divided by
+/// `horizon`. Sequences are normalized with the bounding box of `points`.
+std::vector<TrainSample> make_frequency_dataset(
+    std::span<const trace::GmmSample> points, std::size_t seq_len,
+    std::size_t horizon, std::size_t max_samples, std::uint64_t seed);
+
+}  // namespace icgmm::lstm

@@ -1,0 +1,49 @@
+// CXL link latency decomposition. The paper's 1 us DRAM "hit time" is an
+// end-to-end number measured across the CXL.mem path; this model breaks it
+// into protocol components so deployments on different link widths /
+// generations can re-derive the constants fed to LatencyModel.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace icgmm::sim {
+
+/// Per-direction CXL.mem flit path parameters (CXL 1.1/2.0 over PCIe 5.0
+/// electricals by default; numbers follow published round-trip analyses).
+struct CxlLinkSpec {
+  double gts = 32.0;            ///< GT/s per lane (PCIe Gen5)
+  std::uint32_t lanes = 8;      ///< x8 link
+  std::uint32_t flit_bytes = 68;  ///< CXL 68 B flit (64 B data + hdr/CRC)
+  Nanos port_latency_ns = 25;   ///< TX+RX port/arb latency per direction
+  Nanos controller_ns = 40;     ///< device-side CXL controller
+  Nanos dram_access_ns = 60;    ///< device DRAM (HBM) access proper
+  Nanos host_fabric_ns = 30;    ///< host CPU mesh + home agent
+};
+
+/// Wire time of one flit, ns (8b transfer per lane-cycle; DL overhead in
+/// the flit size already).
+constexpr double flit_wire_ns(const CxlLinkSpec& s) noexcept {
+  const double bytes_per_ns = s.gts / 8.0 * static_cast<double>(s.lanes);
+  return static_cast<double>(s.flit_bytes) / bytes_per_ns;
+}
+
+/// One 64 B read round trip host->device DRAM->host, ns.
+constexpr double cxl_read_rtt_ns(const CxlLinkSpec& s) noexcept {
+  // Request flit out + response flit back, plus fixed stages both ways.
+  return 2.0 * flit_wire_ns(s) +
+         2.0 * static_cast<double>(s.port_latency_ns) +
+         static_cast<double>(s.controller_ns) +
+         static_cast<double>(s.dram_access_ns) +
+         static_cast<double>(s.host_fabric_ns);
+}
+
+/// Transfer time of a whole 4 KB page across the link, ns (64 data flits
+/// pipelined back to back after the first round trip).
+constexpr double cxl_page_transfer_ns(const CxlLinkSpec& s) noexcept {
+  const double flits = 4096.0 / 64.0;
+  return cxl_read_rtt_ns(s) + (flits - 1.0) * flit_wire_ns(s);
+}
+
+}  // namespace icgmm::sim

@@ -1,0 +1,58 @@
+// Bounded FIFO channel — the hardware stream interface between the
+// free-running kernels of Fig. 5 (trace FIFO, score FIFO, rsp FIFO).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <stdexcept>
+
+namespace icgmm::sim::dataflow {
+
+/// Single-producer single-consumer bounded queue with full/empty
+/// back-pressure semantics, as an HLS hls::stream with a set depth.
+template <typename T>
+class Fifo {
+ public:
+  explicit Fifo(std::size_t depth) : depth_(depth) {
+    if (depth == 0) throw std::invalid_argument("Fifo: zero depth");
+  }
+
+  bool full() const noexcept { return items_.size() >= depth_; }
+  bool empty() const noexcept { return items_.empty(); }
+  std::size_t size() const noexcept { return items_.size(); }
+  std::size_t depth() const noexcept { return depth_; }
+
+  /// Non-blocking write; returns false (and drops nothing) when full.
+  bool try_push(const T& item) {
+    if (full()) return false;
+    items_.push_back(item);
+    high_water_ = std::max(high_water_, items_.size());
+    ++pushes_;
+    return true;
+  }
+
+  /// Non-blocking read; empty optional when nothing is available.
+  std::optional<T> try_pop() {
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Peek without consuming.
+  const T* front() const noexcept {
+    return items_.empty() ? nullptr : &items_.front();
+  }
+
+  std::size_t high_water() const noexcept { return high_water_; }
+  std::uint64_t total_pushes() const noexcept { return pushes_; }
+
+ private:
+  std::size_t depth_;
+  std::deque<T> items_;
+  std::size_t high_water_ = 0;
+  std::uint64_t pushes_ = 0;
+};
+
+}  // namespace icgmm::sim::dataflow

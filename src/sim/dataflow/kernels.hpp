@@ -1,0 +1,79 @@
+// Cycle-approximate dataflow simulation of the ICGMM hardware (Fig. 5).
+//
+// Three free-running kernels talk through FIFOs at a 233 MHz clock:
+//   TraceSource          — feeds [R/W, PA, time] words from HBM bank 1
+//   CacheControlKernel   — tag lookup, hit/miss, replacement, SSD emulator
+//   PolicyEngineKernel   — GMM score pipeline (II = 1 over K Gaussians)
+// On a miss, the cache control engine dispatches the policy engine and the
+// SSD emulator in the same cycle; the miss completes when BOTH are done —
+// that concurrency is the paper's dataflow-overlap claim, and the tests
+// assert miss latency ≈ max(ssd, gmm) rather than the sum.
+//
+// This simulator validates *timing*; functional decisions reuse the exact
+// same SetAssociativeCache/GmmPolicy code the fast engine uses, so the two
+// simulators can be cross-checked for identical hit/miss streams.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "sim/dataflow/fifo.hpp"
+#include "trace/timestamp_transform.hpp"
+#include "trace/trace.hpp"
+
+namespace icgmm::sim::dataflow {
+
+struct ClockSpec {
+  double mhz = 233.0;
+
+  constexpr double cycles_per_ns() const noexcept { return mhz / 1000.0; }
+  constexpr std::uint64_t cycles(Nanos ns) const noexcept {
+    return static_cast<std::uint64_t>(static_cast<double>(ns) *
+                                      cycles_per_ns());
+  }
+  constexpr double ns(std::uint64_t cyc) const noexcept {
+    return static_cast<double>(cyc) / cycles_per_ns();
+  }
+};
+
+struct DataflowConfig {
+  ClockSpec clock;
+  std::size_t trace_fifo_depth = 16;
+  std::size_t rsp_fifo_depth = 16;
+  std::uint32_t tag_compare_cycles = 2;   ///< parallel tag match + mux
+  std::uint32_t gmm_pipeline_fill = 445;  ///< decode+normalize+LUT latency
+  std::uint32_t gmm_components = 256;     ///< II=1 -> K cycles to accumulate
+  Nanos dram_hit_ns = 1'000;
+  Nanos ssd_read_ns = 75'000;
+  Nanos ssd_write_ns = 900'000;
+  bool overlap_policy_with_ssd = true;  ///< false: serialize (no dataflow)
+  bool policy_enabled = true;           ///< signal controller gate (§4.1)
+};
+
+struct DataflowReport {
+  std::uint64_t total_cycles = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t policy_invocations = 0;
+  std::uint64_t policy_busy_cycles = 0;
+  std::uint64_t ssd_busy_cycles = 0;
+  std::uint64_t overlap_saved_cycles = 0;  ///< serialized minus actual
+  std::size_t trace_fifo_high_water = 0;
+
+  double avg_request_ns(const ClockSpec& clk) const noexcept {
+    return requests == 0 ? 0.0
+                         : clk.ns(total_cycles) / static_cast<double>(requests);
+  }
+};
+
+/// Runs the whole trace through the dataflow model. The cache (with its
+/// policy) is owned by the caller and mutated — pass a fresh one per run.
+DataflowReport run_dataflow(const trace::Trace& trace,
+                            const trace::TransformConfig& transform_cfg,
+                            cache::SetAssociativeCache& cache,
+                            const DataflowConfig& cfg);
+
+}  // namespace icgmm::sim::dataflow

@@ -1,0 +1,48 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+
+#include "cache/policies/gmm_policy.hpp"
+
+namespace icgmm::sim {
+
+RunResult run_trace(const trace::Trace& trace, const EngineConfig& cfg,
+                    std::unique_ptr<cache::ReplacementPolicy> policy) {
+  RunResult result;
+  result.policy_name = policy->name();
+
+  cache::SetAssociativeCache dram_cache(cfg.cache, std::move(policy));
+  LatencyModel latency(cfg.latency);
+  trace::TimestampTransform transform(cfg.transform);
+
+  const auto warmup = static_cast<std::size_t>(
+      std::clamp(cfg.warmup_fraction, 0.0, 0.9) *
+      static_cast<double>(trace.size()));
+  std::size_t processed = 0;
+  for (const trace::Record& r : trace) {
+    const cache::AccessContext ctx{
+        .page = r.page(),
+        .timestamp = transform.next(),
+        .is_write = r.is_write(),
+    };
+    const cache::AccessResult outcome = dram_cache.access(ctx);
+    const bool policy_ran = cfg.policy_runs_on_miss && !outcome.hit;
+    latency.record(outcome, policy_ran);
+    if (++processed == warmup) {
+      // Cold-start filled the cache; start measuring from here.
+      dram_cache.clear_stats();
+      latency.reset();
+    }
+  }
+
+  result.stats = dram_cache.stats();
+  result.latency = latency.breakdown();
+  result.requests = latency.requests();
+  if (const auto* gmm =
+          dynamic_cast<const cache::GmmPolicy*>(&dram_cache.policy())) {
+    result.policy_inferences = gmm->inferences();
+  }
+  return result;
+}
+
+}  // namespace icgmm::sim

@@ -1,0 +1,49 @@
+// Functional end-to-end simulator: drives a trace through the Algorithm-1
+// timestamp transform, the set-associative cache, and the latency model.
+// This is the harness behind Fig. 6 and Table 1.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cache/cache.hpp"
+#include "sim/latency.hpp"
+#include "trace/timestamp_transform.hpp"
+#include "trace/trace.hpp"
+
+namespace icgmm::sim {
+
+struct RunResult {
+  std::string policy_name;
+  cache::CacheStats stats;
+  LatencyBreakdown latency;
+  std::uint64_t requests = 0;
+  std::uint64_t policy_inferences = 0;
+
+  double miss_rate() const noexcept { return stats.miss_rate(); }
+  double amat_us() const noexcept {
+    return requests == 0 ? 0.0
+                         : static_cast<double>(latency.total()) /
+                               static_cast<double>(requests) / 1000.0;
+  }
+};
+
+struct EngineConfig {
+  cache::CacheConfig cache;
+  LatencyConfig latency;
+  trace::TransformConfig transform;
+  /// Charge the policy-engine inference latency per miss. True for GMM
+  /// policies (the engine scores every miss); false for classic policies
+  /// whose metadata updates are free in hardware.
+  bool policy_runs_on_miss = false;
+  /// Fraction of the trace used to warm the cache before counters start —
+  /// the measurement analogue of the paper's warm-up discard (§3.1).
+  double warmup_fraction = 0.2;
+};
+
+/// Runs `trace` against a fresh cache built from `policy`. The policy is
+/// consumed (owned by the cache for the run); the result carries all stats.
+RunResult run_trace(const trace::Trace& trace, const EngineConfig& cfg,
+                    std::unique_ptr<cache::ReplacementPolicy> policy);
+
+}  // namespace icgmm::sim

@@ -1,0 +1,82 @@
+// Latency accounting for the CXL memory-expansion datapath.
+//
+// Constants follow the paper's on-board measurements (§5.1/§5.3):
+//   DRAM cache hit          : 1 us
+//   SSD (TLC) page read     : 75 us
+//   SSD (TLC) page write    : 900 us
+//   GMM inference           : 3 us, overlapped with SSD access by the
+//                             dataflow architecture (so it adds nothing
+//                             on a miss; without overlap it serializes).
+// Miss penalties: a fill costs one SSD read; evicting a dirty block adds
+// one SSD write (the paper's 975 us worst case = 75 + 900); a bypassed
+// read/write goes straight to the SSD at read/write cost.
+#pragma once
+
+#include <cstdint>
+
+#include "cache/cache.hpp"
+#include "common/types.hpp"
+
+namespace icgmm::sim {
+
+struct SsdSpec {
+  Nanos read_ns = 75'000;    ///< TLC average read latency
+  Nanos write_ns = 900'000;  ///< TLC average write/program latency
+};
+
+struct LatencyConfig {
+  Nanos dram_hit_ns = 1'000;
+  SsdSpec ssd;
+  Nanos policy_inference_ns = 3'000;  ///< GMM engine latency per miss
+  bool overlap_policy_with_ssd = true;  ///< dataflow architecture on/off
+};
+
+/// Where the nanoseconds went — reported by Table 1's harness.
+struct LatencyBreakdown {
+  Nanos hit_ns = 0;
+  Nanos fill_read_ns = 0;   ///< SSD reads that fill the cache
+  Nanos writeback_ns = 0;   ///< dirty-eviction SSD writes
+  Nanos bypass_ns = 0;      ///< SSD direct reads/writes on bypassed misses
+  Nanos policy_ns = 0;      ///< non-overlapped policy-engine time
+
+  constexpr Nanos total() const noexcept {
+    return hit_ns + fill_read_ns + writeback_ns + bypass_ns + policy_ns;
+  }
+};
+
+/// Stateless cost model + a running breakdown accumulator.
+class LatencyModel {
+ public:
+  explicit LatencyModel(LatencyConfig cfg = {}) : cfg_(cfg) {}
+
+  const LatencyConfig& config() const noexcept { return cfg_; }
+  const LatencyBreakdown& breakdown() const noexcept { return breakdown_; }
+  std::uint64_t requests() const noexcept { return requests_; }
+
+  /// Cost of one request given its cache outcome. `policy_ran` is true when
+  /// the policy engine performed an inference for this request (GMM does on
+  /// every miss; classic policies never do).
+  Nanos cost(const cache::AccessResult& result, bool policy_ran) const noexcept;
+
+  /// cost() + accumulate into the breakdown.
+  Nanos record(const cache::AccessResult& result, bool policy_ran) noexcept;
+
+  /// Average memory access time over everything recorded, in microseconds.
+  double amat_us() const noexcept {
+    return requests_ == 0 ? 0.0
+                          : static_cast<double>(breakdown_.total()) /
+                                static_cast<double>(requests_) / 1000.0;
+  }
+
+  void reset() noexcept {
+    breakdown_ = LatencyBreakdown{};
+    requests_ = 0;
+  }
+
+ private:
+  LatencyConfig cfg_;
+  LatencyBreakdown breakdown_;
+  std::uint64_t requests_ = 0;
+};
+
+}  // namespace icgmm::sim

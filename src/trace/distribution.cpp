@@ -1,0 +1,61 @@
+#include "trace/distribution.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace icgmm::trace {
+
+Histogram spatial_histogram(const Trace& trace, std::size_t bins) {
+  const double hi =
+      trace.empty() ? 1.0 : static_cast<double>(page_of(trace.max_addr()) + 1);
+  Histogram h(0.0, hi, bins);
+  for (const Record& r : trace) h.add(static_cast<double>(r.page()));
+  return h;
+}
+
+Grid2D temporal_grid(const Trace& trace, const TransformConfig& cfg,
+                     std::size_t time_bins, std::size_t addr_bins) {
+  TimestampTransform transform(cfg);
+  const double addr_hi =
+      trace.empty() ? 1.0 : static_cast<double>(page_of(trace.max_addr()) + 1);
+  const double time_hi = static_cast<double>(transform.timestamp_bound());
+  Grid2D grid(0.0, time_hi, time_bins, 0.0, addr_hi, addr_bins);
+  for (const Record& r : trace) {
+    const Timestamp ts = transform.next();
+    grid.add(static_cast<double>(ts), static_cast<double>(r.page()));
+  }
+  return grid;
+}
+
+double spatial_concentration(const Trace& trace, std::size_t bins) {
+  if (trace.empty()) return 0.0;
+  const Histogram h = spatial_histogram(trace, bins);
+  return h.mass_in_top_bins(std::max<std::size_t>(1, bins / 10));
+}
+
+double temporal_phase_gain(const Trace& trace, const TransformConfig& cfg,
+                           std::size_t time_slices, std::size_t addr_bins) {
+  if (trace.empty() || time_slices == 0) return 0.0;
+  const double global = spatial_concentration(trace, addr_bins);
+
+  const std::size_t slice_len =
+      std::max<std::size_t>(1, trace.size() / time_slices);
+  double acc = 0.0;
+  std::size_t slices = 0;
+  // Use the full-trace address extent for every slice so per-slice
+  // concentration is comparable with the global number.
+  const double addr_hi = static_cast<double>(page_of(trace.max_addr()) + 1);
+  for (std::size_t start = 0; start < trace.size(); start += slice_len) {
+    const std::size_t count = std::min(slice_len, trace.size() - start);
+    Histogram h(0.0, addr_hi, addr_bins);
+    for (std::size_t i = start; i < start + count; ++i) {
+      h.add(static_cast<double>(trace[i].page()));
+    }
+    acc += h.mass_in_top_bins(std::max<std::size_t>(1, addr_bins / 10));
+    ++slices;
+  }
+  (void)cfg;  // the transform only affects plot axes, not slice structure
+  return acc / static_cast<double>(slices) - global;
+}
+
+}  // namespace icgmm::trace

@@ -1,0 +1,35 @@
+// Spatial/temporal distribution extraction — the analysis behind the
+// paper's Fig. 2, reproduced by bench/fig2_distributions.
+#pragma once
+
+#include <cstddef>
+
+#include "common/histogram.hpp"
+#include "trace/timestamp_transform.hpp"
+#include "trace/trace.hpp"
+
+namespace icgmm::trace {
+
+/// Spatial distribution: page index -> number of accesses (Fig. 2 left).
+Histogram spatial_histogram(const Trace& trace, std::size_t bins = 128);
+
+/// Temporal distribution: (timestamp, page index) density (Fig. 2 right).
+/// Timestamps come from the Algorithm-1 transform so the plot matches what
+/// the GMM actually consumes.
+Grid2D temporal_grid(const Trace& trace, const TransformConfig& cfg = {},
+                     std::size_t time_bins = 64, std::size_t addr_bins = 48);
+
+/// Quantifies "spatial clusteredness": fraction of accesses landing in the
+/// top 10 % fullest address bins. Mixtures of tight Gaussians score near 1;
+/// uniform traffic scores near 0.1.
+double spatial_concentration(const Trace& trace, std::size_t bins = 128);
+
+/// Quantifies temporal phase structure: mean over time-slices of the
+/// concentration within the slice, minus global concentration. Positive
+/// values mean accesses cluster *more* within a phase than overall — the
+/// property that makes the 2-D GMM beat a 1-D (spatial-only) model.
+double temporal_phase_gain(const Trace& trace, const TransformConfig& cfg = {},
+                           std::size_t time_slices = 16,
+                           std::size_t addr_bins = 128);
+
+}  // namespace icgmm::trace

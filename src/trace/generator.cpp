@@ -1,0 +1,52 @@
+#include "trace/generator.hpp"
+
+#include <stdexcept>
+
+#include "trace/generators/dlrm.hpp"
+#include "trace/generators/hashmap.hpp"
+#include "trace/generators/heap.hpp"
+#include "trace/generators/memtier.hpp"
+#include "trace/generators/parsec.hpp"
+#include "trace/generators/stream.hpp"
+#include "trace/generators/sysbench.hpp"
+
+namespace icgmm::trace {
+
+const char* to_string(Benchmark b) noexcept {
+  switch (b) {
+    case Benchmark::kParsec: return "parsec";
+    case Benchmark::kMemtier: return "memtier";
+    case Benchmark::kHashmap: return "hashmap";
+    case Benchmark::kHeap: return "heap";
+    case Benchmark::kSysbench: return "sysbench";
+    case Benchmark::kStream: return "stream";
+    case Benchmark::kDlrm: return "dlrm";
+  }
+  return "unknown";
+}
+
+Benchmark benchmark_from_string(std::string_view name) {
+  for (Benchmark b : kAllBenchmarks) {
+    if (name == to_string(b)) return b;
+  }
+  throw std::invalid_argument("unknown benchmark: " + std::string(name));
+}
+
+std::unique_ptr<Generator> make_generator(Benchmark b) {
+  switch (b) {
+    case Benchmark::kParsec: return std::make_unique<ParsecGenerator>();
+    case Benchmark::kMemtier: return std::make_unique<MemtierGenerator>();
+    case Benchmark::kHashmap: return std::make_unique<HashmapGenerator>();
+    case Benchmark::kHeap: return std::make_unique<HeapGenerator>();
+    case Benchmark::kSysbench: return std::make_unique<SysbenchGenerator>();
+    case Benchmark::kStream: return std::make_unique<StreamGenerator>();
+    case Benchmark::kDlrm: return std::make_unique<DlrmGenerator>();
+  }
+  throw std::invalid_argument("unknown benchmark enum value");
+}
+
+Trace generate(Benchmark b, std::size_t n, std::uint64_t seed) {
+  return make_generator(b)->generate(n, seed);
+}
+
+}  // namespace icgmm::trace

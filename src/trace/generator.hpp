@@ -1,0 +1,76 @@
+// Workload generator interface and the benchmark registry.
+//
+// The paper evaluates on traces collected from seven applications
+// (parsec, memtier, hashmap, heap, sysbench, stream, dlrm) with the
+// CXL-SSD collector of Yang et al. [10]. We do not have those traces, so
+// each benchmark has a synthetic generator that reproduces the structure
+// the paper documents (Fig. 2): spatial hotspots shaped like a mixture of
+// Gaussians, benchmark-specific skew/scan/stream behaviour, and periodic
+// temporal phases. See DESIGN.md §1 for the substitution argument.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/rng.hpp"
+#include "trace/trace.hpp"
+
+namespace icgmm::trace {
+
+enum class Benchmark : std::uint8_t {
+  kParsec,
+  kMemtier,
+  kHashmap,
+  kHeap,
+  kSysbench,
+  kStream,
+  kDlrm,
+};
+
+inline constexpr std::array<Benchmark, 7> kAllBenchmarks = {
+    Benchmark::kParsec, Benchmark::kMemtier,  Benchmark::kHashmap,
+    Benchmark::kHeap,   Benchmark::kSysbench, Benchmark::kStream,
+    Benchmark::kDlrm,
+};
+
+const char* to_string(Benchmark b) noexcept;
+
+/// Parses a benchmark name; throws std::invalid_argument on unknown names.
+Benchmark benchmark_from_string(std::string_view name);
+
+/// Abstract generator. Implementations are deterministic functions of
+/// (n, seed) — same inputs, same trace, across platforms.
+class Generator {
+ public:
+  virtual ~Generator() = default;
+
+  Generator(const Generator&) = delete;
+  Generator& operator=(const Generator&) = delete;
+
+  const std::string& name() const noexcept { return name_; }
+
+  /// Produces a trace of exactly `n` host requests.
+  virtual Trace generate(std::size_t n, std::uint64_t seed) const = 0;
+
+ protected:
+  explicit Generator(std::string name) : name_(std::move(name)) {}
+
+  /// Builds the byte address of a 64 B line inside a 4 KB page.
+  static constexpr PhysAddr line_addr(PageIndex page, std::uint64_t line) noexcept {
+    return addr_of(page) + (line % (kPageBytes / kHostLineBytes)) * kHostLineBytes;
+  }
+
+ private:
+  std::string name_;
+};
+
+/// Factory with each benchmark's default parameters (the configuration the
+/// bench harness uses for Fig. 6 / Table 1).
+std::unique_ptr<Generator> make_generator(Benchmark b);
+
+/// One-shot convenience: make_generator(b)->generate(n, seed).
+Trace generate(Benchmark b, std::size_t n, std::uint64_t seed);
+
+}  // namespace icgmm::trace

@@ -1,0 +1,60 @@
+#include "trace/generators/dlrm.hpp"
+
+#include "trace/zipf.hpp"
+
+namespace icgmm::trace {
+
+DlrmGenerator::DlrmGenerator(DlrmParams params)
+    : Generator("dlrm"), params_(params) {}
+
+Trace DlrmGenerator::generate(std::size_t n, std::uint64_t seed) const {
+  Rng rng(seed ^ 0x646c726d32343ull);
+  Zipf zipf(params_.rows_per_table, params_.zipf_s);
+  Trace out(name());
+  out.reserve(n);
+
+  const std::uint64_t rows_per_page = kPageBytes / params_.row_bytes;
+  const std::uint64_t pages_per_table =
+      (params_.rows_per_table + rows_per_page - 1) / rows_per_page;
+  const PageIndex mlp_base = params_.tables * pages_per_table;
+
+  std::uint64_t sequence = 0;  // inference sample counter
+  std::size_t i = 0;
+  while (i < n) {
+    const std::uint32_t table =
+        static_cast<std::uint32_t>(sequence % params_.tables);
+    ++sequence;
+
+    if (rng.chance(params_.mlp_fraction)) {
+      // Dense layers stream a compact activation/weight region.
+      const PageIndex page = mlp_base + rng.below(params_.mlp_pages);
+      out.push_back({line_addr(page, rng()), i, AccessType::kRead});
+      ++i;
+      continue;
+    }
+
+    // One multi-hot feature: several embedding rows from one table.
+    // Popularity rotates through 4 sub-phases *within* each period and the
+    // period matches one Algorithm-1 access shot, so the drift is periodic
+    // in the logical timestamp — learnable by the 2-D GMM, exactly the
+    // "uneven temporal frequency" structure of Fig. 2.
+    const std::uint64_t phase =
+        (i % params_.phase_period) / (params_.phase_period / 4);
+    for (std::uint32_t k = 0; k < params_.lookups_per_sample && i < n; ++k) {
+      const std::uint64_t rank = zipf.sample(rng);
+      // Popularity drift: the rank->row mapping rotates per phase & table.
+      const std::uint64_t row =
+          (rank + phase * 4099 + static_cast<std::uint64_t>(table) * 131071) %
+          params_.rows_per_table;
+      const PageIndex page = static_cast<PageIndex>(table) * pages_per_table +
+                             row / rows_per_page;
+      const std::uint64_t line = (row % rows_per_page) * params_.row_bytes /
+                                 kHostLineBytes;
+      out.push_back({line_addr(page, line), i, AccessType::kRead});
+      ++i;
+    }
+  }
+  return out;
+}
+
+}  // namespace icgmm::trace

@@ -1,0 +1,33 @@
+// dlrm-like recommendation inference: zipf-skewed embedding-table gathers
+// across several tables (the multi-bump spatial mixture of Fig. 2a) plus a
+// compact hot MLP/activation region, with popularity drift over time.
+#pragma once
+
+#include "trace/generator.hpp"
+
+namespace icgmm::trace {
+
+struct DlrmParams {
+  std::uint32_t tables = 8;
+  std::uint64_t rows_per_table = 131072;  ///< 512 B rows -> 16384 pages/table
+  std::uint64_t row_bytes = 512;
+  double zipf_s = 1.35;                   ///< embedding popularity skew
+  std::uint32_t lookups_per_sample = 24;  ///< multi-hot indices per table pass
+  double mlp_fraction = 0.25;             ///< dense-layer activation traffic
+  std::uint64_t mlp_pages = 3000;         ///< hot dense region
+  std::uint64_t phase_period = 320000;    ///< popularity drift period
+};
+
+class DlrmGenerator final : public Generator {
+ public:
+  explicit DlrmGenerator(DlrmParams params = {});
+
+  Trace generate(std::size_t n, std::uint64_t seed) const override;
+
+  const DlrmParams& params() const noexcept { return params_; }
+
+ private:
+  DlrmParams params_;
+};
+
+}  // namespace icgmm::trace

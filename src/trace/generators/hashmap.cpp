@@ -1,0 +1,50 @@
+#include "trace/generators/hashmap.hpp"
+
+#include "trace/zipf.hpp"
+
+namespace icgmm::trace {
+
+HashmapGenerator::HashmapGenerator(HashmapParams params)
+    : Generator("hashmap"), params_(params) {}
+
+Trace HashmapGenerator::generate(std::size_t n, std::uint64_t seed) const {
+  Rng rng(seed ^ 0x686173686d6170ull);
+  Zipf hot_zipf(params_.hot_pages, params_.zipf_s);
+  Trace out(name());
+  out.reserve(n);
+
+  // The hot region sits at a fixed base inside the table so it forms one
+  // broad spatial bump; uniform probes cover the whole table.
+  const auto hot_base = static_cast<std::uint64_t>(
+      params_.hot_base_fraction * static_cast<double>(params_.table_pages));
+
+  std::size_t i = 0;
+  while (i < n) {
+    const bool hot = rng.chance(params_.hot_fraction);
+    // Hot bucket choice rotates through 4 in-period positions (periodic
+    // popularity churn the 2-D GMM can learn from the timestamp axis).
+    const std::uint64_t phase =
+        (i % params_.phase_period) / (params_.phase_period / 4);
+    PageIndex page;
+    if (hot) {
+      const std::uint64_t rank = hot_zipf.sample(rng);
+      page = hot_base + (rank + phase * 173) % params_.hot_pages;
+    } else {
+      page = rng.below(params_.table_pages);
+    }
+    const AccessType type = rng.chance(params_.write_fraction)
+                                ? AccessType::kWrite
+                                : AccessType::kRead;
+    out.push_back({line_addr(page, rng()), i, type});
+    ++i;
+    // Collision: probe the adjacent bucket page (linear probing).
+    if (i < n && rng.chance(params_.probe_second_fraction)) {
+      const PageIndex probe = (page + 1) % params_.table_pages;
+      out.push_back({line_addr(probe, rng()), i, type});
+      ++i;
+    }
+  }
+  return out;
+}
+
+}  // namespace icgmm::trace

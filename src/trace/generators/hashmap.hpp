@@ -1,0 +1,35 @@
+// hashmap synthetic benchmark (per Yang et al. [10]): open-addressing
+// lookups over a table far larger than the DRAM cache. A skewed hot key
+// set keeps a working set comparable to the cache size while uniform
+// probes continuously pollute it — the workload where smart caching
+// (bypass) helps most, matching the paper's largest miss-rate gain.
+#pragma once
+
+#include "trace/generator.hpp"
+
+namespace icgmm::trace {
+
+struct HashmapParams {
+  std::uint64_t table_pages = 300000;  ///< ~1.1 GiB hash table
+  std::uint64_t hot_pages = 12000;     ///< hot-bucket region (~cache sized)
+  double hot_fraction = 0.70;          ///< accesses hitting the hot region
+  double hot_base_fraction = 1.0 / 3;  ///< where the hot region sits
+  double zipf_s = 0.6;                 ///< skew inside the hot region
+  double probe_second_fraction = 0.25; ///< collisions probing a 2nd bucket
+  double write_fraction = 0.12;        ///< inserts/updates
+  std::uint64_t phase_period = 320000;
+};
+
+class HashmapGenerator final : public Generator {
+ public:
+  explicit HashmapGenerator(HashmapParams params = {});
+
+  Trace generate(std::size_t n, std::uint64_t seed) const override;
+
+  const HashmapParams& params() const noexcept { return params_; }
+
+ private:
+  HashmapParams params_;
+};
+
+}  // namespace icgmm::trace

@@ -1,0 +1,54 @@
+#include "trace/generators/heap.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace icgmm::trace {
+
+HeapGenerator::HeapGenerator(HeapParams params)
+    : Generator("heap"), params_(params) {}
+
+Trace HeapGenerator::generate(std::size_t n, std::uint64_t seed) const {
+  Rng rng(seed ^ 0x6865617031337ull);
+  Trace out(name());
+  out.reserve(n);
+
+  std::size_t i = 0;
+  while (i < n) {
+    // Heap occupancy breathes with the phase clock, shifting how deep the
+    // leaf level sits — the temporal signal in this trace.
+    const double phase_angle =
+        2.0 * std::numbers::pi *
+        static_cast<double>(i % params_.phase_period) /
+        static_cast<double>(params_.phase_period);
+    const auto live_entries = static_cast<std::uint64_t>(
+        static_cast<double>(params_.entries) *
+        (1.0 - params_.size_swing * 0.5 + params_.size_swing * 0.5 *
+                                              std::sin(phase_angle)));
+    const auto depth = static_cast<std::uint32_t>(
+        std::floor(std::log2(static_cast<double>(std::max<std::uint64_t>(
+            2, live_entries)))));
+
+    // One operation = one root-to-leaf walk. Each level l touches entry
+    // index ~ uniform in [2^l, 2^(l+1)); sift swaps write the entry back.
+    std::uint64_t idx = 1;
+    const bool is_pop = rng.chance(params_.pop_fraction);
+    for (std::uint32_t level = 0; level <= depth && i < n; ++level) {
+      const PageIndex page = idx / params_.entries_per_page;
+      const std::uint64_t line =
+          (idx % params_.entries_per_page) * 16 / kHostLineBytes;
+      const AccessType type =
+          rng.chance(params_.write_fraction) ? AccessType::kWrite
+                                             : AccessType::kRead;
+      out.push_back({line_addr(page, line), i, type});
+      ++i;
+      // Descend to a random child (pop) or toward the new slot (push).
+      idx = idx * 2 + (rng.chance(0.5) ? 1 : 0);
+      if (idx >= live_entries) break;
+      (void)is_pop;
+    }
+  }
+  return out;
+}
+
+}  // namespace icgmm::trace

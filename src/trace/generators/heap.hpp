@@ -1,0 +1,34 @@
+// heap synthetic benchmark (per Yang et al. [10]): push/pop on a giant
+// binary heap. Every operation walks a root-to-leaf path, so shallow
+// levels (few pages) are extremely hot and deep levels (hundreds of
+// thousands of pages) are nearly uniform-cold. The access-frequency
+// gradient across depth is exactly what GMM-scored eviction exploits —
+// the paper finds eviction-only GMM best on heap.
+#pragma once
+
+#include "trace/generator.hpp"
+
+namespace icgmm::trace {
+
+struct HeapParams {
+  std::uint64_t entries = 24000000;  ///< ~24 M 16 B entries (~94 k pages)
+  std::uint32_t entries_per_page = 256;
+  double pop_fraction = 0.5;    ///< pop (sift-down) vs push (sift-up)
+  double write_fraction = 0.45; ///< sift swaps write entries back
+  std::uint64_t phase_period = 320000;
+  double size_swing = 0.35;     ///< heap occupancy oscillates +-35 % by phase
+};
+
+class HeapGenerator final : public Generator {
+ public:
+  explicit HeapGenerator(HeapParams params = {});
+
+  Trace generate(std::size_t n, std::uint64_t seed) const override;
+
+  const HeapParams& params() const noexcept { return params_; }
+
+ private:
+  HeapParams params_;
+};
+
+}  // namespace icgmm::trace

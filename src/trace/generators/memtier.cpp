@@ -1,0 +1,51 @@
+#include "trace/generators/memtier.hpp"
+
+#include "trace/zipf.hpp"
+
+namespace icgmm::trace {
+
+MemtierGenerator::MemtierGenerator(MemtierParams params)
+    : Generator("memtier"), params_(params) {}
+
+Trace MemtierGenerator::generate(std::size_t n, std::uint64_t seed) const {
+  Rng rng(seed ^ 0x6d656d7469657265ull);
+  Zipf zipf(params_.keyspace, params_.zipf_s);
+  Trace out(name());
+  out.reserve(n);
+
+  // Allocator layout: rank r lives in segment (r mod S) at in-segment
+  // position (r div S) — each segment is a bump whose density decays with
+  // distance from its base, and the S segment bases tile the value heap.
+  const std::uint64_t seg_keys =
+      params_.keyspace / params_.segments + 1;
+  const std::uint64_t seg_pages = seg_keys / params_.keys_per_page + 1;
+  const std::uint64_t cold_base = value_pages();
+
+  for (std::size_t i = 0; i < n; ++i) {
+    Record r;
+    r.time = i;
+    r.type = rng.chance(params_.write_fraction) ? AccessType::kWrite
+                                                : AccessType::kRead;
+
+    PageIndex page;
+    if (rng.chance(params_.cold_churn_fraction)) {
+      // Expired keys / cache-miss refill traffic over a large cold region.
+      page = cold_base + rng.below(params_.cold_pages);
+    } else {
+      const std::uint64_t rank = zipf.sample(rng);
+      const std::uint64_t segment = rank % params_.segments;
+      // The hot head of each segment rotates through 4 positions within
+      // each period (periodic popularity drift, learnable on the GMM's
+      // timestamp axis), staying inside the segment.
+      const std::uint64_t phase =
+          (i % params_.phase_period) / (params_.phase_period / 4);
+      const std::uint64_t idx = (rank / params_.segments + phase * 997) % seg_keys;
+      page = segment * seg_pages + idx / params_.keys_per_page;
+    }
+    r.addr = line_addr(page, rng());
+    out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace icgmm::trace

@@ -1,0 +1,41 @@
+// memtier-like key-value store load (redis/memcached benchmark): zipfian
+// GET/SET over a value heap laid out with allocator locality — popular
+// keys were inserted early and sit together, so popularity decays with
+// position inside each arena segment. This is the structure the paper's
+// Fig. 2 documents on the real memtier trace (several spatial bumps whose
+// density decays away from the bump core).
+#pragma once
+
+#include "trace/generator.hpp"
+
+namespace icgmm::trace {
+
+struct MemtierParams {
+  std::uint64_t keyspace = 1000000;    ///< distinct keys
+  std::uint32_t segments = 5;          ///< allocator arenas (spatial bumps)
+  std::uint64_t keys_per_page = 8;     ///< ~512 B values
+  double zipf_s = 1.25;                ///< key popularity skew
+  double write_fraction = 0.10;        ///< SET ratio
+  double cold_churn_fraction = 0.012;  ///< uniform traffic to a cold region
+  std::uint64_t cold_pages = 400000;   ///< expired/evicted value region
+  std::uint64_t phase_period = 320000; ///< hot-segment rotation period
+};
+
+class MemtierGenerator final : public Generator {
+ public:
+  explicit MemtierGenerator(MemtierParams params = {});
+
+  Trace generate(std::size_t n, std::uint64_t seed) const override;
+
+  const MemtierParams& params() const noexcept { return params_; }
+
+  /// Pages occupied by the live value store (before the cold region).
+  std::uint64_t value_pages() const noexcept {
+    return params_.keyspace / params_.keys_per_page + params_.segments;
+  }
+
+ private:
+  MemtierParams params_;
+};
+
+}  // namespace icgmm::trace

@@ -1,0 +1,62 @@
+#include "trace/generators/parsec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace icgmm::trace {
+
+ParsecGenerator::ParsecGenerator(ParsecParams params)
+    : Generator("parsec"), params_(params) {}
+
+Trace ParsecGenerator::generate(std::size_t n, std::uint64_t seed) const {
+  Rng rng(seed ^ 0x70617273656311ull);
+  Trace out(name());
+  out.reserve(n);
+
+  // Place cluster centres well apart so the spatial histogram shows the
+  // distinct Gaussian bumps of Fig. 2(b).
+  std::vector<double> centers(params_.clusters);
+  for (std::uint32_t c = 0; c < params_.clusters; ++c) {
+    centers[c] = static_cast<double>(params_.footprint_pages) *
+                 (static_cast<double>(c) + 0.5) /
+                 static_cast<double>(params_.clusters);
+  }
+
+  std::uint64_t scan_cursor = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    Record r;
+    r.time = i;
+    r.type = rng.chance(params_.write_fraction) ? AccessType::kWrite
+                                                : AccessType::kRead;
+
+    if (rng.chance(params_.scan_fraction)) {
+      // Cold scan: marches sequentially through a large region the working
+      // sets never revisit — the pollution LRU suffers from.
+      const PageIndex page =
+          params_.footprint_pages + (scan_cursor / 64) % params_.scan_extent_pages;
+      r.addr = line_addr(page, scan_cursor);
+      ++scan_cursor;
+    } else {
+      // Pick a cluster; the phase clock rotates which cluster dominates so
+      // the temporal axis carries real signal for the 2-D GMM.
+      const std::uint64_t phase =
+          (i / std::max<std::uint64_t>(1, params_.phase_period / params_.clusters)) %
+          params_.clusters;
+      const std::uint32_t cluster =
+          rng.chance(0.72) ? static_cast<std::uint32_t>(phase)
+                           : static_cast<std::uint32_t>(rng.below(params_.clusters));
+      // Gaussian offset around the centre, clamped into the hot span.
+      const double offset = rng.gaussian(0.0, params_.cluster_sigma_pages);
+      const double span = static_cast<double>(params_.hot_pages_per_cluster);
+      double page_f = centers[cluster] + offset * (span / (6.0 * params_.cluster_sigma_pages));
+      page_f = std::clamp(page_f, 0.0,
+                          static_cast<double>(params_.footprint_pages - 1));
+      r.addr = line_addr(static_cast<PageIndex>(page_f), rng());
+    }
+    out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace icgmm::trace

@@ -1,0 +1,33 @@
+// parsec-like HPC workload: several per-thread working sets (Gaussian
+// clusters in the address space, per Fig. 2b of the paper), phase-rotating
+// cluster emphasis, plus a small stream of cold scan traffic.
+#pragma once
+
+#include "trace/generator.hpp"
+
+namespace icgmm::trace {
+
+struct ParsecParams {
+  std::uint64_t footprint_pages = 1u << 19;  ///< 2 GiB address extent
+  std::uint32_t clusters = 6;                ///< per-thread working sets
+  double cluster_sigma_pages = 96.0;         ///< spatial spread of each set
+  std::uint64_t hot_pages_per_cluster = 3200;  ///< 6x3200 slightly > cache
+  double scan_fraction = 0.013;  ///< cold sequential scan traffic
+  std::uint64_t scan_extent_pages = 400000;
+  double write_fraction = 0.30;
+  std::uint64_t phase_period = 320000;  ///< requests per temporal phase cycle
+};
+
+class ParsecGenerator final : public Generator {
+ public:
+  explicit ParsecGenerator(ParsecParams params = {});
+
+  Trace generate(std::size_t n, std::uint64_t seed) const override;
+
+  const ParsecParams& params() const noexcept { return params_; }
+
+ private:
+  ParsecParams params_;
+};
+
+}  // namespace icgmm::trace

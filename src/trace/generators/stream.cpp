@@ -1,0 +1,61 @@
+#include "trace/generators/stream.hpp"
+
+#include "trace/zipf.hpp"
+
+namespace icgmm::trace {
+
+StreamGenerator::StreamGenerator(StreamParams params)
+    : Generator("stream"), params_(params) {}
+
+Trace StreamGenerator::generate(std::size_t n, std::uint64_t seed) const {
+  Rng rng(seed ^ 0x73747265616d21ull);
+  Zipf scalar_zipf(params_.scalar_pages, params_.scalar_zipf_s);
+  Trace out(name());
+  out.reserve(n);
+
+  // Arrays a, b, c laid out back to back; the scalar region sits above.
+  const std::uint64_t elems_per_page = kPageBytes / params_.element_bytes;
+  const PageIndex base_a = 0;
+  const PageIndex base_b = params_.array_pages;
+  const PageIndex base_c = 2 * params_.array_pages;
+  const PageIndex scalar_base = 3 * params_.array_pages;
+
+  std::uint64_t elem = 0;  // triad loop index (wraps per pass)
+  std::size_t i = 0;
+  while (i < n) {
+    if (rng.chance(params_.scalar_fraction)) {
+      // Loop counters / partial sums / tables on the stationary region.
+      const PageIndex page = scalar_base + scalar_zipf.sample(rng);
+      const AccessType type =
+          rng.chance(0.25) ? AccessType::kWrite : AccessType::kRead;
+      out.push_back({line_addr(page, rng()), i, type});
+      ++i;
+      continue;
+    }
+    if (rng.chance(params_.rewalk_fraction) && elem > elems_per_page) {
+      // Occasional short backward re-read (e.g. checksum of last block).
+      const std::uint64_t back = elem - rng.below(elems_per_page);
+      const PageIndex page = base_a + back / elems_per_page;
+      out.push_back({line_addr(page, back * 2), i, AccessType::kRead});
+      ++i;
+      continue;
+    }
+
+    const std::uint64_t page_off = (elem / elems_per_page) % params_.array_pages;
+    // Triad: two reads, one write per element (two lines per element).
+    out.push_back({line_addr(base_a + page_off, elem * 2), i, AccessType::kRead});
+    ++i;
+    if (i < n) {
+      out.push_back({line_addr(base_b + page_off, elem * 2), i, AccessType::kRead});
+      ++i;
+    }
+    if (i < n) {
+      out.push_back({line_addr(base_c + page_off, elem * 2), i, AccessType::kWrite});
+      ++i;
+    }
+    ++elem;
+  }
+  return out;
+}
+
+}  // namespace icgmm::trace

@@ -1,0 +1,42 @@
+// STREAM-triad workload (McCalpin): c[i] = a[i] + s * b[i] over arrays far
+// larger than the cache, interleaved with accesses to a stationary scalar
+// region (loop state, partial sums, lookup tables). Streaming pages are
+// touched a burst of times then never again within a pass — pure pollution
+// that evicts the stationary set under LRU recency but not under GMM
+// frequency scoring; writes to c[] make dirty evictions dominate AMAT as
+// in the paper's Table 1.
+#pragma once
+
+#include "trace/generator.hpp"
+
+namespace icgmm::trace {
+
+struct StreamParams {
+  /// Pages per array. STREAM sweeps its arrays repeatedly; the combined
+  /// footprint (3 arrays + stationary region) is sized slightly beyond the
+  /// 16 K-page cache, the regime where recency replacement thrashes on the
+  /// cyclic reuse while frequency replacement pins a stable subset — the
+  /// mechanism behind the paper's stream gain. Not a multiple of the cache
+  /// set count, so a[i], b[i], c[i] do not collide in one set.
+  std::uint64_t array_pages = 5003;
+  std::uint64_t element_bytes = 256;    ///< vectorized 256 B element rows
+  double scalar_fraction = 0.30;        ///< stationary-region accesses
+  /// Stationary region (loop state, reduction buffers, lookup tables).
+  std::uint64_t scalar_pages = 12000;
+  double scalar_zipf_s = 0.90;          ///< skew inside the stationary set
+  double rewalk_fraction = 0.003;       ///< rare backward re-reads (reductions)
+};
+
+class StreamGenerator final : public Generator {
+ public:
+  explicit StreamGenerator(StreamParams params = {});
+
+  Trace generate(std::size_t n, std::uint64_t seed) const override;
+
+  const StreamParams& params() const noexcept { return params_; }
+
+ private:
+  StreamParams params_;
+};
+
+}  // namespace icgmm::trace

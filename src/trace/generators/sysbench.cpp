@@ -1,0 +1,56 @@
+#include "trace/generators/sysbench.hpp"
+
+#include "trace/zipf.hpp"
+
+namespace icgmm::trace {
+
+SysbenchGenerator::SysbenchGenerator(SysbenchParams params)
+    : Generator("sysbench"), params_(params) {}
+
+Trace SysbenchGenerator::generate(std::size_t n, std::uint64_t seed) const {
+  Rng rng(seed ^ 0x73797362656e6368ull);
+  Zipf zipf(params_.leaf_pages, params_.zipf_s);
+  Trace out(name());
+  out.reserve(n);
+
+  // Leaf pages live above the index region in the address space.
+  const std::uint64_t leaf_base = params_.index_pages;
+
+  std::size_t i = 0;
+  while (i < n) {
+    // Every query starts by walking the index spine: 2 hot internal pages.
+    for (int hop = 0; hop < 2 && i < n; ++hop) {
+      const PageIndex page = rng.below(params_.index_pages);
+      out.push_back({line_addr(page, rng()), i, AccessType::kRead});
+      ++i;
+    }
+    if (i >= n) break;
+
+    if (rng.chance(params_.scan_fraction)) {
+      // Range scan: sequential leaf pages — classic LRU pollution.
+      const PageIndex start = leaf_base + rng.below(params_.leaf_pages);
+      for (std::uint64_t k = 0; k < params_.scan_len_pages && i < n; ++k) {
+        const PageIndex page =
+            leaf_base + (start - leaf_base + k) % params_.leaf_pages;
+        out.push_back({line_addr(page, k), i, AccessType::kRead});
+        ++i;
+      }
+    } else {
+      // Point select: zipf row; the hot range rotates through 4 in-period
+      // positions (periodic, aligned with the access shot).
+      const std::uint64_t phase =
+          (i % params_.phase_period) / (params_.phase_period / 4);
+      const std::uint64_t rank = zipf.sample(rng);
+      const PageIndex page =
+          leaf_base + (rank + phase * 977) % params_.leaf_pages;
+      const AccessType type = rng.chance(params_.update_fraction)
+                                  ? AccessType::kWrite
+                                  : AccessType::kRead;
+      out.push_back({line_addr(page, rng()), i, type});
+      ++i;
+    }
+  }
+  return out;
+}
+
+}  // namespace icgmm::trace

@@ -1,0 +1,31 @@
+// sysbench-like OLTP load: B-tree point selects with a hot index spine,
+// zipf-skewed leaf pages, periodic range scans, and update writes.
+#pragma once
+
+#include "trace/generator.hpp"
+
+namespace icgmm::trace {
+
+struct SysbenchParams {
+  std::uint64_t leaf_pages = 200000;   ///< table data (~780 MiB)
+  std::uint64_t index_pages = 160;     ///< root + internal nodes (hot)
+  double zipf_s = 1.40;                ///< row popularity skew
+  double scan_fraction = 0.002;        ///< queries that are range scans
+  std::uint64_t scan_len_pages = 32;   ///< pages per range scan
+  double update_fraction = 0.18;       ///< point queries that write
+  std::uint64_t phase_period = 320000; ///< hot-range rotation
+};
+
+class SysbenchGenerator final : public Generator {
+ public:
+  explicit SysbenchGenerator(SysbenchParams params = {});
+
+  Trace generate(std::size_t n, std::uint64_t seed) const override;
+
+  const SysbenchParams& params() const noexcept { return params_; }
+
+ private:
+  SysbenchParams params_;
+};
+
+}  // namespace icgmm::trace

@@ -1,0 +1,138 @@
+#include "trace/io.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "common/string_util.hpp"
+
+namespace icgmm::trace {
+namespace {
+
+constexpr std::array<char, 4> kMagic = {'I', 'C', 'G', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("trace io: " + what);
+}
+
+std::ofstream open_out(const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) fail("cannot open for write: " + path);
+  return os;
+}
+
+std::ifstream open_in(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) fail("cannot open for read: " + path);
+  return is;
+}
+
+}  // namespace
+
+void write_csv(std::ostream& os, const Trace& trace) {
+  os << "type,addr,time\n";
+  for (const Record& r : trace) {
+    os << to_string(r.type) << ',' << r.addr << ',' << r.time << '\n';
+  }
+  if (!os) fail("write failure (csv)");
+}
+
+void write_csv_file(const std::string& path, const Trace& trace) {
+  auto os = open_out(path);
+  write_csv(os, trace);
+}
+
+Trace read_csv(std::istream& is, std::string name) {
+  Trace out(std::move(name));
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const std::string_view sv = trim(line);
+    if (sv.empty() || sv == "type,addr,time") continue;
+    const auto fields = split(sv, ',');
+    if (fields.size() != 3) {
+      fail("line " + std::to_string(lineno) + ": expected 3 fields");
+    }
+    Record r;
+    const std::string_view type = trim(fields[0]);
+    if (type == "R" || type == "r") {
+      r.type = AccessType::kRead;
+    } else if (type == "W" || type == "w") {
+      r.type = AccessType::kWrite;
+    } else {
+      fail("line " + std::to_string(lineno) + ": bad access type");
+    }
+    try {
+      r.addr = parse_u64(fields[1]);
+      r.time = parse_u64(fields[2]);
+    } catch (const std::invalid_argument& e) {
+      fail("line " + std::to_string(lineno) + ": " + e.what());
+    }
+    out.push_back(r);
+  }
+  return out;
+}
+
+Trace read_csv_file(const std::string& path) {
+  auto is = open_in(path);
+  return read_csv(is, path);
+}
+
+void write_binary(std::ostream& os, const Trace& trace) {
+  os.write(kMagic.data(), kMagic.size());
+  const std::uint32_t version = kVersion;
+  os.write(reinterpret_cast<const char*>(&version), sizeof version);
+  const std::uint64_t count = trace.size();
+  os.write(reinterpret_cast<const char*>(&count), sizeof count);
+  for (const Record& r : trace) {
+    os.write(reinterpret_cast<const char*>(&r.addr), sizeof r.addr);
+    os.write(reinterpret_cast<const char*>(&r.time), sizeof r.time);
+    const auto type = static_cast<std::uint8_t>(r.type);
+    os.write(reinterpret_cast<const char*>(&type), sizeof type);
+  }
+  if (!os) fail("write failure (binary)");
+}
+
+void write_binary_file(const std::string& path, const Trace& trace) {
+  auto os = open_out(path);
+  write_binary(os, trace);
+}
+
+Trace read_binary(std::istream& is, std::string name) {
+  std::array<char, 4> magic{};
+  is.read(magic.data(), magic.size());
+  if (!is || magic != kMagic) fail("bad magic");
+  std::uint32_t version = 0;
+  is.read(reinterpret_cast<char*>(&version), sizeof version);
+  if (!is || version != kVersion) fail("unsupported version");
+  std::uint64_t count = 0;
+  is.read(reinterpret_cast<char*>(&count), sizeof count);
+  if (!is) fail("truncated header");
+
+  Trace out(std::move(name));
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Record r;
+    std::uint8_t type = 0;
+    is.read(reinterpret_cast<char*>(&r.addr), sizeof r.addr);
+    is.read(reinterpret_cast<char*>(&r.time), sizeof r.time);
+    is.read(reinterpret_cast<char*>(&type), sizeof type);
+    if (!is) fail("truncated record " + std::to_string(i));
+    if (type > 1) fail("bad access type in record " + std::to_string(i));
+    r.type = static_cast<AccessType>(type);
+    out.push_back(r);
+  }
+  return out;
+}
+
+Trace read_binary_file(const std::string& path) {
+  auto is = open_in(path);
+  return read_binary(is, path);
+}
+
+}  // namespace icgmm::trace

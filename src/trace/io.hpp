@@ -1,0 +1,31 @@
+// Trace serialization: human-readable CSV and a compact binary format.
+//
+// CSV line format (matches what the open-source collector of [10] emits
+// after our parsing): `R|W,<phys_addr>,<time>` with an optional header.
+// Binary format: magic "ICGT", u32 version, u64 count, then packed records.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace icgmm::trace {
+
+/// Writes CSV with a `type,addr,time` header. Throws std::runtime_error on
+/// stream failure.
+void write_csv(std::ostream& os, const Trace& trace);
+void write_csv_file(const std::string& path, const Trace& trace);
+
+/// Reads CSV; tolerates a header line and blank lines; throws
+/// std::runtime_error with line number on malformed input.
+Trace read_csv(std::istream& is, std::string name = "csv");
+Trace read_csv_file(const std::string& path);
+
+/// Binary round-trip; throws std::runtime_error on bad magic/version/size.
+void write_binary(std::ostream& os, const Trace& trace);
+void write_binary_file(const std::string& path, const Trace& trace);
+Trace read_binary(std::istream& is, std::string name = "bin");
+Trace read_binary_file(const std::string& path);
+
+}  // namespace icgmm::trace

@@ -1,0 +1,46 @@
+#include "trace/preprocess.hpp"
+
+#include <algorithm>
+
+namespace icgmm::trace {
+
+Trace trim_warmup(const Trace& input, const TrimConfig& cfg) {
+  if (input.empty()) return Trace(input.name());
+  const double head = std::clamp(cfg.head_fraction, 0.0, 1.0);
+  const double tail = std::clamp(cfg.tail_fraction, 0.0, 1.0);
+  const auto n = input.size();
+  auto first = static_cast<std::size_t>(head * static_cast<double>(n));
+  auto last = n - static_cast<std::size_t>(tail * static_cast<double>(n));
+  if (first >= last) {  // degenerate fractions: keep the middle record
+    first = n / 2;
+    last = first + 1;
+  }
+  return input.slice(first, last - first);
+}
+
+std::vector<GmmSample> to_gmm_samples(const Trace& input,
+                                      const TransformConfig& cfg) {
+  std::vector<GmmSample> out;
+  out.reserve(input.size());
+  TimestampTransform transform(cfg);
+  for (const Record& r : input) {
+    const Timestamp ts = transform.next();
+    out.push_back({static_cast<double>(r.page()), static_cast<double>(ts)});
+  }
+  return out;
+}
+
+std::vector<GmmSample> stride_subsample(const std::vector<GmmSample>& samples,
+                                        std::size_t max_count) {
+  if (max_count == 0 || samples.size() <= max_count) return samples;
+  std::vector<GmmSample> out;
+  out.reserve(max_count);
+  const double stride =
+      static_cast<double>(samples.size()) / static_cast<double>(max_count);
+  for (std::size_t i = 0; i < max_count; ++i) {
+    out.push_back(samples[static_cast<std::size_t>(stride * static_cast<double>(i))]);
+  }
+  return out;
+}
+
+}  // namespace icgmm::trace

@@ -1,0 +1,25 @@
+// A single host memory request as captured by the CXL trace collector.
+//
+// Matches the fields the paper collects with the tool of Yang et al. [10]:
+// read/write flag, physical address, and access time (we keep a logical
+// sequence time; the Algorithm-1 transform quantizes it into windows).
+#pragma once
+
+#include <compare>
+
+#include "common/types.hpp"
+
+namespace icgmm::trace {
+
+struct Record {
+  PhysAddr addr = 0;
+  std::uint64_t time = 0;  ///< raw collection time (monotone sequence units)
+  AccessType type = AccessType::kRead;
+
+  friend constexpr bool operator==(const Record&, const Record&) = default;
+
+  constexpr PageIndex page() const noexcept { return page_of(addr); }
+  constexpr bool is_write() const noexcept { return type == AccessType::kWrite; }
+};
+
+}  // namespace icgmm::trace

@@ -1,0 +1,94 @@
+#include "trace/reuse.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace icgmm::trace {
+
+void ReuseDistanceAnalyzer::fenwick_add(std::size_t i, int delta) {
+  for (++i; i < tree_.size(); i += i & (~i + 1)) tree_[i] += delta;
+}
+
+std::uint64_t ReuseDistanceAnalyzer::fenwick_sum(std::size_t i) const {
+  std::int64_t acc = 0;
+  for (++i; i > 0; i -= i & (~i + 1)) acc += tree_[i];
+  return static_cast<std::uint64_t>(acc);
+}
+
+ReuseDistanceAnalyzer::Result ReuseDistanceAnalyzer::analyze(
+    const Trace& trace) {
+  Result result;
+  result.distances.reserve(trace.size());
+  tree_.assign(trace.size() + 1, 0);
+
+  std::unordered_map<PageIndex, std::size_t> last_slot;
+  last_slot.reserve(trace.size() / 4 + 1);
+
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const PageIndex page = trace[i].page();
+    const auto it = last_slot.find(page);
+    if (it == last_slot.end()) {
+      result.distances.push_back(kColdDistance);
+      ++result.cold_accesses;
+    } else {
+      // Stack distance = number of distinct pages touched since the last
+      // access to this page = live markers in slots (it->second, i).
+      const std::uint64_t after = fenwick_sum(i);
+      const std::uint64_t upto = fenwick_sum(it->second);
+      const std::uint64_t distance = after - upto;
+      result.distances.push_back(distance);
+      result.max_finite = std::max(result.max_finite, distance);
+      fenwick_add(it->second, -1);  // page's marker moves to slot i
+    }
+    fenwick_add(i, +1);
+    last_slot[page] = i;
+  }
+  return result;
+}
+
+double ReuseDistanceAnalyzer::Result::lru_miss_rate(
+    std::uint64_t capacity_blocks) const {
+  if (distances.empty()) return 0.0;
+  std::uint64_t misses = 0;
+  for (std::uint64_t d : distances) {
+    if (d == kColdDistance || d >= capacity_blocks) ++misses;
+  }
+  return static_cast<double>(misses) / static_cast<double>(distances.size());
+}
+
+std::uint64_t ReuseDistanceAnalyzer::Result::capacity_for_miss_rate(
+    double target) const {
+  if (distances.empty()) return 0;
+  const double cold_rate = static_cast<double>(cold_accesses) /
+                           static_cast<double>(distances.size());
+  if (cold_rate > target) return 0;  // unreachable even at infinite size
+  // Binary search over capacity (miss rate is non-increasing in capacity —
+  // Mattson's inclusion property).
+  std::uint64_t lo = 1, hi = max_finite + 1;
+  while (lo < hi) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    if (lru_miss_rate(mid) <= target) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+std::vector<std::uint64_t> working_set_curve(const Trace& trace,
+                                             std::size_t window,
+                                             std::size_t stride) {
+  std::vector<std::uint64_t> curve;
+  if (trace.empty() || window == 0 || stride == 0) return curve;
+  for (std::size_t start = 0; start + window <= trace.size(); start += stride) {
+    std::unordered_set<PageIndex> pages;
+    for (std::size_t i = start; i < start + window; ++i) {
+      pages.insert(trace[i].page());
+    }
+    curve.push_back(pages.size());
+  }
+  return curve;
+}
+
+}  // namespace icgmm::trace

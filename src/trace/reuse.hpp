@@ -1,0 +1,58 @@
+// Reuse-distance (LRU stack distance) analysis — the classic tool for
+// predicting fully-associative LRU miss rates from a trace alone. Used to
+// validate the cache simulator (Mattson's inclusion property: the miss
+// rate of an LRU cache of C blocks equals the fraction of accesses with
+// stack distance >= C) and to characterize the benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace icgmm::trace {
+
+inline constexpr std::uint64_t kColdDistance =
+    std::numeric_limits<std::uint64_t>::max();
+
+/// Computes per-access page-granular LRU stack distances in
+/// O(N log M) with an order-statistic tree over last-access times
+/// (Olken's algorithm via a Fenwick tree). Cold (first-touch) accesses
+/// report kColdDistance.
+class ReuseDistanceAnalyzer {
+ public:
+  /// Full histogram of distances for a trace.
+  struct Result {
+    std::vector<std::uint64_t> distances;  ///< per access (kColdDistance = cold)
+    std::uint64_t cold_accesses = 0;
+    std::uint64_t max_finite = 0;
+
+    /// Predicted miss rate of a fully-associative LRU cache with
+    /// `capacity_blocks` blocks (cold misses always count).
+    double lru_miss_rate(std::uint64_t capacity_blocks) const;
+
+    /// Minimum capacity achieving a miss rate <= target (or 0 if even
+    /// infinite capacity cannot, i.e. cold misses dominate).
+    std::uint64_t capacity_for_miss_rate(double target) const;
+  };
+
+  Result analyze(const Trace& trace);
+
+ private:
+  // Fenwick tree over access slots: counts live pages per time slot.
+  void fenwick_add(std::size_t i, int delta);
+  std::uint64_t fenwick_sum(std::size_t i) const;  ///< prefix sum [0, i]
+
+  std::vector<std::int64_t> tree_;
+};
+
+/// Working-set size over a sliding window (Denning): distinct pages touched
+/// in each window of `window` accesses, sampled every `stride` accesses.
+std::vector<std::uint64_t> working_set_curve(const Trace& trace,
+                                             std::size_t window,
+                                             std::size_t stride);
+
+}  // namespace icgmm::trace

@@ -1,0 +1,34 @@
+#include "trace/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace icgmm::trace {
+
+Zipf::Zipf(std::uint64_t n, double s) : n_(n), s_(s) {
+  if (n == 0) throw std::invalid_argument("Zipf: n must be positive");
+  if (s < 0.0) throw std::invalid_argument("Zipf: s must be non-negative");
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::uint64_t k = 0; k < n; ++k) {
+    acc += std::pow(static_cast<double>(k + 1), -s);
+    cdf_[k] = acc;
+  }
+  const double norm = 1.0 / acc;
+  for (double& c : cdf_) c *= norm;
+  cdf_.back() = 1.0;  // guard against rounding at the tail
+}
+
+std::uint64_t Zipf::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::uint64_t>(std::distance(cdf_.begin(), it));
+}
+
+double Zipf::pmf(std::uint64_t rank) const {
+  if (rank >= n_) return 0.0;
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace icgmm::trace

@@ -1,0 +1,33 @@
+// Zipfian sampler for key-popularity skew in the memtier/sysbench/dlrm
+// workload generators.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace icgmm::trace {
+
+/// Samples ranks 0..n-1 with P(rank k) ∝ 1/(k+1)^s using an inverted-CDF
+/// table (O(n) setup, O(log n) per sample, exact distribution).
+class Zipf {
+ public:
+  Zipf(std::uint64_t n, double s);
+
+  std::uint64_t n() const noexcept { return n_; }
+  double s() const noexcept { return s_; }
+
+  /// Draws a rank in [0, n).
+  std::uint64_t sample(Rng& rng) const;
+
+  /// Probability mass of a given rank.
+  double pmf(std::uint64_t rank) const;
+
+ private:
+  std::uint64_t n_;
+  double s_;
+  std::vector<double> cdf_;  // cdf_[k] = P(rank <= k)
+};
+
+}  // namespace icgmm::trace

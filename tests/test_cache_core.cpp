@@ -1,0 +1,180 @@
+#include "cache/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cache/policies/classic.hpp"
+
+namespace icgmm::cache {
+namespace {
+
+CacheConfig tiny_config() {
+  // 4 sets x 2 ways of 4 KB blocks.
+  return {.capacity_bytes = 8 * 4096, .block_bytes = 4096, .associativity = 2};
+}
+
+SetAssociativeCache make_cache(CacheConfig cfg = tiny_config()) {
+  return SetAssociativeCache(cfg, std::make_unique<LruPolicy>());
+}
+
+AccessContext read(PageIndex page, Timestamp ts = 0) {
+  return {.page = page, .timestamp = ts, .is_write = false};
+}
+AccessContext write(PageIndex page, Timestamp ts = 0) {
+  return {.page = page, .timestamp = ts, .is_write = true};
+}
+
+TEST(CacheConfig, DerivedQuantities) {
+  const CacheConfig paper{};  // defaults: 64 MB / 4 KB / 8
+  EXPECT_EQ(paper.blocks(), 16384u);
+  EXPECT_EQ(paper.sets(), 2048u);
+  paper.validate();
+}
+
+TEST(CacheConfig, RejectsBadGeometry) {
+  EXPECT_THROW((CacheConfig{.block_bytes = 3000}.validate()),
+               std::invalid_argument);
+  EXPECT_THROW((CacheConfig{.associativity = 0}.validate()),
+               std::invalid_argument);
+  EXPECT_THROW((CacheConfig{.capacity_bytes = 4096 + 1}.validate()),
+               std::invalid_argument);
+  EXPECT_THROW((CacheConfig{.capacity_bytes = 4096, .associativity = 8}
+                    .validate()),
+               std::invalid_argument);
+}
+
+TEST(Cache, RejectsNullPolicy) {
+  EXPECT_THROW(SetAssociativeCache(tiny_config(), nullptr),
+               std::invalid_argument);
+}
+
+TEST(Cache, ColdMissThenHit) {
+  auto cache = make_cache();
+  const AccessResult miss = cache.access(read(5));
+  EXPECT_FALSE(miss.hit);
+  EXPECT_TRUE(miss.admitted);
+  EXPECT_FALSE(miss.evicted);
+  const AccessResult hit = cache.access(read(5));
+  EXPECT_TRUE(hit.hit);
+  EXPECT_EQ(cache.stats().accesses, 2u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().read_misses, 1u);
+}
+
+TEST(Cache, SetMappingIsModulo) {
+  auto cache = make_cache();
+  // Pages 0, 4, 8 all map to set 0 (4 sets).
+  cache.access(read(0));
+  cache.access(read(4));
+  EXPECT_TRUE(cache.contains(0));
+  EXPECT_TRUE(cache.contains(4));
+  // Third page in set 0 must evict (2 ways).
+  const AccessResult result = cache.access(read(8));
+  EXPECT_TRUE(result.evicted);
+  EXPECT_EQ(result.victim_page, 0u);  // LRU victim
+  EXPECT_FALSE(cache.contains(0));
+  EXPECT_TRUE(cache.contains(8));
+}
+
+TEST(Cache, DifferentSetsDoNotInterfere) {
+  auto cache = make_cache();
+  for (PageIndex p = 0; p < 4; ++p) cache.access(read(p));
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_EQ(cache.valid_blocks(), 4u);
+}
+
+TEST(Cache, WriteAllocateSetsDirty) {
+  auto cache = make_cache();
+  cache.access(write(0));
+  cache.access(read(4));
+  // Evicting page 0 (dirty, LRU) must flag the writeback.
+  const AccessResult result = cache.access(read(8));
+  EXPECT_TRUE(result.evicted);
+  EXPECT_TRUE(result.evicted_dirty);
+  EXPECT_EQ(cache.stats().dirty_evictions, 1u);
+}
+
+TEST(Cache, WriteHitDirtiesBlock) {
+  auto cache = make_cache();
+  cache.access(read(0));   // clean fill
+  cache.access(write(0));  // hit, now dirty
+  cache.access(read(4));
+  const AccessResult result = cache.access(read(8));
+  EXPECT_TRUE(result.evicted_dirty);
+}
+
+TEST(Cache, CleanEvictionNotDirty) {
+  auto cache = make_cache();
+  cache.access(read(0));
+  cache.access(read(4));
+  const AccessResult result = cache.access(read(8));
+  EXPECT_TRUE(result.evicted);
+  EXPECT_FALSE(result.evicted_dirty);
+  EXPECT_EQ(cache.stats().dirty_evictions, 0u);
+}
+
+TEST(Cache, WriteMissCountsSeparately) {
+  auto cache = make_cache();
+  cache.access(write(1));
+  cache.access(read(2));
+  EXPECT_EQ(cache.stats().write_misses, 1u);
+  EXPECT_EQ(cache.stats().read_misses, 1u);
+  EXPECT_EQ(cache.stats().misses(), 2u);
+}
+
+TEST(Cache, MissRateComputation) {
+  auto cache = make_cache();
+  cache.access(read(0));  // miss
+  cache.access(read(0));  // hit
+  cache.access(read(0));  // hit
+  cache.access(read(1));  // miss
+  EXPECT_DOUBLE_EQ(cache.stats().miss_rate(), 0.5);
+  EXPECT_DOUBLE_EQ(cache.stats().hit_rate(), 0.5);
+  EXPECT_DOUBLE_EQ(CacheStats{}.miss_rate(), 0.0);
+}
+
+TEST(Cache, ResetClearsEverything) {
+  auto cache = make_cache();
+  cache.access(write(0));
+  cache.reset();
+  EXPECT_EQ(cache.stats().accesses, 0u);
+  EXPECT_EQ(cache.valid_blocks(), 0u);
+  EXPECT_FALSE(cache.contains(0));
+}
+
+TEST(Cache, ClearStatsKeepsBlocks) {
+  auto cache = make_cache();
+  cache.access(read(0));
+  cache.clear_stats();
+  EXPECT_EQ(cache.stats().accesses, 0u);
+  EXPECT_TRUE(cache.contains(0));
+  const AccessResult hit = cache.access(read(0));
+  EXPECT_TRUE(hit.hit);  // warm state preserved
+}
+
+TEST(Cache, OccupancyNeverExceedsCapacity) {
+  auto cache = make_cache();
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    cache.access(rng.chance(0.3) ? write(rng.below(64)) : read(rng.below(64)));
+    ASSERT_LE(cache.valid_blocks(), cache.config().blocks());
+  }
+  EXPECT_EQ(cache.valid_blocks(), cache.config().blocks());  // saturated
+}
+
+TEST(Cache, StatsInvariants) {
+  // Property: accesses = hits + misses; fills + bypasses = misses;
+  // evictions <= fills.
+  auto cache = make_cache();
+  Rng rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    cache.access(rng.chance(0.4) ? write(rng.below(32)) : read(rng.below(32)));
+  }
+  const CacheStats& s = cache.stats();
+  EXPECT_EQ(s.accesses, s.hits + s.misses());
+  EXPECT_EQ(s.fills + s.bypasses, s.misses());
+  EXPECT_LE(s.evictions, s.fills);
+  EXPECT_LE(s.dirty_evictions, s.evictions);
+}
+
+}  // namespace
+}  // namespace icgmm::cache

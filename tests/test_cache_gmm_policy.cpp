@@ -1,0 +1,196 @@
+// GMM policy unit tests with a synthetic scorer (no trained model needed):
+// admission thresholding, score-ordered eviction, rescoring, and the
+// strategy semantics of Fig. 4 / Fig. 6.
+#include "cache/policies/gmm_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cache/cache.hpp"
+
+namespace icgmm::cache {
+namespace {
+
+CacheConfig one_set(std::uint32_t ways) {
+  return {.capacity_bytes = static_cast<std::uint64_t>(ways) * 4096,
+          .block_bytes = 4096,
+          .associativity = ways};
+}
+
+AccessContext at(PageIndex page, Timestamp ts = 0, bool is_write = false) {
+  return {.page = page, .timestamp = ts, .is_write = is_write};
+}
+
+/// Scorer: score = -page (lower pages are "hotter"), time-independent.
+double neg_page(PageIndex page, Timestamp) {
+  return -static_cast<double>(page);
+}
+
+TEST(GmmPolicy, RejectsNullScorer) {
+  EXPECT_THROW(GmmPolicy(nullptr, {}), std::invalid_argument);
+}
+
+TEST(GmmPolicy, StrategyNames) {
+  EXPECT_STREQ(to_string(GmmStrategy::kCachingOnly), "GMM-caching");
+  EXPECT_STREQ(to_string(GmmStrategy::kEvictionOnly), "GMM-eviction");
+  EXPECT_STREQ(to_string(GmmStrategy::kCachingEviction), "GMM-caching-eviction");
+}
+
+TEST(GmmPolicy, CachingBypassesBelowThreshold) {
+  // Threshold -5: pages > 5 score below it and must be bypassed.
+  SetAssociativeCache cache(
+      one_set(2), std::make_unique<GmmPolicy>(
+                      neg_page, GmmPolicyConfig{
+                                    .strategy = GmmStrategy::kCachingOnly,
+                                    .threshold = -5.0}));
+  const AccessResult cold = cache.access(at(10));
+  EXPECT_FALSE(cold.hit);
+  EXPECT_FALSE(cold.admitted);
+  EXPECT_FALSE(cache.contains(10));
+  EXPECT_EQ(cache.stats().bypasses, 1u);
+
+  const AccessResult hot = cache.access(at(3));
+  EXPECT_TRUE(hot.admitted);
+  EXPECT_TRUE(cache.contains(3));
+}
+
+TEST(GmmPolicy, EvictionOnlyAdmitsEverything) {
+  SetAssociativeCache cache(
+      one_set(2), std::make_unique<GmmPolicy>(
+                      neg_page, GmmPolicyConfig{
+                                    .strategy = GmmStrategy::kEvictionOnly,
+                                    .threshold = 1e9}));  // would bypass all
+  EXPECT_TRUE(cache.access(at(100)).admitted);
+  EXPECT_EQ(cache.stats().bypasses, 0u);
+}
+
+TEST(GmmPolicy, EvictsLowestScore) {
+  SetAssociativeCache cache(
+      one_set(3), std::make_unique<GmmPolicy>(
+                      neg_page, GmmPolicyConfig{
+                                    .strategy = GmmStrategy::kEvictionOnly}));
+  cache.access(at(30));  // score -30 (coldest)
+  cache.access(at(10));
+  cache.access(at(20));
+  // Access 10 last so MRU protection shields it, not page 30.
+  cache.access(at(10));
+  const AccessResult result = cache.access(at(5));
+  EXPECT_TRUE(result.evicted);
+  EXPECT_EQ(result.victim_page, 30u);  // lowest score leaves
+  EXPECT_TRUE(cache.contains(10));
+  EXPECT_TRUE(cache.contains(20));
+}
+
+TEST(GmmPolicy, MruBlockIsNeverTheVictim) {
+  SetAssociativeCache cache(
+      one_set(2), std::make_unique<GmmPolicy>(
+                      neg_page, GmmPolicyConfig{
+                                    .strategy = GmmStrategy::kEvictionOnly}));
+  cache.access(at(10));
+  cache.access(at(50));  // MRU, but lowest score
+  const AccessResult result = cache.access(at(20));
+  // Without MRU protection 50 (score -50) would leave; with it, 10 does.
+  EXPECT_EQ(result.victim_page, 10u);
+}
+
+TEST(GmmPolicy, CachingOnlyFallsBackToLruEviction) {
+  SetAssociativeCache cache(
+      one_set(2),
+      std::make_unique<GmmPolicy>(
+          neg_page, GmmPolicyConfig{.strategy = GmmStrategy::kCachingOnly,
+                                    .threshold = -1e18}));
+  cache.access(at(30));
+  cache.access(at(10));
+  cache.access(at(30));  // touch 30: 10 becomes LRU
+  const AccessResult result = cache.access(at(20));
+  EXPECT_EQ(result.victim_page, 10u);  // LRU, NOT lowest score (30)
+}
+
+TEST(GmmPolicy, OneInferencePerMissWhenAdmitting) {
+  // should_admit scores the page; on_fill must reuse it, not re-infer.
+  auto policy = std::make_unique<GmmPolicy>(
+      neg_page, GmmPolicyConfig{.strategy = GmmStrategy::kCachingEviction,
+                                .threshold = -1e18});
+  GmmPolicy* raw = policy.get();
+  SetAssociativeCache cache(one_set(2), std::move(policy));
+  cache.access(at(1));
+  EXPECT_EQ(raw->inferences(), 1u);
+  cache.access(at(2));
+  EXPECT_EQ(raw->inferences(), 2u);
+  cache.access(at(1));  // hit: GMM bypassed (paper Fig. 4)
+  EXPECT_EQ(raw->inferences(), 2u);
+}
+
+TEST(GmmPolicy, StoredScoreVisibleAfterFill) {
+  auto policy = std::make_unique<GmmPolicy>(
+      neg_page, GmmPolicyConfig{.strategy = GmmStrategy::kEvictionOnly});
+  GmmPolicy* raw = policy.get();
+  SetAssociativeCache cache(one_set(2), std::move(policy));
+  cache.access(at(7));
+  // Way 0 holds page 7 with score -7.
+  EXPECT_DOUBLE_EQ(raw->stored_score(0, 0), -7.0);
+}
+
+TEST(GmmPolicy, RescoreOnEvictUsesCurrentTimestamp) {
+  // Time-dependent scorer: page is hot only in its own "phase".
+  // score = -(|page - 10*ts|): at ts=0 page 0 hottest, at ts=1 page 10...
+  const ScoreFn scorer = [](PageIndex page, Timestamp ts) {
+    return -std::abs(static_cast<double>(page) - 10.0 * static_cast<double>(ts));
+  };
+  auto make = [&](bool rescore) {
+    return std::make_unique<GmmPolicy>(
+        scorer, GmmPolicyConfig{.strategy = GmmStrategy::kEvictionOnly,
+                                .rescore_set_on_evict = rescore});
+  };
+  // With rescoring: at eviction time ts=3, page 30 is hot (score 0) and
+  // page 0 is stale-cold (score -30) even though page 0 was filled when it
+  // was hot. Without rescoring, fill-time scores invert the decision.
+  {
+    SetAssociativeCache cache(one_set(3), make(true));
+    cache.access(at(0, 0));   // fill-time score 0 (hot then)
+    cache.access(at(29, 3));  // fill-time score -1
+    cache.access(at(30, 3));  // fill-time score 0, MRU (protected)
+    const AccessResult r = cache.access(at(31, 3));
+    // Rescored at ts=3: page 0 -> -30 (stale), page 29 -> -1. 0 leaves.
+    EXPECT_EQ(r.victim_page, 0u);
+  }
+  {
+    SetAssociativeCache cache(one_set(3), make(false));
+    cache.access(at(0, 0));   // stored score 0
+    cache.access(at(29, 3));  // stored score -1
+    cache.access(at(30, 3));  // stored score 0, MRU
+    const AccessResult r = cache.access(at(31, 3));
+    EXPECT_EQ(r.victim_page, 29u);  // stale fill-time scores pick 29
+  }
+}
+
+TEST(GmmPolicy, RefreshOnHitUpdatesScore) {
+  const ScoreFn scorer = [](PageIndex, Timestamp ts) {
+    return static_cast<double>(ts);
+  };
+  auto policy = std::make_unique<GmmPolicy>(
+      scorer, GmmPolicyConfig{.strategy = GmmStrategy::kEvictionOnly,
+                              .refresh_on_hit = true});
+  GmmPolicy* raw = policy.get();
+  SetAssociativeCache cache(one_set(2), std::move(policy));
+  cache.access(at(1, 5));
+  EXPECT_DOUBLE_EQ(raw->stored_score(0, 0), 5.0);
+  cache.access(at(1, 9));  // hit refreshes
+  EXPECT_DOUBLE_EQ(raw->stored_score(0, 0), 9.0);
+}
+
+TEST(GmmPolicy, BypassedWriteDoesNotPolluteCache) {
+  SetAssociativeCache cache(
+      one_set(2),
+      std::make_unique<GmmPolicy>(
+          neg_page, GmmPolicyConfig{.strategy = GmmStrategy::kCachingEviction,
+                                    .threshold = -5.0}));
+  const AccessResult result = cache.access(at(100, 0, /*is_write=*/true));
+  EXPECT_FALSE(result.admitted);
+  EXPECT_TRUE(result.is_write);
+  EXPECT_EQ(cache.valid_blocks(), 0u);
+}
+
+}  // namespace
+}  // namespace icgmm::cache

@@ -1,0 +1,164 @@
+// Behavioural tests for the classic replacement policies, plus comparative
+// properties (e.g. LRU beats FIFO on re-reference patterns, LFU pins hot
+// blocks under scans).
+#include "cache/policies/classic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "cache/cache.hpp"
+
+namespace icgmm::cache {
+namespace {
+
+CacheConfig one_set(std::uint32_t ways) {
+  return {.capacity_bytes = static_cast<std::uint64_t>(ways) * 4096,
+          .block_bytes = 4096,
+          .associativity = ways};
+}
+
+AccessContext read(PageIndex page) {
+  return {.page = page, .timestamp = 0, .is_write = false};
+}
+
+TEST(LruPolicy, EvictsLeastRecentlyUsed) {
+  SetAssociativeCache cache(one_set(3), std::make_unique<LruPolicy>());
+  cache.access(read(0));
+  cache.access(read(3));
+  cache.access(read(6));
+  cache.access(read(0));  // touch 0: now 3 is LRU
+  const AccessResult result = cache.access(read(9));
+  EXPECT_EQ(result.victim_page, 3u);
+  EXPECT_TRUE(cache.contains(0));
+}
+
+TEST(LruPolicy, HitPromotes) {
+  SetAssociativeCache cache(one_set(2), std::make_unique<LruPolicy>());
+  cache.access(read(0));
+  cache.access(read(2));
+  cache.access(read(0));  // promote 0
+  cache.access(read(4));  // evicts 2
+  EXPECT_TRUE(cache.contains(0));
+  EXPECT_FALSE(cache.contains(2));
+}
+
+TEST(FifoPolicy, IgnoresHits) {
+  SetAssociativeCache cache(one_set(2), std::make_unique<FifoPolicy>());
+  cache.access(read(0));
+  cache.access(read(2));
+  cache.access(read(0));  // hit does NOT refresh FIFO order
+  const AccessResult result = cache.access(read(4));
+  EXPECT_EQ(result.victim_page, 0u);  // oldest fill leaves
+}
+
+TEST(RandomPolicy, VictimAlwaysInRange) {
+  SetAssociativeCache cache(one_set(4), std::make_unique<RandomPolicy>(99));
+  for (PageIndex p = 0; p < 400; ++p) {
+    cache.access(read(p * 4));  // all map to set 0? no: one set only
+  }
+  // No out-of-range victim would have thrown in choose_victim consumers.
+  EXPECT_EQ(cache.valid_blocks(), 4u);
+}
+
+TEST(LfuPolicy, KeepsFrequentBlockUnderScan) {
+  SetAssociativeCache cache(one_set(2), std::make_unique<LfuPolicy>());
+  cache.access(read(0));
+  for (int i = 0; i < 10; ++i) cache.access(read(0));  // freq(0) = 11
+  cache.access(read(2));  // freq(2) = 1
+  // Scan: each new page evicts the other scan page, never the hot block.
+  for (PageIndex p = 4; p < 40; p += 2) {
+    cache.access(read(p));
+    ASSERT_TRUE(cache.contains(0)) << "scan page " << p;
+  }
+}
+
+TEST(LfuPolicy, FillResetsFrequency) {
+  SetAssociativeCache cache(one_set(2), std::make_unique<LfuPolicy>());
+  for (int i = 0; i < 5; ++i) cache.access(read(0));
+  cache.access(read(2));
+  cache.access(read(2));  // freq(2)=2 < freq(0)=5
+  cache.access(read(4));  // evicts 2
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(0));
+}
+
+TEST(ClockPolicy, FullSweepEvictsAtHand) {
+  // All reference bits set: the hand sweeps a full revolution clearing
+  // them and evicts the block it started at.
+  SetAssociativeCache cache(one_set(2), std::make_unique<ClockPolicy>());
+  cache.access(read(0));
+  cache.access(read(2));
+  cache.access(read(4));  // sweep: clear 0 and 2, evict way 0 (page 0)
+  EXPECT_FALSE(cache.contains(0));
+  EXPECT_TRUE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(4));
+}
+
+TEST(ClockPolicy, SecondChanceProtectsReferenced) {
+  SetAssociativeCache cache(one_set(2), std::make_unique<ClockPolicy>());
+  cache.access(read(0));
+  cache.access(read(2));
+  cache.access(read(4));  // evicts 0; hand now points at way 1 (page 2)
+  cache.access(read(4));  // re-reference 4: its bit stays set
+  // Next eviction: hand sweeps 2 (bit set from fill -> cleared), then 4
+  // (bit set -> cleared), then lands back on 2 with a clear bit. The
+  // re-referenced 4 survives its second chance.
+  cache.access(read(6));
+  EXPECT_TRUE(cache.contains(4));
+  EXPECT_FALSE(cache.contains(2));
+}
+
+TEST(PolicyComparison, LruBeatsFifoOnReReference) {
+  // Workload: hot page re-referenced between scan fills. LRU keeps it,
+  // FIFO ages it out regardless of use.
+  auto run = [](std::unique_ptr<ReplacementPolicy> policy) {
+    SetAssociativeCache cache(one_set(4), std::move(policy));
+    std::uint64_t misses = 0;
+    PageIndex scan = 100;
+    for (int i = 0; i < 3000; ++i) {
+      if (!cache.access(read(0)).hit) ++misses;  // hot page
+      cache.access(read(scan));                  // one-shot scan page
+      scan += 4;
+    }
+    return misses;
+  };
+  const std::uint64_t lru_misses = run(std::make_unique<LruPolicy>());
+  const std::uint64_t fifo_misses = run(std::make_unique<FifoPolicy>());
+  EXPECT_EQ(lru_misses, 1u);  // only the cold miss
+  EXPECT_GT(fifo_misses, 100u);
+}
+
+class AllClassicPolicies
+    : public ::testing::TestWithParam<std::function<std::unique_ptr<ReplacementPolicy>()>> {};
+
+TEST_P(AllClassicPolicies, SurvivesRandomWorkload) {
+  // Property: any policy keeps the cache invariant-clean under random
+  // traffic (valid victims, stats consistent, no crash).
+  SetAssociativeCache cache(
+      {.capacity_bytes = 64 * 4096, .block_bytes = 4096, .associativity = 4},
+      GetParam()());
+  Rng rng(17);
+  for (int i = 0; i < 20000; ++i) {
+    cache.access({.page = rng.below(300),
+                  .timestamp = static_cast<Timestamp>(i / 32),
+                  .is_write = rng.chance(0.3)});
+  }
+  const CacheStats& s = cache.stats();
+  EXPECT_EQ(s.accesses, 20000u);
+  EXPECT_EQ(s.accesses, s.hits + s.misses());
+  EXPECT_EQ(s.fills, s.misses());  // classic policies admit everything
+  EXPECT_LE(cache.valid_blocks(), 64u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, AllClassicPolicies,
+    ::testing::Values([] { return std::make_unique<LruPolicy>(); },
+                      [] { return std::make_unique<FifoPolicy>(); },
+                      [] { return std::make_unique<RandomPolicy>(); },
+                      [] { return std::make_unique<LfuPolicy>(); },
+                      [] { return std::make_unique<ClockPolicy>(); }));
+
+}  // namespace
+}  // namespace icgmm::cache

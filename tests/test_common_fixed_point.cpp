@@ -1,0 +1,71 @@
+#include "common/fixed_point.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace icgmm {
+namespace {
+
+TEST(FixedPoint, RoundTripSmallValues) {
+  for (double v : {0.0, 1.0, -1.0, 0.5, -0.25, 3.14159, -2.71828}) {
+    EXPECT_NEAR(Q16::from_double(v).to_double(), v, 1.0 / Q16::kOne);
+  }
+}
+
+TEST(FixedPoint, OneHasExactRepresentation) {
+  EXPECT_EQ(Q16::from_double(1.0).raw(), Q16::kOne);
+  EXPECT_DOUBLE_EQ(Q16::from_double(1.0).to_double(), 1.0);
+}
+
+TEST(FixedPoint, AdditionMatchesDouble) {
+  const auto a = Q16::from_double(1.5);
+  const auto b = Q16::from_double(2.25);
+  EXPECT_DOUBLE_EQ((a + b).to_double(), 3.75);
+  EXPECT_DOUBLE_EQ((a - b).to_double(), -0.75);
+}
+
+TEST(FixedPoint, MultiplicationMatchesDouble) {
+  const auto a = Q16::from_double(1.5);
+  const auto b = Q16::from_double(-2.0);
+  EXPECT_DOUBLE_EQ((a * b).to_double(), -3.0);
+}
+
+TEST(FixedPoint, MultiplicationPrecisionBound) {
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.uniform(-100.0, 100.0);
+    const double y = rng.uniform(-100.0, 100.0);
+    const double fixed = (Q16::from_double(x) * Q16::from_double(y)).to_double();
+    // Error bound: each operand quantizes to 2^-16; product error ~ |x|+|y| ulps.
+    EXPECT_NEAR(fixed, x * y, (std::abs(x) + std::abs(y) + 1.0) / Q16::kOne);
+  }
+}
+
+TEST(FixedPoint, SaturatesOnOverflow) {
+  const auto big = Q16::from_double(1e300);
+  EXPECT_EQ(big.raw(), std::numeric_limits<std::int64_t>::max());
+  const auto neg = Q16::from_double(-1e300);
+  EXPECT_EQ(neg.raw(), std::numeric_limits<std::int64_t>::min());
+  // Saturating add does not wrap.
+  EXPECT_EQ((big + big).raw(), std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ((neg + neg).raw(), std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(FixedPoint, ComparisonOperators) {
+  const auto a = Q16::from_double(1.0);
+  const auto b = Q16::from_double(2.0);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a, Q16::from_double(1.0));
+  EXPECT_GT(b, a);
+}
+
+TEST(FixedPoint, WiderFractionIsMorePrecise) {
+  const double v = 1.0 / 3.0;
+  const double err16 = std::abs(Q16::from_double(v).to_double() - v);
+  const double err32 = std::abs(Q32::from_double(v).to_double() - v);
+  EXPECT_LT(err32, err16);
+}
+
+}  // namespace
+}  // namespace icgmm

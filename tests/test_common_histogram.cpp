@@ -1,0 +1,107 @@
+#include "common/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace icgmm {
+namespace {
+
+TEST(Histogram, RejectsDegenerateExtent) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, BinsValuesCorrectly) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(5.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.count(5), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, ClampsOutOfRangeIntoEdgeBins) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-100.0);
+  h.add(100.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.total(), 2u);  // totals preserved
+}
+
+TEST(Histogram, WeightedAdd) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.1, 5);
+  EXPECT_EQ(h.count(0), 5u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Histogram, BinCenters) {
+  Histogram h(0.0, 10.0, 10);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.bin_center(9), 9.5);
+}
+
+TEST(Histogram, PeakBin) {
+  Histogram h(0.0, 3.0, 3);
+  h.add(1.5, 10);
+  h.add(0.5, 3);
+  EXPECT_EQ(h.peak_bin(), 1u);
+}
+
+TEST(Histogram, MassInTopBins) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(0.5, 70);
+  h.add(1.5, 10);
+  h.add(2.5, 10);
+  h.add(3.5, 10);
+  EXPECT_DOUBLE_EQ(h.mass_in_top_bins(1), 0.7);
+  EXPECT_DOUBLE_EQ(h.mass_in_top_bins(4), 1.0);
+  EXPECT_DOUBLE_EQ(h.mass_in_top_bins(0), 0.0);
+}
+
+TEST(Histogram, EntropyUniformVsPeaked) {
+  Histogram uniform(0.0, 4.0, 4), peaked(0.0, 4.0, 4);
+  for (int i = 0; i < 4; ++i) uniform.add(i + 0.5, 25);
+  peaked.add(0.5, 100);
+  EXPECT_NEAR(uniform.entropy_bits(), 2.0, 1e-12);
+  EXPECT_NEAR(peaked.entropy_bits(), 0.0, 1e-12);
+}
+
+TEST(Histogram, AsciiSketchShape) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(0.5, 10);
+  const std::string sketch = h.ascii_sketch(2);
+  // 2 rows of 4 columns + newlines.
+  EXPECT_EQ(sketch.size(), 2u * 5u);
+  EXPECT_NE(sketch.find('#'), std::string::npos);
+}
+
+TEST(Grid2D, RejectsDegenerate) {
+  EXPECT_THROW(Grid2D(0, 0, 4, 0, 1, 4), std::invalid_argument);
+  EXPECT_THROW(Grid2D(0, 1, 0, 0, 1, 4), std::invalid_argument);
+}
+
+TEST(Grid2D, AddAndQuery) {
+  Grid2D g(0, 10, 10, 0, 10, 10);
+  g.add(1.5, 2.5);
+  EXPECT_EQ(g.at(1, 2), 1u);
+  EXPECT_EQ(g.total(), 1u);
+  EXPECT_THROW(g.at(10, 0), std::out_of_range);
+}
+
+TEST(Grid2D, OccupancyReflectsClustering) {
+  Grid2D clustered(0, 10, 10, 0, 10, 10);
+  Grid2D spread(0, 10, 10, 0, 10, 10);
+  for (int i = 0; i < 100; ++i) {
+    clustered.add(1.0, 1.0);
+    spread.add(i % 10 + 0.5, (i / 10) % 10 + 0.5);
+  }
+  EXPECT_LT(clustered.occupancy(), 0.02);
+  EXPECT_DOUBLE_EQ(spread.occupancy(), 1.0);
+}
+
+}  // namespace
+}  // namespace icgmm

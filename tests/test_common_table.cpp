@@ -1,0 +1,73 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.hpp"
+
+namespace icgmm {
+namespace {
+
+TEST(Table, RejectsEmptyHeaders) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, RejectsRowWidthMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "v"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const std::string out = t.render();
+  // header + separator + 2 rows
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  // Every line has the same width.
+  const auto lines = split(out, '\n');
+  EXPECT_EQ(lines[0].size(), lines[2].size());
+  EXPECT_EQ(lines[0].size(), lines[3].size());
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt_percent(0.1234, 1), "12.3%");
+  EXPECT_EQ(Table::fmt_micros(2.5, 2), "2.50 us");
+}
+
+TEST(StringUtil, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StringUtil, TrimWhitespace) {
+  EXPECT_EQ(trim("  x \t\r\n"), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StringUtil, ParseU64) {
+  EXPECT_EQ(parse_u64("42"), 42u);
+  EXPECT_EQ(parse_u64(" 42 "), 42u);
+  EXPECT_THROW(parse_u64("4x2"), std::invalid_argument);
+  EXPECT_THROW(parse_u64(""), std::invalid_argument);
+  EXPECT_THROW(parse_u64("-1"), std::invalid_argument);
+}
+
+TEST(StringUtil, ParseDouble) {
+  EXPECT_DOUBLE_EQ(parse_double("3.5"), 3.5);
+  EXPECT_DOUBLE_EQ(parse_double("-1e3"), -1000.0);
+  EXPECT_THROW(parse_double("abc"), std::invalid_argument);
+}
+
+TEST(StringUtil, StartsWith) {
+  EXPECT_TRUE(starts_with("hello", "he"));
+  EXPECT_FALSE(starts_with("he", "hello"));
+  EXPECT_TRUE(starts_with("x", ""));
+}
+
+}  // namespace
+}  // namespace icgmm

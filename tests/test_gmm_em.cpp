@@ -1,0 +1,194 @@
+// EM training tests: recovery of known mixtures, convergence behaviour,
+// and robustness to degenerate inputs.
+#include "gmm/em.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "gmm/kmeans.hpp"
+
+namespace icgmm::gmm {
+namespace {
+
+/// Draws from a known 2-component mixture for recovery tests.
+std::vector<trace::GmmSample> two_cluster_data(std::size_t n, Rng& rng) {
+  std::vector<trace::GmmSample> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.chance(0.3)) {
+      out.push_back({rng.gaussian(100.0, 5.0), rng.gaussian(20.0, 2.0)});
+    } else {
+      out.push_back({rng.gaussian(500.0, 10.0), rng.gaussian(80.0, 4.0)});
+    }
+  }
+  return out;
+}
+
+TEST(EmTrainer, ThrowsOnEmptyInput) {
+  EmTrainer trainer;
+  EXPECT_THROW(trainer.fit({}), std::invalid_argument);
+}
+
+TEST(EmTrainer, NormalizerCoversBoundingBox) {
+  const std::vector<trace::GmmSample> samples = {{10, 1}, {110, 3}, {60, 2}};
+  const Normalizer n = EmTrainer::make_normalizer(samples);
+  const Vec2 lo = n.apply(10, 1);
+  const Vec2 hi = n.apply(110, 3);
+  EXPECT_DOUBLE_EQ(lo.p, 0.0);
+  EXPECT_DOUBLE_EQ(lo.t, 0.0);
+  EXPECT_DOUBLE_EQ(hi.p, 1.0);
+  EXPECT_DOUBLE_EQ(hi.t, 1.0);
+}
+
+TEST(EmTrainer, NormalizerHandlesConstantAxis) {
+  const std::vector<trace::GmmSample> samples = {{5, 7}, {5, 7}};
+  const Normalizer n = EmTrainer::make_normalizer(samples);
+  const Vec2 x = n.apply(5, 7);
+  EXPECT_TRUE(std::isfinite(x.p));
+  EXPECT_TRUE(std::isfinite(x.t));
+}
+
+TEST(EmTrainer, RecoversTwoClusterMixture) {
+  Rng rng(31);
+  const auto samples = two_cluster_data(4000, rng);
+  EmConfig cfg;
+  cfg.components = 2;
+  cfg.max_iters = 60;
+  EmTrainer trainer(cfg);
+  const GaussianMixture model = trainer.fit(samples);
+
+  // Weights ~ {0.3, 0.7} in some order.
+  std::vector<double> w(model.weights().begin(), model.weights().end());
+  std::sort(w.begin(), w.end());
+  EXPECT_NEAR(w[0], 0.3, 0.04);
+  EXPECT_NEAR(w[1], 0.7, 0.04);
+
+  // The cluster centers score far above the gap between them.
+  EXPECT_GT(model.log_score(500, 80), model.log_score(300, 50) + 3.0);
+  EXPECT_GT(model.log_score(100, 20), model.log_score(300, 50) + 3.0);
+}
+
+TEST(EmTrainer, LogLikelihoodNonDecreasing) {
+  Rng rng(33);
+  const auto samples = two_cluster_data(1500, rng);
+  EmConfig cfg;
+  cfg.components = 4;
+  cfg.max_iters = 25;
+  cfg.tol = 0.0;  // run all iterations
+  EmTrainer trainer(cfg);
+  trainer.fit(samples);
+  const auto& ll = trainer.report().ll_history;
+  ASSERT_GE(ll.size(), 2u);
+  for (std::size_t i = 1; i < ll.size(); ++i) {
+    // EM guarantees monotone improvement (tiny epsilon for re-seeded
+    // degenerate components and floating-point noise).
+    EXPECT_GE(ll[i], ll[i - 1] - 1e-6) << "iteration " << i;
+  }
+}
+
+TEST(EmTrainer, ConvergesAndStopsEarly) {
+  Rng rng(35);
+  const auto samples = two_cluster_data(1000, rng);
+  EmConfig cfg;
+  cfg.components = 2;
+  cfg.max_iters = 100;
+  cfg.tol = 1e-4;
+  EmTrainer trainer(cfg);
+  trainer.fit(samples);
+  EXPECT_TRUE(trainer.report().converged);
+  EXPECT_LT(trainer.report().iterations, 100u);
+}
+
+TEST(EmTrainer, HandlesDuplicatePoints) {
+  // All-identical input: covariance collapses onto the ridge; must not
+  // throw or produce non-finite parameters.
+  std::vector<trace::GmmSample> samples(200, trace::GmmSample{42.0, 7.0});
+  EmConfig cfg;
+  cfg.components = 4;
+  cfg.max_iters = 10;
+  EmTrainer trainer(cfg);
+  const GaussianMixture model = trainer.fit(samples);
+  EXPECT_TRUE(std::isfinite(model.log_score(42.0, 7.0)));
+  EXPECT_GT(model.log_score(42.0, 7.0), model.log_score(43.0, 8.0));
+}
+
+TEST(EmTrainer, MoreComponentsFitAtLeastAsWell) {
+  Rng rng(37);
+  const auto samples = two_cluster_data(2500, rng);
+  double prev_ll = -1e300;
+  for (std::uint32_t k : {1u, 2u, 8u}) {
+    EmConfig cfg;
+    cfg.components = k;
+    cfg.max_iters = 40;
+    EmTrainer trainer(cfg);
+    trainer.fit(samples);
+    const double ll = trainer.report().final_mean_log_likelihood;
+    EXPECT_GE(ll, prev_ll - 0.05) << "k=" << k;  // small slack for EM noise
+    prev_ll = ll;
+  }
+}
+
+TEST(EmTrainer, DeterministicForSeed) {
+  Rng rng(39);
+  const auto samples = two_cluster_data(800, rng);
+  EmConfig cfg;
+  cfg.components = 3;
+  cfg.max_iters = 15;
+  EmTrainer a(cfg), b(cfg);
+  const GaussianMixture ma = a.fit(samples);
+  const GaussianMixture mb = b.fit(samples);
+  for (std::size_t k = 0; k < ma.size(); ++k) {
+    EXPECT_DOUBLE_EQ(ma.weights()[k], mb.weights()[k]);
+    EXPECT_EQ(ma.components()[k].mean(), mb.components()[k].mean());
+  }
+}
+
+TEST(KMeans, ThrowsOnBadInput) {
+  Rng rng(1);
+  EXPECT_THROW(kmeans({}, {.clusters = 2}, rng), std::invalid_argument);
+  const std::vector<Vec2> xs = {{0, 0}};
+  EXPECT_THROW(kmeans(xs, {.clusters = 0}, rng), std::invalid_argument);
+}
+
+TEST(KMeans, SeparatesObviousClusters) {
+  Rng rng(41);
+  std::vector<Vec2> xs;
+  for (int i = 0; i < 300; ++i) {
+    xs.push_back({rng.gaussian(0.0, 0.1), rng.gaussian(0.0, 0.1)});
+    xs.push_back({rng.gaussian(10.0, 0.1), rng.gaussian(10.0, 0.1)});
+  }
+  const KMeansResult result = kmeans(xs, {.clusters = 2, .lloyd_iters = 8}, rng);
+  ASSERT_EQ(result.centers.size(), 2u);
+  std::vector<double> ps = {result.centers[0].p, result.centers[1].p};
+  std::sort(ps.begin(), ps.end());
+  EXPECT_NEAR(ps[0], 0.0, 0.5);
+  EXPECT_NEAR(ps[1], 10.0, 0.5);
+  EXPECT_EQ(result.counts[0] + result.counts[1], xs.size());
+}
+
+TEST(KMeans, MoreClustersThanSamples) {
+  Rng rng(43);
+  const std::vector<Vec2> xs = {{0, 0}, {1, 1}};
+  const KMeansResult result = kmeans(xs, {.clusters = 5, .lloyd_iters = 2}, rng);
+  EXPECT_EQ(result.centers.size(), 5u);  // duplicated centers, no crash
+}
+
+TEST(KMeans, InertiaDecreasesWithMoreClusters) {
+  Rng rng(45);
+  std::vector<Vec2> xs;
+  for (int i = 0; i < 500; ++i) {
+    xs.push_back({rng.uniform(), rng.uniform()});
+  }
+  double prev = 1e300;
+  for (std::uint32_t k : {1u, 4u, 16u}) {
+    Rng local(45);
+    const auto result = kmeans(xs, {.clusters = k, .lloyd_iters = 6}, local);
+    EXPECT_LT(result.inertia, prev);
+    prev = result.inertia;
+  }
+}
+
+}  // namespace
+}  // namespace icgmm::gmm

@@ -1,0 +1,136 @@
+#include "gmm/gaussian2d.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "gmm/mixture.hpp"
+
+namespace icgmm::gmm {
+namespace {
+
+TEST(Gaussian2D, RejectsNonPositiveDefinite) {
+  EXPECT_THROW(Gaussian2D({0, 0}, {1.0, 2.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Gaussian2D({0, 0}, {-1.0, 0.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Gaussian2D({0, 0}, {0.0, 0.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Gaussian2D, StandardNormalPeak) {
+  const Gaussian2D g({0, 0}, {1, 0, 1});
+  // N(0 | 0, I) in 2D = 1/(2*pi).
+  EXPECT_NEAR(g.pdf({0, 0}), 1.0 / (2.0 * std::numbers::pi), 1e-12);
+  EXPECT_NEAR(g.log_pdf({0, 0}), -std::log(2.0 * std::numbers::pi), 1e-12);
+}
+
+TEST(Gaussian2D, SymmetricAroundMean) {
+  const Gaussian2D g({1, 2}, {2, 0.5, 1});
+  EXPECT_NEAR(g.pdf({1.5, 2.5}), g.pdf({0.5, 1.5}), 1e-15);
+}
+
+TEST(Gaussian2D, MahalanobisIdentity) {
+  const Gaussian2D g({0, 0}, {1, 0, 1});
+  EXPECT_NEAR(g.mahalanobis2({3, 4}), 25.0, 1e-12);
+  EXPECT_NEAR(g.mahalanobis2({0, 0}), 0.0, 1e-15);
+}
+
+TEST(Gaussian2D, CovarianceScalesSpread) {
+  const Gaussian2D narrow({0, 0}, {0.1, 0, 0.1});
+  const Gaussian2D wide({0, 0}, {10, 0, 10});
+  EXPECT_GT(narrow.pdf({0, 0}), wide.pdf({0, 0}));
+  EXPECT_LT(narrow.pdf({3, 3}), wide.pdf({3, 3}));
+}
+
+TEST(Gaussian2D, CorrelatedCovariance) {
+  // Positive correlation: density along the diagonal beats anti-diagonal.
+  const Gaussian2D g({0, 0}, {1, 0.8, 1});
+  EXPECT_GT(g.pdf({1, 1}), g.pdf({1, -1}));
+}
+
+TEST(Gaussian2D, IntegratesToOneOnGrid) {
+  const Gaussian2D g({0.5, -0.25}, {0.8, 0.2, 0.5});
+  double mass = 0.0;
+  const double step = 0.05;
+  for (double p = -6.0; p < 7.0; p += step) {
+    for (double t = -6.0; t < 6.0; t += step) {
+      mass += g.pdf({p, t}) * step * step;
+    }
+  }
+  EXPECT_NEAR(mass, 1.0, 1e-3);
+}
+
+TEST(Mixture, RejectsBadConstruction) {
+  std::vector<Gaussian2D> comps;
+  comps.emplace_back(Vec2{0, 0}, Cov2{1, 0, 1});
+  EXPECT_THROW(GaussianMixture({}, {}), std::invalid_argument);
+  EXPECT_THROW(GaussianMixture({0.5, 0.5}, std::vector<Gaussian2D>(comps)),
+               std::invalid_argument);  // size mismatch
+  EXPECT_THROW(GaussianMixture({-1.0}, std::vector<Gaussian2D>(comps)),
+               std::invalid_argument);  // negative weight
+  EXPECT_THROW(GaussianMixture({0.0}, std::vector<Gaussian2D>(comps)),
+               std::invalid_argument);  // zero total
+}
+
+TEST(Mixture, NormalizesWeights) {
+  std::vector<Gaussian2D> comps;
+  comps.emplace_back(Vec2{0, 0}, Cov2{1, 0, 1});
+  comps.emplace_back(Vec2{5, 5}, Cov2{1, 0, 1});
+  const GaussianMixture m({2.0, 6.0}, std::move(comps));
+  EXPECT_NEAR(m.weights()[0], 0.25, 1e-12);
+  EXPECT_NEAR(m.weights()[1], 0.75, 1e-12);
+}
+
+TEST(Mixture, ScoreIsWeightedSum) {
+  std::vector<Gaussian2D> comps;
+  comps.emplace_back(Vec2{0, 0}, Cov2{1, 0, 1});
+  comps.emplace_back(Vec2{4, 0}, Cov2{1, 0, 1});
+  const GaussianMixture m({0.3, 0.7}, std::move(comps));
+  const double expected = 0.3 * Gaussian2D({0, 0}, {1, 0, 1}).pdf({1, 0}) +
+                          0.7 * Gaussian2D({4, 0}, {1, 0, 1}).pdf({1, 0});
+  EXPECT_NEAR(m.score(1.0, 0.0), expected, 1e-12);
+}
+
+TEST(Mixture, LogScoreMonotoneWithScore) {
+  std::vector<Gaussian2D> comps;
+  comps.emplace_back(Vec2{0, 0}, Cov2{1, 0, 1});
+  const GaussianMixture m({1.0}, std::move(comps));
+  EXPECT_GT(m.log_score(0, 0), m.log_score(1, 1));
+  EXPECT_GT(m.log_score(1, 1), m.log_score(3, 3));
+  EXPECT_NEAR(std::exp(m.log_score(0.5, 0.5)), m.score(0.5, 0.5), 1e-12);
+}
+
+TEST(Mixture, LogScoreStableFarFromSupport) {
+  // Linear score underflows to 0 far away; log score stays finite/ordered.
+  std::vector<Gaussian2D> comps;
+  comps.emplace_back(Vec2{0, 0}, Cov2{0.001, 0, 0.001});
+  const GaussianMixture m({1.0}, std::move(comps));
+  EXPECT_EQ(m.score(100.0, 100.0), 0.0);  // underflow
+  EXPECT_TRUE(std::isfinite(m.log_score(40.0, 40.0)));
+  EXPECT_GT(m.log_score(40.0, 40.0), m.log_score(50.0, 50.0));
+}
+
+TEST(Mixture, NormalizerAppliesAffineMap) {
+  std::vector<Gaussian2D> comps;
+  comps.emplace_back(Vec2{0.5, 0.5}, Cov2{0.01, 0, 0.01});
+  const Normalizer norm{.p_offset = 1000.0, .p_scale = 1e-3,
+                        .t_offset = 0.0, .t_scale = 1e-4};
+  const GaussianMixture m({1.0}, std::move(comps), norm);
+  // Raw (1500, 5000) -> normalized (0.5, 0.5) = the mode.
+  const double at_mode = m.score(1500.0, 5000.0);
+  EXPECT_GT(at_mode, m.score(1100.0, 5000.0));
+  EXPECT_GT(at_mode, m.score(1500.0, 9000.0));
+}
+
+TEST(Mixture, MeanLogLikelihood) {
+  std::vector<Gaussian2D> comps;
+  comps.emplace_back(Vec2{0, 0}, Cov2{1, 0, 1});
+  const GaussianMixture m({1.0}, std::move(comps));
+  const std::vector<Vec2> xs = {{0, 0}, {1, 0}};
+  const double expected =
+      (m.log_score_normalized({0, 0}) + m.log_score_normalized({1, 0})) / 2.0;
+  EXPECT_NEAR(m.mean_log_likelihood(xs), expected, 1e-12);
+  EXPECT_DOUBLE_EQ(m.mean_log_likelihood({}), 0.0);
+}
+
+}  // namespace
+}  // namespace icgmm::gmm

@@ -1,0 +1,97 @@
+#include "gmm/model_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "gmm/em.hpp"
+
+namespace icgmm::gmm {
+namespace {
+
+GaussianMixture sample_model() {
+  std::vector<Gaussian2D> comps;
+  comps.emplace_back(Vec2{0.25, 0.5}, Cov2{0.02, 0.001, 0.03});
+  comps.emplace_back(Vec2{0.75, 0.1}, Cov2{0.05, -0.002, 0.01});
+  return GaussianMixture({0.4, 0.6}, std::move(comps),
+                         {.p_offset = 10.0, .p_scale = 0.001,
+                          .t_offset = 0.0, .t_scale = 1e-4});
+}
+
+TEST(ModelIo, RoundTripPreservesScores) {
+  const GaussianMixture original = sample_model();
+  std::stringstream ss;
+  save_model(ss, original);
+  const GaussianMixture loaded = load_model(ss);
+
+  ASSERT_EQ(loaded.size(), original.size());
+  EXPECT_EQ(loaded.normalizer(), original.normalizer());
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const double p = rng.uniform(0.0, 2000.0);
+    const double t = rng.uniform(0.0, 20000.0);
+    ASSERT_DOUBLE_EQ(loaded.log_score(p, t), original.log_score(p, t));
+  }
+}
+
+TEST(ModelIo, RejectsBadHeader) {
+  std::stringstream ss("NOT-A-MODEL\n");
+  EXPECT_THROW(load_model(ss), std::runtime_error);
+}
+
+TEST(ModelIo, RejectsTruncatedComponents) {
+  const GaussianMixture original = sample_model();
+  std::stringstream ss;
+  save_model(ss, original);
+  std::string text = ss.str();
+  text.resize(text.size() - 20);
+  std::stringstream truncated(text);
+  EXPECT_THROW(load_model(truncated), std::runtime_error);
+}
+
+TEST(ModelIo, RejectsBadCovariance) {
+  std::stringstream ss(
+      "ICGMM-GMM v1\nK 1\nnormalizer 0 1 0 1\n1.0 0 0 1 5 1\n");
+  // cov = [[1,5],[5,1]] is indefinite.
+  EXPECT_THROW(load_model(ss), std::runtime_error);
+}
+
+TEST(ModelIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/model.txt";
+  save_model_file(path, sample_model());
+  const GaussianMixture loaded = load_model_file(path);
+  EXPECT_EQ(loaded.size(), 2u);
+  EXPECT_THROW(load_model_file("/nonexistent/m.txt"), std::runtime_error);
+}
+
+TEST(ModelIo, WeightBufferBytesScalesWithK) {
+  const GaussianMixture m = sample_model();
+  // 2 components x 7 words x 4 B + 4 normalizer words x 4 B.
+  EXPECT_EQ(weight_buffer_bytes(m), 2u * 7 * 4 + 16);
+}
+
+TEST(ModelIo, TrainedModelSurvivesRoundTrip) {
+  // End-to-end: fit on data, persist, reload, same decisions.
+  Rng rng(7);
+  std::vector<trace::GmmSample> samples;
+  for (int i = 0; i < 500; ++i) {
+    samples.push_back({rng.gaussian(1000, 30), rng.gaussian(50, 5)});
+  }
+  EmConfig cfg;
+  cfg.components = 8;
+  cfg.max_iters = 10;
+  EmTrainer trainer(cfg);
+  const GaussianMixture model = trainer.fit(samples);
+
+  std::stringstream ss;
+  save_model(ss, model);
+  const GaussianMixture loaded = load_model(ss);
+  for (const auto& s : samples) {
+    ASSERT_DOUBLE_EQ(model.log_score(s.page, s.time),
+                     loaded.log_score(s.page, s.time));
+  }
+}
+
+}  // namespace
+}  // namespace icgmm::gmm

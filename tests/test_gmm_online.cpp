@@ -1,0 +1,120 @@
+// Online EM: drift adaptation and stability properties.
+#include "gmm/online.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "gmm/em.hpp"
+#include "gmm/model_select.hpp"
+
+namespace icgmm::gmm {
+namespace {
+
+std::vector<trace::GmmSample> cluster_at(double page, double time,
+                                         std::size_t n, Rng& rng) {
+  std::vector<trace::GmmSample> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back({rng.gaussian(page, 20.0), rng.gaussian(time, 10.0)});
+  }
+  return out;
+}
+
+GaussianMixture offline_fit(const std::vector<trace::GmmSample>& samples,
+                            std::uint32_t k) {
+  EmConfig cfg;
+  cfg.components = k;
+  cfg.max_iters = 25;
+  EmTrainer trainer(cfg);
+  return trainer.fit(samples);
+}
+
+TEST(OnlineEm, StationaryStreamKeepsModelStable) {
+  Rng rng(3);
+  const auto train = cluster_at(1000, 100, 2000, rng);
+  OnlineEm online(offline_fit(train, 4));
+  const double before = online.model().log_score(1000, 100);
+  Rng rng2(5);
+  const auto more = cluster_at(1000, 100, 4000, rng2);
+  online.observe(more);
+  const double after = online.model().log_score(1000, 100);
+  // Same distribution: the mode stays a mode (within EM noise).
+  EXPECT_NEAR(after, before, 1.0);
+  EXPECT_GT(online.steps(), 0u);
+}
+
+TEST(OnlineEm, AdaptsToDriftedHotspot) {
+  Rng rng(7);
+  // Train at page 1000; the workload drifts to page 5000 (same time band).
+  const auto train = cluster_at(1000, 100, 2000, rng);
+  // Give the normalizer room for the drift target.
+  auto wide = train;
+  wide.push_back({6000, 200});
+  wide.push_back({0, 0});
+  OnlineEm online(offline_fit(wide, 6), {.step_power = 0.6, .batch = 128});
+
+  const double drift_before = online.model().log_score(5000, 100);
+  Rng rng2(9);
+  for (int round = 0; round < 10; ++round) {
+    online.observe(cluster_at(5000, 100, 1000, rng2));
+  }
+  const double drift_after = online.model().log_score(5000, 100);
+  EXPECT_GT(drift_after, drift_before + 2.0)
+      << "online EM failed to follow the drifted hotspot";
+}
+
+TEST(OnlineEm, WeightsRemainNormalized) {
+  Rng rng(11);
+  OnlineEm online(offline_fit(cluster_at(500, 50, 1000, rng), 3));
+  Rng rng2(13);
+  online.observe(cluster_at(700, 70, 3000, rng2));
+  double sum = 0.0;
+  for (double w : online.model().weights()) {
+    EXPECT_GE(w, 0.0);
+    sum += w;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(OnlineEm, NoUpdateBeforeBatchFills) {
+  Rng rng(15);
+  OnlineEm online(offline_fit(cluster_at(500, 50, 500, rng), 2),
+                  {.batch = 1000});
+  Rng rng2(17);
+  const auto few = cluster_at(500, 50, 10, rng2);
+  EXPECT_EQ(online.observe(few), 0u);
+  EXPECT_EQ(online.steps(), 0u);
+}
+
+TEST(ModelSelect, FreeParameterFormula) {
+  EXPECT_EQ(gmm_free_parameters(1), 5u);
+  EXPECT_EQ(gmm_free_parameters(256), 1535u);
+}
+
+TEST(ModelSelect, BicPrefersTrueComponentCount) {
+  // Data from 3 well-separated clusters: BIC should prefer K=3 over
+  // gross under/overfits.
+  Rng rng(19);
+  std::vector<trace::GmmSample> samples;
+  for (auto [p, t] : {std::pair{500.0, 50.0}, {3000.0, 200.0}, {8000.0, 400.0}}) {
+    const auto c = cluster_at(p, t, 700, rng);
+    samples.insert(samples.end(), c.begin(), c.end());
+  }
+  const std::uint32_t candidates[] = {1, 3, 24};
+  EmConfig base;
+  base.max_iters = 25;
+  const auto curve = sweep_components(samples, candidates, base);
+  ASSERT_EQ(curve.size(), 3u);
+  EXPECT_EQ(select_components_bic(curve), 3u);
+  // Likelihood is monotone in K even when BIC penalizes it.
+  EXPECT_GT(curve[1].mean_log_likelihood, curve[0].mean_log_likelihood);
+}
+
+TEST(ModelSelect, ThrowsOnEmpty) {
+  const std::uint32_t candidates[] = {2};
+  EXPECT_THROW(sweep_components({}, candidates, {}), std::invalid_argument);
+  EXPECT_EQ(select_components_bic({}), 0u);
+}
+
+}  // namespace
+}  // namespace icgmm::gmm

@@ -1,0 +1,108 @@
+// Fixed-point (HLS datapath) inference: fidelity against the float
+// reference and the property that quantization does not flip caching
+// decisions except in a narrow band around the threshold.
+#include "gmm/quantized.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "gmm/em.hpp"
+
+namespace icgmm::gmm {
+namespace {
+
+GaussianMixture trained_model(std::uint32_t k, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<trace::GmmSample> samples;
+  for (int i = 0; i < 2000; ++i) {
+    if (rng.chance(0.5)) {
+      samples.push_back({rng.gaussian(2000, 100), rng.gaussian(300, 40)});
+    } else {
+      samples.push_back({rng.gaussian(9000, 250), rng.gaussian(700, 30)});
+    }
+  }
+  EmConfig cfg;
+  cfg.components = k;
+  cfg.max_iters = 15;
+  EmTrainer trainer(cfg);
+  return trainer.fit(samples);
+}
+
+TEST(QuantizedGmm, MatchesFloatNearSupport) {
+  const GaussianMixture model = trained_model(8, 11);
+  const QuantizedGmm quantized(model);
+  Rng rng(13);
+  for (int i = 0; i < 500; ++i) {
+    const double p = rng.uniform(1500.0, 9500.0);
+    const double t = rng.uniform(200.0, 800.0);
+    const double exact = model.score(p, t);
+    const double fixed = quantized.score(p, t);
+    // Relative tolerance: Q16-quantized inputs + table interpolation give
+    // ~1e-3 relative accuracy; scores span orders of magnitude.
+    ASSERT_NEAR(fixed, exact, 2e-3 * std::max(1.0, exact))
+        << "p=" << p << " t=" << t;
+  }
+}
+
+TEST(QuantizedGmm, ZeroFarFromSupport) {
+  const GaussianMixture model = trained_model(4, 17);
+  const QuantizedGmm quantized(model);
+  EXPECT_NEAR(quantized.score(1e6, 1e6), 0.0, 1e-6);
+}
+
+TEST(QuantizedGmm, MaxAbsErrorBounded) {
+  const GaussianMixture model = trained_model(16, 19);
+  const QuantizedGmm quantized(model);
+  std::vector<Vec2> probes;
+  Rng rng(21);
+  for (int i = 0; i < 400; ++i) {
+    probes.push_back({rng.uniform(0.0, 12000.0), rng.uniform(0.0, 1000.0)});
+  }
+  // Absolute bound scaled to the score range of this model (peaks ~50).
+  EXPECT_LT(quantized.max_abs_error(model, probes), 0.1);
+}
+
+TEST(QuantizedGmm, DecisionAgreementAwayFromThreshold) {
+  // Property: for any threshold, fixed/float admission decisions agree on
+  // all probes whose float score is not within the quantization band.
+  const GaussianMixture model = trained_model(8, 23);
+  const QuantizedGmm quantized(model);
+  Rng rng(25);
+  constexpr double kBand = 5e-3;
+  for (double threshold : {0.01, 0.1, 0.5}) {
+    int disagreements = 0;
+    for (int i = 0; i < 1000; ++i) {
+      const double p = rng.uniform(1000.0, 10000.0);
+      const double t = rng.uniform(100.0, 900.0);
+      const double exact = model.score(p, t);
+      if (std::abs(exact - threshold) < kBand) continue;  // inside the band
+      const bool admit_float = exact >= threshold;
+      const bool admit_fixed = quantized.score(p, t) >= threshold;
+      disagreements += admit_float != admit_fixed ? 1 : 0;
+    }
+    EXPECT_EQ(disagreements, 0) << "threshold " << threshold;
+  }
+}
+
+TEST(QuantizedGmm, LargerExpTableIsMoreAccurate) {
+  const GaussianMixture model = trained_model(8, 27);
+  std::vector<Vec2> probes;
+  Rng rng(29);
+  for (int i = 0; i < 300; ++i) {
+    probes.push_back({rng.uniform(1500.0, 9500.0), rng.uniform(200.0, 800.0)});
+  }
+  const QuantizedGmm small(model, {.exp_table_entries = 64});
+  const QuantizedGmm large(model, {.exp_table_entries = 4096});
+  EXPECT_LE(large.max_abs_error(model, probes),
+            small.max_abs_error(model, probes));
+}
+
+TEST(QuantizedGmm, SizeMatchesModel) {
+  const GaussianMixture model = trained_model(16, 31);
+  EXPECT_EQ(QuantizedGmm(model).size(), 16u);
+}
+
+}  // namespace
+}  // namespace icgmm::gmm

@@ -1,0 +1,93 @@
+// Hardware model tests: Table 2 calibration points must reproduce exactly,
+// and the scaling behaviour must be physically sensible.
+#include <gtest/gtest.h>
+
+#include "hw/fpga_spec.hpp"
+#include "hw/pipeline.hpp"
+#include "hw/resource_model.hpp"
+#include "lstm/lstm.hpp"
+
+namespace icgmm::hw {
+namespace {
+
+TEST(ResourceModel, GmmMatchesTable2AtK256) {
+  const Resources r = estimate_gmm_engine({.components = 256});
+  EXPECT_EQ(r.bram36, 8u);
+  EXPECT_EQ(r.dsp, 113u);
+  EXPECT_EQ(r.lut, 58353u);
+  EXPECT_EQ(r.ff, 152583u);
+}
+
+TEST(ResourceModel, LstmMatchesTable2AtPaperConfig) {
+  const Resources r = estimate_lstm_engine({});  // 3 x 128, seq 32
+  EXPECT_EQ(r.bram36, 339u);
+  EXPECT_EQ(r.dsp, 145u);
+  EXPECT_EQ(r.lut, 85029u);
+  EXPECT_EQ(r.ff, 103561u);
+}
+
+TEST(ResourceModel, GmmScalesWithK) {
+  const Resources small = estimate_gmm_engine({.components = 16});
+  const Resources large = estimate_gmm_engine({.components = 512});
+  EXPECT_LE(small.bram36, large.bram36);
+  EXPECT_LT(small.lut, large.lut);
+  EXPECT_LT(small.ff, large.ff);
+  EXPECT_EQ(small.dsp, large.dsp);  // fixed-width datapath
+}
+
+TEST(ResourceModel, LstmParameterCountMatchesNetwork) {
+  // The analytic count must agree with the actual implementation.
+  const lstm::LstmNetwork net{lstm::LstmConfig{}};
+  EXPECT_EQ(lstm_parameter_count({}), net.parameter_count());
+  EXPECT_EQ(lstm_macs_per_inference({}), net.macs_per_inference());
+}
+
+TEST(ResourceModel, LstmScalesWithHidden) {
+  const Resources small = estimate_lstm_engine({.hidden = 32});
+  const Resources large = estimate_lstm_engine({.hidden = 256});
+  EXPECT_LT(small.bram36, large.bram36);
+  EXPECT_LT(small.lut, large.lut);
+}
+
+TEST(PipelineModel, GmmLatencyMatchesPaper) {
+  // 3 us at K = 256, 233 MHz.
+  EXPECT_NEAR(gmm_inference_us({.components = 256}), 3.0, 0.05);
+  // II = 1: doubling K adds exactly K cycles.
+  EXPECT_EQ(gmm_inference_cycles({.components = 512}) -
+                gmm_inference_cycles({.components = 256}),
+            256u);
+}
+
+TEST(PipelineModel, LstmLatencyMatchesPaper) {
+  const double ms =
+      lstm_inference_ms({.macs = lstm_macs_per_inference({})});
+  EXPECT_NEAR(ms, 46.3, 0.3);
+}
+
+TEST(PipelineModel, SpeedupExceedsTenThousand) {
+  const double gmm_us = gmm_inference_us({.components = 256});
+  const double lstm_us =
+      lstm_inference_ms({.macs = lstm_macs_per_inference({})}) * 1000.0;
+  EXPECT_GT(lstm_us / gmm_us, 10000.0);  // the paper's headline claim
+  EXPECT_NEAR(lstm_us / gmm_us, 15433.0, 700.0);
+}
+
+TEST(FpgaSpec, UtilizationFractions) {
+  const Resources gmm = estimate_gmm_engine({.components = 256});
+  const Utilization u = utilization(gmm);
+  EXPECT_GT(u.bram, 0.0);
+  EXPECT_LT(u.bram, 0.02);  // "2% on-chip memory" ballpark
+  EXPECT_LT(u.dsp, 0.03);
+  // Whole-design context from §5.1: 190 BRAM = 14% of the U50.
+  EXPECT_NEAR(190.0 / AlveoU50::kTotal.bram36, 0.14, 0.01);
+  EXPECT_NEAR(117.0 / AlveoU50::kTotal.dsp, 0.02, 0.005);
+}
+
+TEST(FpgaSpec, ResourceAddition) {
+  const Resources a{1, 2, 3, 4}, b{10, 20, 30, 40};
+  const Resources sum = a + b;
+  EXPECT_EQ(sum, (Resources{11, 22, 33, 44}));
+}
+
+}  // namespace
+}  // namespace icgmm::hw

@@ -1,0 +1,187 @@
+// End-to-end integration tests: the paper's headline claims at reduced
+// scale, cross-checks between the functional engine and the dataflow
+// hardware model, and the policy-quality comparison against the LSTM.
+#include <gtest/gtest.h>
+
+#include "core/icgmm.hpp"
+#include "gmm/model_io.hpp"
+#include "lstm/lstm_policy.hpp"
+#include "lstm/trainer.hpp"
+#include "sim/dataflow/kernels.hpp"
+#include "trace/generator.hpp"
+#include "trace/io.hpp"
+
+#include <sstream>
+
+namespace icgmm {
+namespace {
+
+core::IcgmmConfig test_config() {
+  core::IcgmmConfig cfg;
+  cfg.policy.em.components = 64;
+  cfg.policy.em.max_iters = 20;
+  cfg.policy.train_subsample = 8000;
+  cfg.tuning_prefix = 30000;
+  return cfg;
+}
+
+TEST(Integration, GmmNeverLosesToLruAcrossBenchmarks) {
+  // The Fig. 6 headline at test scale: the best GMM strategy matches or
+  // beats LRU on every benchmark.
+  for (trace::Benchmark b : trace::kAllBenchmarks) {
+    const trace::Trace t = trace::generate(b, 150000, 21);
+    core::IcgmmSystem system(test_config());
+    system.train(t);
+    const core::StrategyComparison cmp = system.compare(t);
+    EXPECT_LE(cmp.best_gmm().miss_rate(), cmp.lru.miss_rate() + 1e-9)
+        << to_string(b);
+  }
+}
+
+TEST(Integration, GmmBeatsLruOnContendedBenchmarks) {
+  // Where working sets exceed the cache (hashmap, heap), the gain must be
+  // strictly positive — the paper's core result.
+  for (trace::Benchmark b :
+       {trace::Benchmark::kHashmap, trace::Benchmark::kHeap}) {
+    const trace::Trace t = trace::generate(b, 200000, 23);
+    core::IcgmmSystem system(test_config());
+    system.train(t);
+    const core::StrategyComparison cmp = system.compare(t);
+    EXPECT_GT(cmp.miss_rate_reduction(), 0.003) << to_string(b);
+    EXPECT_GT(cmp.amat_reduction_percent(), 2.0) << to_string(b);
+  }
+}
+
+TEST(Integration, AmatReductionTracksMissReduction) {
+  const trace::Trace t = trace::generate(trace::Benchmark::kHashmap, 150000, 25);
+  core::IcgmmSystem system(test_config());
+  system.train(t);
+  const core::StrategyComparison cmp = system.compare(t);
+  // Fewer misses must not produce a worse AMAT under the paper's model.
+  if (cmp.miss_rate_reduction() > 0.0) {
+    EXPECT_GT(cmp.amat_reduction_percent(), 0.0);
+  }
+}
+
+TEST(Integration, DataflowAndEngineAgreeOnDecisions) {
+  // The cycle-approximate hardware model and the fast functional engine
+  // share decision logic; their hit counts must match exactly.
+  const trace::Trace t = trace::generate(trace::Benchmark::kMemtier, 50000, 27);
+  core::IcgmmConfig cfg = test_config();
+  core::IcgmmSystem system(cfg);
+  system.train(t);
+
+  sim::EngineConfig ecfg = cfg.engine;
+  ecfg.policy_runs_on_miss = true;
+  ecfg.warmup_fraction = 0.0;
+  const sim::RunResult functional = sim::run_trace(
+      t, ecfg,
+      system.policy_engine().make_policy(cache::GmmStrategy::kCachingEviction,
+                                         -1e300));
+
+  cache::SetAssociativeCache hw_cache(
+      cfg.engine.cache,
+      system.policy_engine().make_policy(cache::GmmStrategy::kCachingEviction,
+                                         -1e300));
+  const auto hw = sim::dataflow::run_dataflow(t, cfg.engine.transform,
+                                              hw_cache, {});
+  EXPECT_EQ(hw.hits, functional.stats.hits);
+  EXPECT_EQ(hw.misses, functional.stats.misses());
+}
+
+TEST(Integration, ModelPersistsAndReproducesRun) {
+  // Train -> save -> load into a fresh engine -> identical simulation.
+  const trace::Trace t = trace::generate(trace::Benchmark::kSysbench, 60000, 29);
+  core::IcgmmConfig cfg = test_config();
+  core::IcgmmSystem system(cfg);
+  system.train(t);
+
+  std::stringstream ss;
+  gmm::save_model(ss, system.policy_engine().model());
+
+  core::PolicyEngine loaded_engine(cfg.policy);
+  loaded_engine.load(gmm::load_model(ss));
+
+  sim::EngineConfig ecfg = cfg.engine;
+  ecfg.policy_runs_on_miss = true;
+  const sim::RunResult a = sim::run_trace(
+      t, ecfg,
+      system.policy_engine().make_policy(cache::GmmStrategy::kEvictionOnly, 0));
+  const sim::RunResult b = sim::run_trace(
+      t, ecfg,
+      loaded_engine.make_policy(cache::GmmStrategy::kEvictionOnly, 0));
+  EXPECT_EQ(a.stats.misses(), b.stats.misses());
+  EXPECT_EQ(a.latency.total(), b.latency.total());
+}
+
+TEST(Integration, TraceRoundTripPreservesSimulation) {
+  const trace::Trace original =
+      trace::generate(trace::Benchmark::kParsec, 30000, 31);
+  std::stringstream ss;
+  trace::write_binary(ss, original);
+  const trace::Trace reloaded = trace::read_binary(ss);
+
+  core::IcgmmSystem sa(test_config()), sb(test_config());
+  const sim::RunResult a = sa.run_baseline(original, core::BaselinePolicy::kLru);
+  const sim::RunResult b = sb.run_baseline(reloaded, core::BaselinePolicy::kLru);
+  EXPECT_EQ(a.stats.misses(), b.stats.misses());
+}
+
+TEST(Integration, GmmPolicyQualityComparableToLstmAtTinyScale) {
+  // Table 2's quality-side narrative: a lightweight LSTM is no better as a
+  // scorer than the GMM while costing orders of magnitude more. Tiny
+  // config so the LSTM stays simulable on a CPU.
+  const trace::Trace t = trace::generate(trace::Benchmark::kHashmap, 30000, 33);
+
+  core::IcgmmConfig cfg = test_config();
+  cfg.engine.cache = {.capacity_bytes = 512 * 4096, .block_bytes = 4096,
+                      .associativity = 8};
+  core::IcgmmSystem system(cfg);
+  system.train(t);
+  const sim::RunResult gmm_run =
+      system.run_gmm(t, cache::GmmStrategy::kEvictionOnly);
+
+  // Train a small LSTM on the same preprocessed signal.
+  auto points = trace::to_gmm_samples(trace::trim_warmup(t));
+  lstm::LstmConfig lcfg{.input_dim = 2, .hidden = 16, .layers = 1,
+                        .seq_len = 8, .seed = 11};
+  lstm::LstmNetwork net(lcfg);
+  const auto dataset = lstm::make_frequency_dataset(points, lcfg.seq_len,
+                                                    500, 400, 13);
+  lstm::Trainer trainer(net, {.epochs = 5, .batch = 32});
+  trainer.train(dataset);
+
+  double pmax = 0.0;
+  for (const auto& s : points) pmax = std::max(pmax, s.page);
+  lstm::LstmScorer scorer(net, {.p_scale = 1.0 / pmax, .t_scale = 1e-4});
+
+  sim::EngineConfig ecfg = cfg.engine;
+  ecfg.policy_runs_on_miss = true;
+  const sim::RunResult lstm_run = sim::run_trace(
+      t, ecfg,
+      std::make_unique<cache::GmmPolicy>(
+          scorer.as_score_fn(),
+          cache::GmmPolicyConfig{.strategy = cache::GmmStrategy::kEvictionOnly}));
+
+  // The GMM should be at least competitive with this LSTM.
+  EXPECT_LE(gmm_run.miss_rate(), lstm_run.miss_rate() + 0.02);
+}
+
+TEST(Integration, SevenBenchmarkSmokeAtPaperGeometry) {
+  // Every benchmark runs end-to-end at the paper's exact cache geometry
+  // without violating any internal invariant.
+  for (trace::Benchmark b : trace::kAllBenchmarks) {
+    const trace::Trace t = trace::generate(b, 60000, 35);
+    core::IcgmmConfig cfg = test_config();
+    cfg.engine.cache = cache::CacheConfig{};  // 64 MB / 4 KB / 8-way
+    core::IcgmmSystem system(cfg);
+    system.train(t);
+    const sim::RunResult r =
+        system.run_gmm(t, cache::GmmStrategy::kCachingEviction);
+    EXPECT_EQ(r.stats.accesses, r.stats.hits + r.stats.misses());
+    EXPECT_EQ(r.stats.fills + r.stats.bypasses, r.stats.misses());
+  }
+}
+
+}  // namespace
+}  // namespace icgmm

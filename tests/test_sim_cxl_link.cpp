@@ -1,0 +1,48 @@
+#include "sim/cxl_link.hpp"
+
+#include <gtest/gtest.h>
+
+namespace icgmm::sim {
+namespace {
+
+TEST(CxlLink, FlitWireTimeGen5x8) {
+  // 32 GT/s x8 = 32 GB/s -> a 68 B flit takes ~2.1 ns on the wire.
+  const CxlLinkSpec s{};
+  EXPECT_NEAR(flit_wire_ns(s), 68.0 / 32.0, 1e-9);
+}
+
+TEST(CxlLink, ReadRttInPublishedRange) {
+  // Published CXL.mem round trips land in the 150-400 ns band; our default
+  // decomposition must fall inside it.
+  const CxlLinkSpec s{};
+  const double rtt = cxl_read_rtt_ns(s);
+  EXPECT_GT(rtt, 150.0);
+  EXPECT_LT(rtt, 400.0);
+}
+
+TEST(CxlLink, NarrowerLinkIsSlower) {
+  CxlLinkSpec x8{};
+  CxlLinkSpec x4{};
+  x4.lanes = 4;
+  EXPECT_GT(cxl_read_rtt_ns(x4), cxl_read_rtt_ns(x8));
+}
+
+TEST(CxlLink, PageTransferBelowPaperHitTime) {
+  // Consistency with the paper's end-to-end 1 us DRAM "hit": a full 4 KB
+  // page crossing the link (the hit path moves a page's worth of lines)
+  // plus protocol overhead must be under 1 us on Gen5 x8.
+  const CxlLinkSpec s{};
+  EXPECT_LT(cxl_page_transfer_ns(s), 1000.0);
+  // And it dominates a single-line RTT by the pipelined flit train.
+  EXPECT_GT(cxl_page_transfer_ns(s), cxl_read_rtt_ns(s));
+}
+
+TEST(CxlLink, FasterGenerationScalesWireTime) {
+  CxlLinkSpec gen5{};
+  CxlLinkSpec gen6{};
+  gen6.gts = 64.0;
+  EXPECT_NEAR(flit_wire_ns(gen5) / flit_wire_ns(gen6), 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace icgmm::sim

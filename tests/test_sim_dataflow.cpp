@@ -1,0 +1,154 @@
+// Dataflow hardware-model tests: FIFO semantics, clock conversion, and the
+// paper's overlap claim (miss latency = max(SSD, GMM), not the sum).
+#include "sim/dataflow/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cache/policies/classic.hpp"
+#include "cache/policies/gmm_policy.hpp"
+#include "sim/dataflow/fifo.hpp"
+#include "trace/generator.hpp"
+
+namespace icgmm::sim::dataflow {
+namespace {
+
+TEST(Fifo, RejectsZeroDepth) {
+  EXPECT_THROW(Fifo<int>(0), std::invalid_argument);
+}
+
+TEST(Fifo, PushPopOrder) {
+  Fifo<int> f(4);
+  EXPECT_TRUE(f.try_push(1));
+  EXPECT_TRUE(f.try_push(2));
+  EXPECT_EQ(*f.try_pop(), 1);
+  EXPECT_EQ(*f.try_pop(), 2);
+  EXPECT_FALSE(f.try_pop().has_value());
+}
+
+TEST(Fifo, BackPressureWhenFull) {
+  Fifo<int> f(2);
+  EXPECT_TRUE(f.try_push(1));
+  EXPECT_TRUE(f.try_push(2));
+  EXPECT_TRUE(f.full());
+  EXPECT_FALSE(f.try_push(3));  // dropped nothing, rejected
+  EXPECT_EQ(f.size(), 2u);
+}
+
+TEST(Fifo, HighWaterTracksPeak) {
+  Fifo<int> f(8);
+  f.try_push(1);
+  f.try_push(2);
+  f.try_pop();
+  f.try_push(3);
+  EXPECT_EQ(f.high_water(), 2u);
+  EXPECT_EQ(f.total_pushes(), 3u);
+}
+
+TEST(Fifo, FrontPeeksWithoutConsuming) {
+  Fifo<int> f(2);
+  EXPECT_EQ(f.front(), nullptr);
+  f.try_push(7);
+  ASSERT_NE(f.front(), nullptr);
+  EXPECT_EQ(*f.front(), 7);
+  EXPECT_EQ(f.size(), 1u);
+}
+
+TEST(Clock, CycleConversionAt233MHz) {
+  const ClockSpec clk{};
+  EXPECT_EQ(clk.cycles(1000), 233u);             // 1 us = 233 cycles
+  EXPECT_NEAR(clk.ns(233), 1000.0, 1.0);
+  EXPECT_NEAR(clk.ns(clk.cycles(75000)), 75000.0, 10.0);
+}
+
+cache::SetAssociativeCache small_cache() {
+  return cache::SetAssociativeCache(
+      {.capacity_bytes = 16 * 4096, .block_bytes = 4096, .associativity = 2},
+      std::make_unique<cache::LruPolicy>());
+}
+
+trace::Trace tiny_trace(std::size_t n) {
+  trace::Trace t("t");
+  for (std::size_t i = 0; i < n; ++i) {
+    t.push_back({addr_of(i % 64), i, i % 7 == 0 ? AccessType::kWrite
+                                                : AccessType::kRead});
+  }
+  return t;
+}
+
+TEST(Dataflow, ProcessesWholeTrace) {
+  auto cache = small_cache();
+  const DataflowReport report = run_dataflow(tiny_trace(500), {}, cache, {});
+  EXPECT_EQ(report.requests, 500u);
+  EXPECT_EQ(report.hits + report.misses, 500u);
+  EXPECT_GT(report.total_cycles, 0u);
+}
+
+TEST(Dataflow, MatchesFunctionalCacheDecisions) {
+  // The dataflow model wraps the same cache; hit/miss counts must agree
+  // with a plain functional pass over the same trace.
+  const trace::Trace t = trace::generate(trace::Benchmark::kSysbench, 20000, 3);
+  auto hw_cache = small_cache();
+  const DataflowReport report = run_dataflow(t, {}, hw_cache, {});
+
+  auto sw_cache = small_cache();
+  trace::TimestampTransform transform;
+  std::uint64_t sw_hits = 0;
+  for (const trace::Record& r : t) {
+    if (sw_cache.access({r.page(), transform.next(), r.is_write()}).hit) {
+      ++sw_hits;
+    }
+  }
+  EXPECT_EQ(report.hits, sw_hits);
+}
+
+TEST(Dataflow, OverlapSavesExactlyMinOfBothKernels) {
+  const trace::Trace t = tiny_trace(300);
+  DataflowConfig with_overlap;
+  DataflowConfig without_overlap;
+  without_overlap.overlap_policy_with_ssd = false;
+
+  auto c1 = small_cache();
+  const DataflowReport overlapped = run_dataflow(t, {}, c1, with_overlap);
+  auto c2 = small_cache();
+  const DataflowReport serialized = run_dataflow(t, {}, c2, without_overlap);
+
+  // Serialized total = overlapped total + saved cycles (same decisions).
+  EXPECT_EQ(serialized.total_cycles,
+            overlapped.total_cycles + overlapped.overlap_saved_cycles);
+  // GMM (701 cycles at K=256) always shorter than SSD (17475+ cycles):
+  // saving = full GMM busy time.
+  EXPECT_EQ(overlapped.overlap_saved_cycles, overlapped.policy_busy_cycles);
+}
+
+TEST(Dataflow, PolicyDisabledRunsNoInference) {
+  DataflowConfig cfg;
+  cfg.policy_enabled = false;  // signal controller gates the engine (§4.1)
+  auto cache = small_cache();
+  const DataflowReport report = run_dataflow(tiny_trace(200), {}, cache, cfg);
+  EXPECT_EQ(report.policy_invocations, 0u);
+  EXPECT_EQ(report.policy_busy_cycles, 0u);
+}
+
+TEST(Dataflow, GmmLatencyMatchesPipelineModel) {
+  // One miss costs fill + K cycles of GMM busy time.
+  DataflowConfig cfg;
+  auto cache = small_cache();
+  const DataflowReport report = run_dataflow(tiny_trace(100), {}, cache, cfg);
+  const std::uint64_t per_inference =
+      cfg.gmm_pipeline_fill + cfg.gmm_components;
+  EXPECT_EQ(report.policy_busy_cycles,
+            report.policy_invocations * per_inference);
+  // 701 cycles at 233 MHz ~ 3 us (paper's measured inference latency).
+  EXPECT_NEAR(cfg.clock.ns(per_inference) / 1000.0, 3.0, 0.05);
+}
+
+TEST(Dataflow, AvgLatencyBracketsHitAndMissCosts) {
+  auto cache = small_cache();
+  const DataflowReport report = run_dataflow(tiny_trace(400), {}, cache, {});
+  const double avg_ns = report.avg_request_ns(ClockSpec{});
+  EXPECT_GT(avg_ns, 1000.0);     // more than a pure hit
+  EXPECT_LT(avg_ns, 975000.0);   // less than the worst-case miss
+}
+
+}  // namespace
+}  // namespace icgmm::sim::dataflow

@@ -1,0 +1,117 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cache/policies/classic.hpp"
+#include "cache/policies/gmm_policy.hpp"
+#include "trace/generator.hpp"
+
+namespace icgmm::sim {
+namespace {
+
+trace::Trace repeat_trace(std::initializer_list<PageIndex> pages, int times) {
+  trace::Trace t("synthetic");
+  std::uint64_t i = 0;
+  for (int r = 0; r < times; ++r) {
+    for (PageIndex p : pages) {
+      t.push_back({addr_of(p), i++, AccessType::kRead});
+    }
+  }
+  return t;
+}
+
+EngineConfig small_engine() {
+  EngineConfig cfg;
+  cfg.cache = {.capacity_bytes = 16 * 4096, .block_bytes = 4096,
+               .associativity = 2};
+  cfg.warmup_fraction = 0.0;
+  return cfg;
+}
+
+TEST(Engine, HitDominatedTraceHasLowAmat) {
+  const trace::Trace t = repeat_trace({1, 2, 3}, 1000);
+  const RunResult r = run_trace(t, small_engine(),
+                                std::make_unique<cache::LruPolicy>());
+  EXPECT_EQ(r.requests, t.size());
+  EXPECT_EQ(r.stats.misses(), 3u);  // compulsory only
+  EXPECT_LT(r.amat_us(), 1.2);      // nearly all 1 us hits
+  EXPECT_EQ(r.policy_name, "LRU");
+}
+
+TEST(Engine, WarmupExcludesColdMisses) {
+  const trace::Trace t = repeat_trace({1, 2, 3}, 1000);
+  EngineConfig cfg = small_engine();
+  cfg.warmup_fraction = 0.2;
+  const RunResult r =
+      run_trace(t, cfg, std::make_unique<cache::LruPolicy>());
+  EXPECT_EQ(r.stats.misses(), 0u);  // compulsory misses fell in the warmup
+  EXPECT_EQ(r.requests, t.size() - t.size() / 5);
+}
+
+TEST(Engine, PolicyInferenceCountedForGmm) {
+  const trace::Trace t = repeat_trace({1, 2, 3, 4, 5, 6, 7, 8}, 4);
+  EngineConfig cfg = small_engine();
+  cfg.policy_runs_on_miss = true;
+  const RunResult r = run_trace(
+      t, cfg,
+      std::make_unique<cache::GmmPolicy>(
+          [](PageIndex, Timestamp) { return 0.0; },
+          cache::GmmPolicyConfig{.strategy = cache::GmmStrategy::kEvictionOnly}));
+  EXPECT_GT(r.policy_inferences, 0u);
+  EXPECT_EQ(r.policy_inferences, r.stats.misses());  // one per miss
+}
+
+TEST(Engine, ClassicPolicyHasNoInferences) {
+  const trace::Trace t = repeat_trace({1, 2, 3}, 10);
+  const RunResult r = run_trace(t, small_engine(),
+                                std::make_unique<cache::FifoPolicy>());
+  EXPECT_EQ(r.policy_inferences, 0u);
+}
+
+TEST(Engine, AmatConsistentWithBreakdown) {
+  const trace::Trace t = trace::generate(trace::Benchmark::kSysbench, 30000, 3);
+  const RunResult r = run_trace(t, small_engine(),
+                                std::make_unique<cache::LruPolicy>());
+  const double expected = static_cast<double>(r.latency.total()) /
+                          static_cast<double>(r.requests) / 1000.0;
+  EXPECT_DOUBLE_EQ(r.amat_us(), expected);
+}
+
+TEST(Engine, WriteHeavyTraceProducesWritebacks) {
+  trace::Trace t("writes");
+  std::uint64_t i = 0;
+  for (int rep = 0; rep < 50; ++rep) {
+    for (PageIndex p = 0; p < 40; ++p) {
+      t.push_back({addr_of(p), i++, AccessType::kWrite});
+    }
+  }
+  const RunResult r = run_trace(t, small_engine(),
+                                std::make_unique<cache::LruPolicy>());
+  EXPECT_GT(r.stats.dirty_evictions, 0u);
+  EXPECT_GT(r.latency.writeback_ns, 0u);
+}
+
+TEST(Engine, MissRateOrderingLruVsRandomOnSkewedTrace) {
+  // Zipf-like synthetic: LRU should not lose to Random by any margin.
+  const trace::Trace t = trace::generate(trace::Benchmark::kMemtier, 60000, 9);
+  EngineConfig cfg;  // paper cache
+  cfg.warmup_fraction = 0.2;
+  const RunResult lru =
+      run_trace(t, cfg, std::make_unique<cache::LruPolicy>());
+  const RunResult rnd =
+      run_trace(t, cfg, std::make_unique<cache::RandomPolicy>());
+  EXPECT_LE(lru.miss_rate(), rnd.miss_rate() + 0.01);
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  const trace::Trace t = trace::generate(trace::Benchmark::kHeap, 20000, 5);
+  const RunResult a = run_trace(t, small_engine(),
+                                std::make_unique<cache::LruPolicy>());
+  const RunResult b = run_trace(t, small_engine(),
+                                std::make_unique<cache::LruPolicy>());
+  EXPECT_EQ(a.stats.misses(), b.stats.misses());
+  EXPECT_EQ(a.latency.total(), b.latency.total());
+}
+
+}  // namespace
+}  // namespace icgmm::sim

@@ -1,0 +1,118 @@
+// Latency model tests: the paper's cost constants and the dataflow-overlap
+// arithmetic (miss penalty = SSD time; GMM inference hidden).
+#include "sim/latency.hpp"
+
+#include <gtest/gtest.h>
+
+namespace icgmm::sim {
+namespace {
+
+cache::AccessResult hit() { return {.hit = true}; }
+
+cache::AccessResult fill(bool dirty_evict = false, bool is_write = false) {
+  return {.hit = false,
+          .admitted = true,
+          .evicted = dirty_evict,
+          .evicted_dirty = dirty_evict,
+          .is_write = is_write};
+}
+
+cache::AccessResult bypass(bool is_write) {
+  return {.hit = false, .admitted = false, .is_write = is_write};
+}
+
+TEST(LatencyModel, PaperConstants) {
+  const LatencyModel m;
+  EXPECT_EQ(m.config().dram_hit_ns, 1000u);          // 1 us hit
+  EXPECT_EQ(m.config().ssd.read_ns, 75000u);         // 75 us TLC read
+  EXPECT_EQ(m.config().ssd.write_ns, 900000u);       // 900 us TLC write
+  EXPECT_EQ(m.config().policy_inference_ns, 3000u);  // 3 us GMM
+}
+
+TEST(LatencyModel, HitCostsDramLatency) {
+  const LatencyModel m;
+  EXPECT_EQ(m.cost(hit(), true), 1000u);
+  EXPECT_EQ(m.cost(hit(), false), 1000u);
+}
+
+TEST(LatencyModel, CleanFillCostsOneRead) {
+  const LatencyModel m;
+  EXPECT_EQ(m.cost(fill(), false), 75000u);
+}
+
+TEST(LatencyModel, DirtyEvictionAddsWriteback) {
+  // The paper's 975 us worst case: 75 read + 900 writeback.
+  const LatencyModel m;
+  EXPECT_EQ(m.cost(fill(/*dirty=*/true), false), 975000u);
+}
+
+TEST(LatencyModel, BypassCosts) {
+  const LatencyModel m;
+  EXPECT_EQ(m.cost(bypass(false), false), 75000u);   // direct read
+  EXPECT_EQ(m.cost(bypass(true), false), 900000u);   // direct write
+}
+
+TEST(LatencyModel, OverlapHidesPolicyLatency) {
+  // Dataflow architecture: 3 us GMM < 75 us SSD => no added latency.
+  const LatencyModel m;
+  EXPECT_EQ(m.cost(fill(), /*policy_ran=*/true), 75000u);
+}
+
+TEST(LatencyModel, SerializedPolicyAddsLatency) {
+  LatencyConfig cfg;
+  cfg.overlap_policy_with_ssd = false;
+  const LatencyModel m(cfg);
+  EXPECT_EQ(m.cost(fill(), true), 78000u);
+}
+
+TEST(LatencyModel, OverlapExposesOnlyResidual) {
+  // Hypothetical slow policy (100 us) vs 75 us SSD: 25 us residual shows.
+  LatencyConfig cfg;
+  cfg.policy_inference_ns = 100000;
+  const LatencyModel m(cfg);
+  EXPECT_EQ(m.cost(fill(), true), 100000u);
+}
+
+TEST(LatencyModel, RecordAccumulatesBreakdown) {
+  LatencyModel m;
+  m.record(hit(), false);
+  m.record(fill(), true);
+  m.record(fill(true), true);
+  m.record(bypass(true), true);
+  const LatencyBreakdown& b = m.breakdown();
+  EXPECT_EQ(b.hit_ns, 1000u);
+  EXPECT_EQ(b.fill_read_ns, 2u * 75000);
+  EXPECT_EQ(b.writeback_ns, 900000u);
+  EXPECT_EQ(b.bypass_ns, 900000u);
+  EXPECT_EQ(b.policy_ns, 0u);  // fully overlapped
+  EXPECT_EQ(m.requests(), 4u);
+  EXPECT_EQ(b.total(), 1000u + 150000 + 900000 + 900000);
+}
+
+TEST(LatencyModel, AmatMatchesHandComputation) {
+  LatencyModel m;
+  for (int i = 0; i < 99; ++i) m.record(hit(), false);
+  m.record(fill(), true);
+  // 99 x 1us + 1 x 75us over 100 requests = 1.74 us.
+  EXPECT_NEAR(m.amat_us(), (99.0 * 1.0 + 75.0) / 100.0, 1e-9);
+}
+
+TEST(LatencyModel, SerializedPolicyShowsInBreakdown) {
+  LatencyConfig cfg;
+  cfg.overlap_policy_with_ssd = false;
+  LatencyModel m(cfg);
+  m.record(fill(), true);
+  EXPECT_EQ(m.breakdown().policy_ns, 3000u);
+}
+
+TEST(LatencyModel, ResetClears) {
+  LatencyModel m;
+  m.record(fill(), false);
+  m.reset();
+  EXPECT_EQ(m.requests(), 0u);
+  EXPECT_EQ(m.breakdown().total(), 0u);
+  EXPECT_DOUBLE_EQ(m.amat_us(), 0.0);
+}
+
+}  // namespace
+}  // namespace icgmm::sim

@@ -1,0 +1,86 @@
+#include "trace/distribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/generator.hpp"
+
+namespace icgmm::trace {
+namespace {
+
+Trace uniform_trace(std::size_t n, std::uint64_t pages) {
+  Trace t("uniform");
+  Rng rng(1);
+  for (std::size_t i = 0; i < n; ++i) {
+    t.push_back({rng.below(pages) * kPageBytes, i, AccessType::kRead});
+  }
+  return t;
+}
+
+Trace hotspot_trace(std::size_t n) {
+  Trace t("hot");
+  Rng rng(2);
+  for (std::size_t i = 0; i < n; ++i) {
+    // 90% of traffic to 10 pages out of 10000.
+    const PageIndex page = rng.chance(0.9) ? rng.below(10) : rng.below(10000);
+    t.push_back({page * kPageBytes, i, AccessType::kRead});
+  }
+  return t;
+}
+
+TEST(SpatialHistogram, TotalsMatchTraceSize) {
+  const Trace t = uniform_trace(5000, 1000);
+  const Histogram h = spatial_histogram(t, 64);
+  EXPECT_EQ(h.total(), t.size());
+}
+
+TEST(SpatialHistogram, EmptyTrace) {
+  const Histogram h = spatial_histogram(Trace("e"), 16);
+  EXPECT_EQ(h.total(), 0u);
+}
+
+TEST(SpatialConcentration, SeparatesUniformFromHotspots) {
+  const double uniform = spatial_concentration(uniform_trace(20000, 10000));
+  const double hot = spatial_concentration(hotspot_trace(20000));
+  EXPECT_LT(uniform, 0.2);   // ~0.1 for uniform traffic
+  EXPECT_GT(hot, 0.85);      // hotspots capture ~90%+
+}
+
+TEST(TemporalGrid, DimensionsAndTotals) {
+  const Trace t = uniform_trace(3000, 100);
+  const Grid2D g = temporal_grid(t, {}, 32, 16);
+  EXPECT_EQ(g.xbins(), 32u);
+  EXPECT_EQ(g.ybins(), 16u);
+  EXPECT_EQ(g.total(), t.size());
+}
+
+TEST(TemporalPhaseGain, PositiveForPhasedTrace) {
+  // Construct a trace whose hot region moves by phase. Regions are wider
+  // than 10% of the address bins so the global top-decile cannot capture
+  // both: within a phase access is concentrated, globally it is split.
+  Trace t("phased");
+  Rng rng(3);
+  for (std::size_t i = 0; i < 40000; ++i) {
+    const bool first_half = (i / 10000) % 2 == 0;
+    const PageIndex base = first_half ? 0 : 6000;
+    t.push_back({(base + rng.below(3000)) * kPageBytes, i, AccessType::kRead});
+  }
+  EXPECT_GT(temporal_phase_gain(t), 0.05);
+}
+
+TEST(TemporalPhaseGain, NearZeroForStationaryTrace) {
+  const double gain = temporal_phase_gain(hotspot_trace(40000));
+  EXPECT_NEAR(gain, 0.0, 0.08);
+}
+
+TEST(Fig2Benchmarks, ShowTheMotivatingStructure) {
+  // The paper's Fig. 2 premise, as assertions: the three showcased
+  // benchmarks have clustered spatial distributions.
+  for (Benchmark b :
+       {Benchmark::kDlrm, Benchmark::kParsec, Benchmark::kSysbench}) {
+    const Trace t = generate(b, 60000, 11);
+    EXPECT_GT(spatial_concentration(t), 0.25) << to_string(b);
+  }
+}
+
+}  // namespace
+}  // namespace icgmm::trace

@@ -1,0 +1,149 @@
+// Generator contract tests: determinism, sizing, and the structural
+// properties each benchmark is designed to exhibit (parameterized over all
+// seven benchmarks where the property is common).
+#include "trace/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/distribution.hpp"
+#include "trace/generators/heap.hpp"
+#include "trace/generators/stream.hpp"
+#include "trace/zipf.hpp"
+
+namespace icgmm::trace {
+namespace {
+
+class AllGenerators : public ::testing::TestWithParam<Benchmark> {};
+
+TEST_P(AllGenerators, ProducesExactlyNRecords) {
+  const Trace t = generate(GetParam(), 5000, 1);
+  EXPECT_EQ(t.size(), 5000u);
+  EXPECT_EQ(t.name(), to_string(GetParam()));
+}
+
+TEST_P(AllGenerators, DeterministicForSeed) {
+  const Trace a = generate(GetParam(), 3000, 99);
+  const Trace b = generate(GetParam(), 3000, 99);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]);
+}
+
+TEST_P(AllGenerators, SeedChangesTrace) {
+  const Trace a = generate(GetParam(), 3000, 1);
+  const Trace b = generate(GetParam(), 3000, 2);
+  std::size_t same = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) same += a[i].addr == b[i].addr;
+  EXPECT_LT(same, a.size());  // not identical
+}
+
+TEST_P(AllGenerators, TimeStampsAreSequential) {
+  const Trace t = generate(GetParam(), 2000, 5);
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    ASSERT_LE(t[i - 1].time, t[i].time);
+  }
+}
+
+TEST_P(AllGenerators, AddressesAreLineAligned) {
+  const Trace t = generate(GetParam(), 2000, 5);
+  for (const Record& r : t) ASSERT_EQ(r.addr % kHostLineBytes, 0u);
+}
+
+TEST_P(AllGenerators, SpatialConcentrationAboveUniform) {
+  // Every benchmark has hotspots: top 10% of address bins must hold more
+  // than the uniform 10% share of accesses (Fig. 2's premise).
+  const Trace t = generate(GetParam(), 50000, 3);
+  EXPECT_GT(spatial_concentration(t), 0.12) << to_string(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Benchmarks, AllGenerators,
+                         ::testing::ValuesIn(kAllBenchmarks),
+                         [](const auto& info) { return to_string(info.param); });
+
+TEST(GeneratorRegistry, NamesRoundTrip) {
+  for (Benchmark b : kAllBenchmarks) {
+    EXPECT_EQ(benchmark_from_string(to_string(b)), b);
+  }
+  EXPECT_THROW(benchmark_from_string("nope"), std::invalid_argument);
+}
+
+TEST(GeneratorRegistry, FactoryNamesMatch) {
+  for (Benchmark b : kAllBenchmarks) {
+    EXPECT_EQ(make_generator(b)->name(), to_string(b));
+  }
+}
+
+TEST(Zipf, RejectsBadParams) {
+  EXPECT_THROW(Zipf(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(Zipf(10, -0.5), std::invalid_argument);
+}
+
+TEST(Zipf, PmfSumsToOne) {
+  const Zipf z(100, 1.2);
+  double sum = 0.0;
+  for (std::uint64_t r = 0; r < 100; ++r) sum += z.pmf(r);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(z.pmf(100), 0.0);
+}
+
+TEST(Zipf, HeadIsHeavier) {
+  const Zipf z(1000, 1.0);
+  EXPECT_GT(z.pmf(0), z.pmf(1));
+  EXPECT_GT(z.pmf(1), z.pmf(100));
+}
+
+TEST(Zipf, SampleMatchesPmf) {
+  const Zipf z(50, 0.9);
+  Rng rng(4);
+  std::vector<int> counts(50, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[z.sample(rng)];
+  for (std::uint64_t r : {0ull, 1ull, 5ull, 20ull}) {
+    EXPECT_NEAR(counts[r] / static_cast<double>(n), z.pmf(r), 0.01);
+  }
+}
+
+TEST(Zipf, ZeroSkewIsUniform) {
+  const Zipf z(10, 0.0);
+  for (std::uint64_t r = 0; r < 10; ++r) EXPECT_NEAR(z.pmf(r), 0.1, 1e-12);
+}
+
+TEST(HeapGenerator, RootPagesAreHottest) {
+  // A heap walk always starts at the root: page 0 must dominate.
+  const Trace t = HeapGenerator().generate(50000, 7);
+  std::size_t root_hits = 0;
+  for (const Record& r : t) root_hits += r.page() == 0;
+  // Each walk (~24 levels) touches page 0 for the first 8 levels.
+  EXPECT_GT(static_cast<double>(root_hits) / t.size(), 0.15);
+}
+
+TEST(StreamGenerator, TriadPattern) {
+  // Read/read/write cycling across three arrays; write fraction near 1/3
+  // of triad traffic (diluted by scalar reads).
+  StreamParams p;
+  p.scalar_fraction = 0.0;
+  p.rewalk_fraction = 0.0;
+  const Trace t = StreamGenerator(p).generate(30000, 7);
+  EXPECT_NEAR(t.write_fraction(), 1.0 / 3.0, 0.02);
+  // The three arrays are disjoint regions.
+  EXPECT_EQ(t[0].page(), 0u);
+  EXPECT_EQ(t[1].page(), p.array_pages);
+  EXPECT_EQ(t[2].page(), 2 * p.array_pages);
+}
+
+TEST(StreamGenerator, SequentialSweep) {
+  StreamParams p;
+  p.scalar_fraction = 0.0;
+  p.rewalk_fraction = 0.0;
+  const Trace t = StreamGenerator(p).generate(30000, 7);
+  // a-array accesses march forward page by page.
+  PageIndex last = 0;
+  for (const Record& r : t) {
+    if (r.page() < p.array_pages) {
+      ASSERT_GE(r.page() + 1, last);  // non-decreasing (+1 tolerance at wrap)
+      last = r.page();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace icgmm::trace

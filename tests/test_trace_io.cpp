@@ -1,0 +1,109 @@
+#include "trace/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace icgmm::trace {
+namespace {
+
+Trace sample_trace() {
+  Trace t("sample");
+  t.push_back({4096, 1, AccessType::kRead});
+  t.push_back({8192 + 64, 2, AccessType::kWrite});
+  t.push_back({0, 3, AccessType::kRead});
+  return t;
+}
+
+TEST(TraceCsv, RoundTrip) {
+  const Trace original = sample_trace();
+  std::stringstream ss;
+  write_csv(ss, original);
+  const Trace loaded = read_csv(ss, "loaded");
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded[i], original[i]);
+  }
+}
+
+TEST(TraceCsv, ToleratesHeaderAndBlankLines) {
+  std::stringstream ss("type,addr,time\n\nR,4096,1\n\nW,64,2\n");
+  const Trace t = read_csv(ss);
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0].type, AccessType::kRead);
+  EXPECT_EQ(t[1].type, AccessType::kWrite);
+}
+
+TEST(TraceCsv, RejectsBadType) {
+  std::stringstream ss("X,4096,1\n");
+  EXPECT_THROW(read_csv(ss), std::runtime_error);
+}
+
+TEST(TraceCsv, RejectsBadFieldCount) {
+  std::stringstream ss("R,4096\n");
+  EXPECT_THROW(read_csv(ss), std::runtime_error);
+}
+
+TEST(TraceCsv, RejectsJunkNumbers) {
+  std::stringstream ss("R,fourty,1\n");
+  EXPECT_THROW(read_csv(ss), std::runtime_error);
+}
+
+TEST(TraceCsv, ErrorReportsLineNumber) {
+  std::stringstream ss("R,1,1\nR,bad\n");
+  try {
+    read_csv(ss);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(TraceBinary, RoundTrip) {
+  const Trace original = sample_trace();
+  std::stringstream ss;
+  write_binary(ss, original);
+  const Trace loaded = read_binary(ss);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded[i], original[i]);
+  }
+}
+
+TEST(TraceBinary, RejectsBadMagic) {
+  std::stringstream ss("NOPE....");
+  EXPECT_THROW(read_binary(ss), std::runtime_error);
+}
+
+TEST(TraceBinary, RejectsTruncatedPayload) {
+  const Trace original = sample_trace();
+  std::stringstream ss;
+  write_binary(ss, original);
+  std::string bytes = ss.str();
+  bytes.resize(bytes.size() - 5);
+  std::stringstream truncated(bytes);
+  EXPECT_THROW(read_binary(truncated), std::runtime_error);
+}
+
+TEST(TraceBinary, EmptyTraceRoundTrips) {
+  std::stringstream ss;
+  write_binary(ss, Trace("empty"));
+  EXPECT_EQ(read_binary(ss).size(), 0u);
+}
+
+TEST(TraceFileIo, MissingFileThrows) {
+  EXPECT_THROW(read_csv_file("/nonexistent/path/x.csv"), std::runtime_error);
+  EXPECT_THROW(read_binary_file("/nonexistent/path/x.bin"), std::runtime_error);
+}
+
+TEST(TraceFileIo, DiskRoundTrip) {
+  const std::string dir = ::testing::TempDir();
+  const Trace original = sample_trace();
+  write_csv_file(dir + "/t.csv", original);
+  write_binary_file(dir + "/t.bin", original);
+  EXPECT_EQ(read_csv_file(dir + "/t.csv").size(), original.size());
+  EXPECT_EQ(read_binary_file(dir + "/t.bin").size(), original.size());
+}
+
+}  // namespace
+}  // namespace icgmm::trace

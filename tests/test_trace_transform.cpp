@@ -1,0 +1,96 @@
+// Tests for Algorithm 1 (trace timestamp transformation).
+#include "trace/timestamp_transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "trace/preprocess.hpp"
+
+namespace icgmm::trace {
+namespace {
+
+std::vector<Timestamp> run_transform(TransformConfig cfg, std::size_t n) {
+  TimestampTransform t(cfg);
+  std::vector<Timestamp> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(t.next());
+  return out;
+}
+
+TEST(TimestampTransform, SameWindowSameTimestamp) {
+  const auto ts = run_transform({.len_window = 4, .len_access_shot = 100}, 12);
+  // Algorithm 1: the first len_window requests share timestamp 0, etc.
+  const std::vector<Timestamp> expected = {0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2};
+  EXPECT_EQ(ts, expected);
+}
+
+TEST(TimestampTransform, PaperDefaults) {
+  const auto ts = run_transform({}, 100);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(ts[i], 0u);
+  for (int i = 32; i < 64; ++i) EXPECT_EQ(ts[i], 1u);
+}
+
+TEST(TimestampTransform, WrapsAtShotBoundaryInWindows) {
+  // Verbatim Algorithm 1: reset when timestamp >= len_access_shot.
+  const auto ts = run_transform({.len_window = 2, .len_access_shot = 3}, 14);
+  const std::vector<Timestamp> expected = {0, 0, 1, 1, 2, 2, 0, 0, 1, 1, 2, 2, 0, 0};
+  EXPECT_EQ(ts, expected);
+}
+
+TEST(TimestampTransform, TracesUnitWrapsByRequestCount) {
+  const auto ts = run_transform(
+      {.len_window = 2, .len_access_shot = 6, .unit = ShotUnit::kTraces}, 14);
+  // Reset after 6 requests: pattern 0 0 1 1 2 2 | 0 0 1 1 2 2 | 0 0
+  const std::vector<Timestamp> expected = {0, 0, 1, 1, 2, 2, 0, 0, 1, 1, 2, 2, 0, 0};
+  EXPECT_EQ(ts, expected);
+}
+
+TEST(TimestampTransform, TimestampBound) {
+  TimestampTransform windows({.len_window = 2, .len_access_shot = 7});
+  EXPECT_EQ(windows.timestamp_bound(), 7u);
+  TimestampTransform traces(
+      {.len_window = 4, .len_access_shot = 100, .unit = ShotUnit::kTraces});
+  EXPECT_EQ(traces.timestamp_bound(), 26u);
+}
+
+TEST(TimestampTransform, NeverExceedsBound) {
+  const TransformConfig cfg{.len_window = 3, .len_access_shot = 5};
+  const auto ts = run_transform(cfg, 200);
+  for (Timestamp t : ts) EXPECT_LT(t, 5u);
+}
+
+TEST(TimestampTransform, ResetRestartsSequence) {
+  TimestampTransform t({.len_window = 2, .len_access_shot = 10});
+  for (int i = 0; i < 7; ++i) t.next();
+  t.reset();
+  EXPECT_EQ(t.next(), 0u);
+  EXPECT_EQ(t.next(), 0u);
+  EXPECT_EQ(t.next(), 1u);
+}
+
+TEST(TimestampTransform, PeriodicityMatchesShotLength) {
+  // Property: the emitted sequence is periodic with len_window * shot.
+  const TransformConfig cfg{.len_window = 8, .len_access_shot = 5};
+  const std::size_t period = 8 * 5;
+  const auto ts = run_transform(cfg, 3 * period);
+  for (std::size_t i = 0; i + period < ts.size(); ++i) {
+    ASSERT_EQ(ts[i], ts[i + period]) << "at " << i;
+  }
+}
+
+TEST(ToGmmSamples, PairsPageWithTimestamp) {
+  Trace t("t");
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    t.push_back({i * 4096, i, AccessType::kRead});
+  }
+  const auto samples = to_gmm_samples(t, {.len_window = 4, .len_access_shot = 100});
+  ASSERT_EQ(samples.size(), 8u);
+  EXPECT_DOUBLE_EQ(samples[0].page, 0.0);
+  EXPECT_DOUBLE_EQ(samples[0].time, 0.0);
+  EXPECT_DOUBLE_EQ(samples[7].page, 7.0);
+  EXPECT_DOUBLE_EQ(samples[7].time, 1.0);
+}
+
+}  // namespace
+}  // namespace icgmm::trace
