@@ -5,20 +5,15 @@
 #include "cache/cache.hpp"
 #include "cache/policies/classic.hpp"
 #include "common/rng.hpp"
+#include "test_util.hpp"
 #include "trace/generator.hpp"
 
 namespace icgmm::cache {
 namespace {
 
-CacheConfig one_set(std::uint32_t ways) {
-  return {.capacity_bytes = static_cast<std::uint64_t>(ways) * 4096,
-          .block_bytes = 4096,
-          .associativity = ways};
-}
+using test_util::one_set;
 
-AccessContext read(PageIndex page) {
-  return {.page = page, .timestamp = 0, .is_write = false};
-}
+AccessContext read(PageIndex page) { return test_util::access(page); }
 
 TEST(ArcPolicy, SurvivesRandomTraffic) {
   SetAssociativeCache cache(

@@ -3,13 +3,14 @@
 #include <gtest/gtest.h>
 
 #include "cache/policies/classic.hpp"
+#include "test_util.hpp"
 
 namespace icgmm::cache {
 namespace {
 
 CacheConfig tiny_config() {
   // 4 sets x 2 ways of 4 KB blocks.
-  return {.capacity_bytes = 8 * 4096, .block_bytes = 4096, .associativity = 2};
+  return test_util::tiny_cache(4, 2);
 }
 
 SetAssociativeCache make_cache(CacheConfig cfg = tiny_config()) {
@@ -17,10 +18,10 @@ SetAssociativeCache make_cache(CacheConfig cfg = tiny_config()) {
 }
 
 AccessContext read(PageIndex page, Timestamp ts = 0) {
-  return {.page = page, .timestamp = ts, .is_write = false};
+  return test_util::access(page, ts, /*is_write=*/false);
 }
 AccessContext write(PageIndex page, Timestamp ts = 0) {
-  return {.page = page, .timestamp = ts, .is_write = true};
+  return test_util::access(page, ts, /*is_write=*/true);
 }
 
 TEST(CacheConfig, DerivedQuantities) {

@@ -8,18 +8,15 @@
 #include <cmath>
 
 #include "cache/cache.hpp"
+#include "test_util.hpp"
 
 namespace icgmm::cache {
 namespace {
 
-CacheConfig one_set(std::uint32_t ways) {
-  return {.capacity_bytes = static_cast<std::uint64_t>(ways) * 4096,
-          .block_bytes = 4096,
-          .associativity = ways};
-}
+using test_util::one_set;
 
 AccessContext at(PageIndex page, Timestamp ts = 0, bool is_write = false) {
-  return {.page = page, .timestamp = ts, .is_write = is_write};
+  return test_util::access(page, ts, is_write);
 }
 
 /// Scorer: score = -page (lower pages are "hotter"), time-independent.

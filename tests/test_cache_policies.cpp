@@ -9,19 +9,14 @@
 #include <memory>
 
 #include "cache/cache.hpp"
+#include "test_util.hpp"
 
 namespace icgmm::cache {
 namespace {
 
-CacheConfig one_set(std::uint32_t ways) {
-  return {.capacity_bytes = static_cast<std::uint64_t>(ways) * 4096,
-          .block_bytes = 4096,
-          .associativity = ways};
-}
+using test_util::one_set;
 
-AccessContext read(PageIndex page) {
-  return {.page = page, .timestamp = 0, .is_write = false};
-}
+AccessContext read(PageIndex page) { return test_util::access(page); }
 
 TEST(LruPolicy, EvictsLeastRecentlyUsed) {
   SetAssociativeCache cache(one_set(3), std::make_unique<LruPolicy>());

@@ -4,19 +4,17 @@
 #include <gtest/gtest.h>
 
 #include "gmm/model_io.hpp"
+#include "test_util.hpp"
 #include "trace/generator.hpp"
 
 namespace icgmm::core {
 namespace {
 
 IcgmmConfig small_config() {
-  IcgmmConfig cfg;
-  cfg.policy.em.components = 32;
-  cfg.policy.em.max_iters = 12;
-  cfg.policy.train_subsample = 4000;
-  cfg.engine.cache = {.capacity_bytes = 256 * 4096, .block_bytes = 4096,
-                      .associativity = 4};
-  cfg.tuning_prefix = 20000;
+  IcgmmConfig cfg = test_util::small_system_config(
+      /*components=*/32, /*max_iters=*/12, /*train_subsample=*/4000,
+      /*tuning_prefix=*/20000);
+  cfg.engine.cache = test_util::tiny_cache(/*sets=*/64, /*ways=*/4);
   return cfg;
 }
 

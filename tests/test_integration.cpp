@@ -8,6 +8,7 @@
 #include "lstm/lstm_policy.hpp"
 #include "lstm/trainer.hpp"
 #include "sim/dataflow/kernels.hpp"
+#include "test_util.hpp"
 #include "trace/generator.hpp"
 #include "trace/io.hpp"
 
@@ -17,12 +18,9 @@ namespace icgmm {
 namespace {
 
 core::IcgmmConfig test_config() {
-  core::IcgmmConfig cfg;
-  cfg.policy.em.components = 64;
-  cfg.policy.em.max_iters = 20;
-  cfg.policy.train_subsample = 8000;
-  cfg.tuning_prefix = 30000;
-  return cfg;
+  return test_util::small_system_config(
+      /*components=*/64, /*max_iters=*/20, /*train_subsample=*/8000,
+      /*tuning_prefix=*/30000);
 }
 
 TEST(Integration, GmmNeverLosesToLruAcrossBenchmarks) {

@@ -7,6 +7,7 @@
 #include "cache/policies/classic.hpp"
 #include "cache/policies/gmm_policy.hpp"
 #include "sim/dataflow/fifo.hpp"
+#include "test_util.hpp"
 #include "trace/generator.hpp"
 
 namespace icgmm::sim::dataflow {
@@ -61,9 +62,8 @@ TEST(Clock, CycleConversionAt233MHz) {
 }
 
 cache::SetAssociativeCache small_cache() {
-  return cache::SetAssociativeCache(
-      {.capacity_bytes = 16 * 4096, .block_bytes = 4096, .associativity = 2},
-      std::make_unique<cache::LruPolicy>());
+  return cache::SetAssociativeCache(test_util::tiny_cache(/*sets=*/8, /*ways=*/2),
+                                    std::make_unique<cache::LruPolicy>());
 }
 
 trace::Trace tiny_trace(std::size_t n) {

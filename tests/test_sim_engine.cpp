@@ -4,6 +4,7 @@
 
 #include "cache/policies/classic.hpp"
 #include "cache/policies/gmm_policy.hpp"
+#include "test_util.hpp"
 #include "trace/generator.hpp"
 
 namespace icgmm::sim {
@@ -22,8 +23,7 @@ trace::Trace repeat_trace(std::initializer_list<PageIndex> pages, int times) {
 
 EngineConfig small_engine() {
   EngineConfig cfg;
-  cfg.cache = {.capacity_bytes = 16 * 4096, .block_bytes = 4096,
-               .associativity = 2};
+  cfg.cache = test_util::tiny_cache(/*sets=*/8, /*ways=*/2);
   cfg.warmup_fraction = 0.0;
   return cfg;
 }

@@ -4,6 +4,7 @@
 
 #include "cache/cache.hpp"
 #include "cache/policies/classic.hpp"
+#include "test_util.hpp"
 #include "trace/generator.hpp"
 
 namespace icgmm::trace {
@@ -77,8 +78,7 @@ TEST(ReuseDistance, PredictsFullyAssociativeLruExactly) {
 
   constexpr std::uint64_t kBlocks = 64;
   cache::SetAssociativeCache lru(
-      {.capacity_bytes = kBlocks * 4096, .block_bytes = 4096,
-       .associativity = kBlocks},  // one set = fully associative
+      test_util::one_set(kBlocks),  // one set = fully associative
       std::make_unique<cache::LruPolicy>());
   std::uint64_t misses = 0;
   for (const Record& rec : t) {
