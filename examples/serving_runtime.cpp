@@ -1,0 +1,92 @@
+// The concurrent serving runtime, end to end: multi-threaded traffic over
+// sharded caches, batched GMM inference on the miss path, and live drift
+// adaptation from a background ModelRefresher.
+//
+// Scenario (same drift story as drift_adaptation.cpp, but *online*): a
+// hashmap workload is served from a runtime trained on phase A; then a
+// rehash moves the hot buckets (phase B). A frozen runtime keeps serving
+// with the stale model; an adaptive runtime samples live traffic into
+// online EM and atomically swaps refreshed models under the serving
+// threads — no pause, no retrain.
+//
+// Usage: serving_runtime [requests_per_phase]
+#include <cstdlib>
+#include <iostream>
+#include <limits>
+
+#include "common/table.hpp"
+#include "core/icgmm.hpp"
+#include "runtime/replay.hpp"
+#include "trace/generators/hashmap.hpp"
+
+int main(int argc, char** argv) {
+  using namespace icgmm;
+  std::size_t n = 300000;
+  if (argc > 1) n = std::strtoull(argv[1], nullptr, 10);
+
+  trace::HashmapParams phase_a;  // hot region at 1/3 of the table
+  trace::HashmapParams phase_b = phase_a;
+  phase_b.hot_base_fraction = 2.0 / 3;  // rehash moved the hot buckets
+  const trace::Trace trace_a = trace::HashmapGenerator(phase_a).generate(n, 11);
+  const trace::Trace trace_b = trace::HashmapGenerator(phase_b).generate(n, 11);
+
+  core::IcgmmConfig cfg;
+  core::IcgmmSystem system(cfg);
+  system.train(trace_a);
+
+  // Two identical serving runtimes; only the drift adapter differs.
+  runtime::RuntimeConfig frozen_cfg;
+  frozen_cfg.cache = cfg.engine.cache;
+  frozen_cfg.shards = 4;
+  runtime::RuntimeConfig adaptive_cfg = frozen_cfg;
+  adaptive_cfg.adapt = true;
+  adaptive_cfg.sample_every = 4;
+  adaptive_cfg.refresher.online = {.step_power = 0.6, .batch = 512};
+
+  const double no_threshold = -std::numeric_limits<double>::infinity();
+  const auto strategy = cache::GmmStrategy::kEvictionOnly;
+  auto frozen = system.make_runtime(frozen_cfg, strategy, no_threshold);
+  auto adaptive = system.make_runtime(adaptive_cfg, strategy, no_threshold);
+  adaptive->start();  // spawn the background ModelRefresher
+
+  runtime::ReplayConfig serve;
+  serve.threads = 2;
+  serve.latency = cfg.engine.latency;
+  serve.transform = cfg.engine.transform;
+  serve.policy_runs_on_miss = true;
+  serve.warmup_fraction = 0.0;  // measure whole rounds; warmth carries over
+
+  auto round = [&](runtime::Runtime& rt, const trace::Trace& t) {
+    rt.clear_stats();
+    runtime::replay_trace(rt, t, serve);
+    return rt.cache().merged_stats().miss_rate();
+  };
+
+  Table table({"traffic", "frozen runtime", "adaptive runtime"});
+  table.add_row({"phase A (trained)",
+                 Table::fmt_percent(round(*frozen, trace_a)),
+                 Table::fmt_percent(round(*adaptive, trace_a))});
+  // Phase B in two rounds: the adapter learns during the first, so the
+  // second round shows the recovered model.
+  const trace::Trace b1 = trace_b.slice(0, n / 2);
+  const trace::Trace b2 = trace_b.slice(n / 2, n - n / 2);
+  table.add_row({"phase B, round 1 (drift hits)",
+                 Table::fmt_percent(round(*frozen, b1)),
+                 Table::fmt_percent(round(*adaptive, b1))});
+  table.add_row({"phase B, round 2",
+                 Table::fmt_percent(round(*frozen, b2)),
+                 Table::fmt_percent(round(*adaptive, b2))});
+  std::cout << table.render();
+
+  adaptive->stop();  // drains the sample queue, publishes the final model
+  const runtime::RuntimeSnapshot snap = adaptive->snapshot();
+  std::cout << "\nadaptive runtime: " << snap.models_published
+            << " models published (slot version " << snap.model_version
+            << "), " << snap.samples_observed << " samples observed, "
+            << snap.samples_dropped << " dropped, " << snap.score_batches
+            << " batched set-rescores\n"
+            << "Miss rate on drifted traffic should fall from round 1 to "
+               "round 2 on the adaptive runtime while the frozen one stays "
+               "degraded.\n";
+  return 0;
+}

@@ -1,10 +1,15 @@
 #include "cache/policies/arc.hpp"
 
 #include <algorithm>
+#include <memory>
 
 namespace icgmm::cache {
 
 // ---------- ARC ----------
+
+std::unique_ptr<ReplacementPolicy> ArcPolicy::clone() const {
+  return std::make_unique<ArcPolicy>();
+}
 
 void ArcPolicy::attach(std::uint64_t sets, std::uint32_t ways) {
   ways_ = ways;
@@ -100,6 +105,10 @@ void ArcPolicy::on_fill(std::uint64_t set, std::uint32_t way,
 }
 
 // ---------- SRRIP ----------
+
+std::unique_ptr<ReplacementPolicy> SrripPolicy::clone() const {
+  return std::make_unique<SrripPolicy>(max_rrpv_);
+}
 
 void SrripPolicy::attach(std::uint64_t sets, std::uint32_t ways) {
   ways_ = ways;

@@ -16,6 +16,7 @@ class ArcPolicy final : public ReplacementPolicy {
  public:
   ArcPolicy() : ReplacementPolicy("ARC") {}
 
+  std::unique_ptr<ReplacementPolicy> clone() const override;
   void attach(std::uint64_t sets, std::uint32_t ways) override;
   std::uint32_t choose_victim(std::uint64_t set,
                               std::span<const PageIndex> resident,
@@ -55,6 +56,7 @@ class SrripPolicy final : public ReplacementPolicy {
   explicit SrripPolicy(std::uint8_t max_rrpv = 3)
       : ReplacementPolicy("SRRIP"), max_rrpv_(max_rrpv) {}
 
+  std::unique_ptr<ReplacementPolicy> clone() const override;
   void attach(std::uint64_t sets, std::uint32_t ways) override;
   std::uint32_t choose_victim(std::uint64_t set,
                               std::span<const PageIndex> resident,

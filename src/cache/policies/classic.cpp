@@ -6,6 +6,10 @@ namespace icgmm::cache {
 
 // ---------- LRU ----------
 
+std::unique_ptr<ReplacementPolicy> LruPolicy::clone() const {
+  return std::make_unique<LruPolicy>();
+}
+
 void LruPolicy::attach(std::uint64_t sets, std::uint32_t ways) {
   ways_ = ways;
   tick_ = 0;
@@ -35,6 +39,10 @@ void LruPolicy::on_fill(std::uint64_t set, std::uint32_t way, const AccessContex
 
 // ---------- FIFO ----------
 
+std::unique_ptr<ReplacementPolicy> FifoPolicy::clone() const {
+  return std::make_unique<FifoPolicy>();
+}
+
 void FifoPolicy::attach(std::uint64_t sets, std::uint32_t ways) {
   ways_ = ways;
   tick_ = 0;
@@ -58,6 +66,10 @@ void FifoPolicy::on_fill(std::uint64_t set, std::uint32_t way, const AccessConte
 
 // ---------- Random ----------
 
+std::unique_ptr<ReplacementPolicy> RandomPolicy::clone() const {
+  return std::make_unique<RandomPolicy>(seed_);
+}
+
 void RandomPolicy::attach(std::uint64_t, std::uint32_t ways) { ways_ = ways; }
 
 std::uint32_t RandomPolicy::choose_victim(std::uint64_t, std::span<const PageIndex>, const AccessContext&) {
@@ -68,6 +80,10 @@ void RandomPolicy::on_hit(std::uint64_t, std::uint32_t, const AccessContext&) {}
 void RandomPolicy::on_fill(std::uint64_t, std::uint32_t, const AccessContext&) {}
 
 // ---------- LFU ----------
+
+std::unique_ptr<ReplacementPolicy> LfuPolicy::clone() const {
+  return std::make_unique<LfuPolicy>();
+}
 
 void LfuPolicy::attach(std::uint64_t sets, std::uint32_t ways) {
   ways_ = ways;
@@ -92,6 +108,10 @@ void LfuPolicy::on_fill(std::uint64_t set, std::uint32_t way, const AccessContex
 }
 
 // ---------- CLOCK ----------
+
+std::unique_ptr<ReplacementPolicy> ClockPolicy::clone() const {
+  return std::make_unique<ClockPolicy>();
+}
 
 void ClockPolicy::attach(std::uint64_t sets, std::uint32_t ways) {
   ways_ = ways;

@@ -16,6 +16,7 @@ class LruPolicy final : public ReplacementPolicy {
  public:
   LruPolicy() : ReplacementPolicy("LRU") {}
 
+  std::unique_ptr<ReplacementPolicy> clone() const override;
   void attach(std::uint64_t sets, std::uint32_t ways) override;
   std::uint32_t choose_victim(std::uint64_t set, std::span<const PageIndex> resident, const AccessContext& ctx) override;
   void on_hit(std::uint64_t set, std::uint32_t way, const AccessContext& ctx) override;
@@ -34,6 +35,7 @@ class FifoPolicy final : public ReplacementPolicy {
  public:
   FifoPolicy() : ReplacementPolicy("FIFO") {}
 
+  std::unique_ptr<ReplacementPolicy> clone() const override;
   void attach(std::uint64_t sets, std::uint32_t ways) override;
   std::uint32_t choose_victim(std::uint64_t set, std::span<const PageIndex> resident, const AccessContext& ctx) override;
   void on_hit(std::uint64_t set, std::uint32_t way, const AccessContext& ctx) override;
@@ -49,8 +51,9 @@ class FifoPolicy final : public ReplacementPolicy {
 class RandomPolicy final : public ReplacementPolicy {
  public:
   explicit RandomPolicy(std::uint64_t seed = 0xace5eedull)
-      : ReplacementPolicy("Random"), rng_(seed) {}
+      : ReplacementPolicy("Random"), seed_(seed), rng_(seed) {}
 
+  std::unique_ptr<ReplacementPolicy> clone() const override;
   void attach(std::uint64_t sets, std::uint32_t ways) override;
   std::uint32_t choose_victim(std::uint64_t set, std::span<const PageIndex> resident, const AccessContext& ctx) override;
   void on_hit(std::uint64_t set, std::uint32_t way, const AccessContext& ctx) override;
@@ -58,6 +61,7 @@ class RandomPolicy final : public ReplacementPolicy {
 
  private:
   std::uint32_t ways_ = 0;
+  std::uint64_t seed_;  ///< kept so clone() restarts the same stream
   Rng rng_;
 };
 
@@ -66,6 +70,7 @@ class LfuPolicy final : public ReplacementPolicy {
  public:
   LfuPolicy() : ReplacementPolicy("LFU") {}
 
+  std::unique_ptr<ReplacementPolicy> clone() const override;
   void attach(std::uint64_t sets, std::uint32_t ways) override;
   std::uint32_t choose_victim(std::uint64_t set, std::span<const PageIndex> resident, const AccessContext& ctx) override;
   void on_hit(std::uint64_t set, std::uint32_t way, const AccessContext& ctx) override;
@@ -81,6 +86,7 @@ class ClockPolicy final : public ReplacementPolicy {
  public:
   ClockPolicy() : ReplacementPolicy("CLOCK") {}
 
+  std::unique_ptr<ReplacementPolicy> clone() const override;
   void attach(std::uint64_t sets, std::uint32_t ways) override;
   std::uint32_t choose_victim(std::uint64_t set, std::span<const PageIndex> resident, const AccessContext& ctx) override;
   void on_hit(std::uint64_t set, std::uint32_t way, const AccessContext& ctx) override;

@@ -1,7 +1,10 @@
 #include "cache/policies/gmm_policy.hpp"
 
+#include <algorithm>
+#include <memory>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace icgmm::cache {
 
@@ -19,6 +22,20 @@ GmmPolicy::GmmPolicy(ScoreFn scorer, GmmPolicyConfig cfg)
       scorer_(std::move(scorer)),
       cfg_(cfg) {
   if (!scorer_) throw std::invalid_argument("GmmPolicy: null scorer");
+}
+
+void GmmPolicy::set_batch_scorer(BatchScoreFn batch) {
+  batch_scorer_ = std::move(batch);
+}
+
+std::unique_ptr<ReplacementPolicy> GmmPolicy::clone() const {
+  // The batch scorer is deliberately NOT copied: it is wiring to external
+  // scoring plumbing (typically a per-shard InferenceBatcher with mutable
+  // snapshot state), and sharing one instance across clones serving from
+  // different threads would race. The clone falls back to the per-page
+  // scorer — numerically identical by the set_batch_scorer contract —
+  // until its owner re-wires a batch scorer of its own.
+  return std::make_unique<GmmPolicy>(scorer_, cfg_);
 }
 
 void GmmPolicy::attach(std::uint64_t sets, std::uint32_t ways) {
@@ -65,8 +82,15 @@ std::uint32_t GmmPolicy::choose_victim(std::uint64_t set,
     // Refresh the set's scores at the current timestamp. The II=1 pipeline
     // streams all ways through the GMM in `assoc` extra cycles, so this
     // counts as part of the single per-miss engine invocation.
-    for (std::uint32_t way = 0; way < resident.size() && way < ways_; ++way) {
-      score_[base + way] = scorer_(resident[way], ctx.timestamp);
+    const auto count = static_cast<std::uint32_t>(
+        std::min<std::size_t>(resident.size(), ways_));
+    if (batch_scorer_) {
+      batch_scorer_(resident.first(count), ctx.timestamp,
+                    std::span<double>(score_.data() + base, count));
+    } else {
+      for (std::uint32_t way = 0; way < count; ++way) {
+        score_[base + way] = scorer_(resident[way], ctx.timestamp);
+      }
     }
   }
   // Smart eviction: lowest GMM score leaves first (Fig. 4), with two

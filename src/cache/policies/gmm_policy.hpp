@@ -21,6 +21,13 @@ namespace icgmm::cache {
 /// keeps thresholding monotone while avoiding density underflow.
 using ScoreFn = std::function<double(PageIndex, Timestamp)>;
 
+/// Batched scoring callback: log-scores of `pages[i]` at one shared
+/// timestamp written to `out[i]` (out.size() >= pages.size()). Lets the
+/// eviction-time rescore of a whole set run over a contiguous span with one
+/// model-snapshot load instead of one indirect call per way.
+using BatchScoreFn =
+    std::function<void(std::span<const PageIndex>, Timestamp, std::span<double>)>;
+
 /// The three strategies evaluated in Fig. 6.
 enum class GmmStrategy : std::uint8_t {
   kCachingOnly,      ///< GMM admission, LRU eviction
@@ -49,6 +56,20 @@ class GmmPolicy final : public ReplacementPolicy {
  public:
   GmmPolicy(ScoreFn scorer, GmmPolicyConfig cfg);
 
+  /// Optional batched scorer used for the eviction-time set rescore. Must
+  /// agree numerically with the per-page scorer (same model, same math) or
+  /// admission and eviction would judge pages on different scales.
+  void set_batch_scorer(BatchScoreFn batch);
+
+  /// NOTE: the per-page scorer closure is *copied*, not re-created — a
+  /// clone used from another thread shares whatever state it captures, so
+  /// scorers must capture immutable state (e.g. a model by value, as
+  /// PolicyEngine::score_fn does) for clones to be independent. The batch
+  /// scorer is NOT carried over: it is per-instance wiring to external
+  /// (typically per-shard, mutable) scoring plumbing, and each clone's
+  /// owner must call set_batch_scorer again — see runtime::Runtime's GMM
+  /// mode, which builds one InferenceBatcher per shard.
+  std::unique_ptr<ReplacementPolicy> clone() const override;
   void attach(std::uint64_t sets, std::uint32_t ways) override;
   bool should_admit(const AccessContext& ctx) override;
   std::uint32_t choose_victim(std::uint64_t set,
@@ -73,6 +94,7 @@ class GmmPolicy final : public ReplacementPolicy {
   void touch(std::uint64_t set, std::uint32_t way);
 
   ScoreFn scorer_;
+  BatchScoreFn batch_scorer_;  ///< null: rescore falls back to scorer_
   GmmPolicyConfig cfg_;
   std::uint32_t ways_ = 0;
   std::uint64_t tick_ = 0;

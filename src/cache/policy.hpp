@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 
@@ -30,6 +31,12 @@ class ReplacementPolicy {
   virtual ~ReplacementPolicy() = default;
 
   const std::string& name() const noexcept { return name_; }
+
+  /// Fresh policy of the same kind and configuration with *no* runtime
+  /// state (as if newly constructed; the owning cache re-attaches it).
+  /// This is how the sharded serving runtime replicates one configured
+  /// policy across N independent shards.
+  virtual std::unique_ptr<ReplacementPolicy> clone() const = 0;
 
   /// Called once by the cache so the policy can size its metadata.
   virtual void attach(std::uint64_t sets, std::uint32_t ways) = 0;

@@ -52,7 +52,7 @@ void IcgmmSystem::train(const trace::Trace& collected) {
 }
 
 double IcgmmSystem::pick_threshold(const trace::Trace& trace,
-                                   cache::GmmStrategy strategy) {
+                                   cache::GmmStrategy strategy) const {
   if (strategy == cache::GmmStrategy::kEvictionOnly) {
     return -std::numeric_limits<double>::infinity();
   }
@@ -81,6 +81,16 @@ sim::RunResult IcgmmSystem::run_baseline(const trace::Trace& trace,
   sim::EngineConfig cfg = cfg_.engine;
   cfg.policy_runs_on_miss = false;  // classic policies are free in hardware
   return sim::run_trace(trace, cfg, make_baseline(p));
+}
+
+std::unique_ptr<runtime::Runtime> IcgmmSystem::make_runtime(
+    runtime::RuntimeConfig cfg, cache::GmmStrategy strategy,
+    double threshold) const {
+  // Same policy configuration make_policy hands the simulator, so a
+  // 1-shard/1-thread runtime reproduces run_gmm decisions bit for bit.
+  return std::make_unique<runtime::Runtime>(
+      cfg, engine_.model(),
+      cache::GmmPolicyConfig{.strategy = strategy, .threshold = threshold});
 }
 
 StrategyComparison IcgmmSystem::compare(const trace::Trace& trace) {

@@ -11,6 +11,7 @@
 #include "cache/policies/classic.hpp"
 #include "core/policy_engine.hpp"
 #include "core/threshold.hpp"
+#include "runtime/runtime.hpp"
 #include "sim/engine.hpp"
 #include "trace/generator.hpp"
 
@@ -71,12 +72,24 @@ class IcgmmSystem {
   /// LRU + all three GMM strategies (the full Fig. 6 column group).
   StrategyComparison compare(const trace::Trace& trace);
 
+  /// The admission threshold run_gmm would use for this trace/strategy —
+  /// tuned by simulation or percentile per the system config. Public so a
+  /// serving runtime can be wired with the same threshold without a full
+  /// evaluation run.
+  double pick_threshold(const trace::Trace& trace,
+                        cache::GmmStrategy strategy) const;
+
+  /// Builds a concurrent serving runtime whose per-shard GMM policies
+  /// score against a snapshot of the trained model (drift adaptation per
+  /// cfg.adapt). Throws std::logic_error when not trained.
+  std::unique_ptr<runtime::Runtime> make_runtime(
+      runtime::RuntimeConfig cfg, cache::GmmStrategy strategy,
+      double threshold) const;
+
   /// The threshold the last admission-strategy run used.
   double last_threshold() const noexcept { return last_threshold_; }
 
  private:
-  double pick_threshold(const trace::Trace& trace, cache::GmmStrategy strategy);
-
   IcgmmConfig cfg_;
   PolicyEngine engine_;
   double last_threshold_ = 0.0;

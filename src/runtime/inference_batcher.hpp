@@ -1,0 +1,73 @@
+// Batched GMM scoring for the miss path.
+//
+// The single-threaded simulator scores pages through a std::function, one
+// call per page, each call re-resolving the model. Under a serving runtime
+// with atomic model swaps that pattern gets worse: every call would also
+// load the shared_ptr snapshot. The batcher amortizes both — one snapshot
+// load and one indirect call per *span* (a whole set's resident tags at
+// eviction time), with the log-score loop running over the contiguous
+// span against a pinned model.
+//
+// Per-page math is byte-identical to GaussianMixture::log_score, which is
+// what keeps a 1-shard/1-thread runtime bit-identical to sim::run_trace.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "common/types.hpp"
+#include "runtime/model_slot.hpp"
+
+namespace icgmm::runtime {
+
+/// Scores spans of pages at one shared timestamp against the slot's
+/// current model. One batcher per shard; scoring calls are serialized by
+/// the owning shard's lock, while the counters stay readable from any
+/// monitoring thread (relaxed atomics). The slot must outlive the batcher.
+class InferenceBatcher {
+ public:
+  // Version is read *before* the model (declaration order below), the
+  // same order current_model() uses: a publish landing in between makes
+  // the next call reload (over-fresh), never serve a stale model forever.
+  explicit InferenceBatcher(const ModelSlot& slot)
+      : slot_(&slot), version_(slot.version()), model_(slot.load()) {}
+
+  /// Log-scores pages[i] at `t` into out[i]. out.size() >= pages.size().
+  /// Loads the model snapshot once for the whole span.
+  void score_span(std::span<const PageIndex> pages, Timestamp t,
+                  std::span<double> out);
+
+  /// Single-page score (admission / fill path); still one snapshot load.
+  double score_one(PageIndex page, Timestamp t);
+
+  /// score_span invocations.
+  std::uint64_t batches() const noexcept {
+    return batches_.load(std::memory_order_relaxed);
+  }
+  /// Total pages scored (span + single).
+  std::uint64_t scored() const noexcept {
+    return scored_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Refreshes the cached snapshot iff the slot published a newer model;
+  /// the common case is one relaxed integer compare.
+  const gmm::GaussianMixture& current_model();
+
+  const ModelSlot* slot_;
+  // Per-shard snapshot cache, accessed under the owning shard's lock.
+  std::uint64_t version_;
+  std::shared_ptr<const gmm::GaussianMixture> model_;
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> scored_{0};
+};
+
+/// The span hot loop against an explicit model — exposed so tests can pin
+/// a model and assert exact agreement with per-page log_score.
+void batched_log_score(const gmm::GaussianMixture& model,
+                       std::span<const PageIndex> pages, Timestamp t,
+                       std::span<double> out) noexcept;
+
+}  // namespace icgmm::runtime

@@ -1,0 +1,100 @@
+// Background drift adaptation: a worker thread that feeds sampled serving
+// traffic into gmm::OnlineEm and publishes refreshed models through the
+// ModelSlot — closing the offline-train / online-adapt loop the paper
+// leaves to the FPGA's host-side retraining path.
+//
+// The serving side must never block on adaptation, so submit() is a
+// bounded, non-blocking enqueue: when the queue is full, samples are
+// dropped and counted (the model trains on a subsample anyway; losing
+// samples under load costs accuracy slowly, losing serving latency costs
+// immediately).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "gmm/online.hpp"
+#include "runtime/model_slot.hpp"
+#include "trace/preprocess.hpp"
+
+namespace icgmm::runtime {
+
+struct ModelRefresherConfig {
+  gmm::OnlineEmConfig online;
+  /// Max samples buffered between worker wake-ups; overflow is dropped.
+  std::size_t queue_capacity = 8192;
+};
+
+class ModelRefresher {
+ public:
+  /// Seeds the online-EM state from the slot's current model. The slot
+  /// must outlive the refresher.
+  explicit ModelRefresher(ModelSlot& slot, ModelRefresherConfig cfg = {});
+
+  /// Stops and joins the worker if still running.
+  ~ModelRefresher();
+
+  ModelRefresher(const ModelRefresher&) = delete;
+  ModelRefresher& operator=(const ModelRefresher&) = delete;
+
+  /// Spawns the worker thread. One-shot lifecycle: start() once, stop()
+  /// once; restart is not supported (build a new refresher).
+  void start();
+
+  /// Signals the worker, which drains the remaining queue (so every sample
+  /// accepted before stop() is observed), publishes a final model if any
+  /// update ran, and exits. Idempotent.
+  void stop();
+
+  bool running() const noexcept {
+    return running_.load(std::memory_order_relaxed);
+  }
+
+  /// Non-blocking enqueue; returns how many samples were accepted (the
+  /// rest were dropped against queue_capacity).
+  std::size_t submit(std::span<const trace::GmmSample> samples);
+
+  /// Samples consumed by the worker (== accepted, once stopped).
+  std::uint64_t observed() const noexcept {
+    return observed_.load(std::memory_order_relaxed);
+  }
+  /// Samples rejected by a full queue.
+  std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  /// Models published to the slot.
+  std::uint64_t published() const noexcept {
+    return published_.load(std::memory_order_relaxed);
+  }
+  /// Online-EM M-steps performed.
+  std::uint64_t updates() const noexcept {
+    return updates_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void run();
+
+  ModelSlot& slot_;
+  ModelRefresherConfig cfg_;
+  std::optional<gmm::OnlineEm> em_;  ///< worker-thread-only after start()
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<trace::GmmSample> queue_;  // guarded by mu_
+  bool stop_requested_ = false;          // guarded by mu_
+  std::thread worker_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> observed_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> published_{0};
+  std::atomic<std::uint64_t> updates_{0};
+};
+
+}  // namespace icgmm::runtime

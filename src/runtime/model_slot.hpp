@@ -1,0 +1,69 @@
+// Published-model slot: the point where the background drift adapter
+// hands refreshed GMMs to the serving shards.
+//
+// Readers take shared_ptr snapshots of an immutable model; the writer
+// (ModelRefresher) swaps in a new one atomically with respect to every
+// reader — a reader sees either the old model or the fully-constructed
+// new one, never a torn mixture, and old snapshots die when the last
+// in-flight scoring call drops its reference.
+//
+// Implementation note: std::atomic<std::shared_ptr> would express this
+// directly, but libstdc++'s _Sp_atomic (GCC 12) guards its pointer word
+// with an embedded lock bit that ThreadSanitizer cannot see through, so
+// every load/store pair reports a false race. The slot instead protects
+// the shared_ptr with a plain mutex and exposes a relaxed atomic version
+// counter; the serving hot path (InferenceBatcher) polls the counter —
+// one relaxed integer load per miss — and touches the mutex only on the
+// rare publish. That is both TSan-clean and cheaper than per-call
+// shared_ptr refcount traffic bouncing between shard cores.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "gmm/mixture.hpp"
+
+namespace icgmm::runtime {
+
+class ModelSlot {
+ public:
+  explicit ModelSlot(std::shared_ptr<const gmm::GaussianMixture> initial)
+      : model_(std::move(initial)) {
+    if (!model_) throw std::invalid_argument("ModelSlot: null model");
+  }
+
+  /// Snapshot of the current model; never null.
+  std::shared_ptr<const gmm::GaussianMixture> load() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return model_;
+  }
+
+  /// Publishes a refreshed model. Null stores are ignored (the slot always
+  /// holds a servable model).
+  void store(std::shared_ptr<const gmm::GaussianMixture> next) {
+    if (!next) return;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      model_ = std::move(next);
+    }
+    version_.fetch_add(1, std::memory_order_release);
+  }
+
+  /// Number of publishes since construction (0 = still the initial model).
+  /// A version observed here is only a freshness hint; load() is what
+  /// hands out a coherent snapshot.
+  std::uint64_t version() const noexcept {
+    return version_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const gmm::GaussianMixture> model_;  // guarded by mu_
+  std::atomic<std::uint64_t> version_{0};
+};
+
+}  // namespace icgmm::runtime

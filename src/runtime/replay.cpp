@@ -1,0 +1,89 @@
+#include "runtime/replay.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "trace/timestamp_transform.hpp"
+
+namespace icgmm::runtime {
+
+namespace {
+
+/// Replays records [first, last) with a fresh logical clock and private
+/// latency accumulator. `warmup` > 0 clears the runtime's stats and this
+/// thread's latency after that many requests (single-thread mode only).
+void replay_chunk(Runtime& rt, const trace::Trace& trace, std::size_t first,
+                  std::size_t last, const ReplayConfig& cfg, std::size_t warmup,
+                  sim::LatencyModel& latency) {
+  trace::TimestampTransform transform(cfg.transform);
+  std::size_t processed = 0;
+  for (std::size_t i = first; i < last; ++i) {
+    const trace::Record& r = trace[i];
+    const Timestamp ts = transform.next();
+    const cache::AccessResult outcome = rt.access(r.page(), ts, r.is_write());
+    latency.record(outcome, cfg.policy_runs_on_miss && !outcome.hit);
+    if (++processed == warmup) {
+      rt.clear_stats();
+      latency.reset();
+    }
+  }
+}
+
+}  // namespace
+
+ReplayResult replay_trace(Runtime& rt, const trace::Trace& trace,
+                          const ReplayConfig& cfg) {
+  const std::uint32_t threads = std::max(1u, cfg.threads);
+  ReplayResult result;
+  result.run.policy_name = rt.policy_name();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<sim::LatencyModel> latency(threads,
+                                         sim::LatencyModel(cfg.latency));
+  if (threads == 1) {
+    const auto warmup = static_cast<std::size_t>(
+        std::clamp(cfg.warmup_fraction, 0.0, 0.9) *
+        static_cast<double>(trace.size()));
+    replay_chunk(rt, trace, 0, trace.size(), cfg, warmup, latency[0]);
+  } else {
+    // Contiguous chunks, remainder spread over the first chunks.
+    const std::size_t base = trace.size() / threads;
+    const std::size_t extra = trace.size() % threads;
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    std::size_t first = 0;
+    for (std::uint32_t t = 0; t < threads; ++t) {
+      const std::size_t count = base + (t < extra ? 1 : 0);
+      const std::size_t last = first + count;
+      workers.emplace_back([&rt, &trace, first, last, &cfg,
+                            &lat = latency[t]] {
+        replay_chunk(rt, trace, first, last, cfg, /*warmup=*/0, lat);
+      });
+      first = last;
+    }
+    for (std::thread& w : workers) w.join();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+
+  result.run.stats = rt.cache().merged_stats();
+  for (const sim::LatencyModel& lm : latency) {
+    result.run.requests += lm.requests();
+    result.run.latency.hit_ns += lm.breakdown().hit_ns;
+    result.run.latency.fill_read_ns += lm.breakdown().fill_read_ns;
+    result.run.latency.writeback_ns += lm.breakdown().writeback_ns;
+    result.run.latency.bypass_ns += lm.breakdown().bypass_ns;
+    result.run.latency.policy_ns += lm.breakdown().policy_ns;
+  }
+  result.run.policy_inferences = rt.inferences();
+  result.elapsed_seconds =
+      std::chrono::duration<double>(t1 - t0).count();
+  result.requests_per_second =
+      result.elapsed_seconds > 0.0
+          ? static_cast<double>(trace.size()) / result.elapsed_seconds
+          : 0.0;
+  return result;
+}
+
+}  // namespace icgmm::runtime

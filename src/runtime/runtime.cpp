@@ -1,0 +1,107 @@
+#include "runtime/runtime.hpp"
+
+#include <utility>
+
+namespace icgmm::runtime {
+
+Runtime::Runtime(RuntimeConfig cfg, const cache::ReplacementPolicy& prototype)
+    : cfg_(cfg), policy_name_(prototype.name()) {
+  sharded_ = std::make_unique<ShardedCache>(
+      ShardedCacheConfig{.cache = cfg_.cache, .shards = cfg_.shards},
+      prototype);
+}
+
+Runtime::Runtime(RuntimeConfig cfg, gmm::GaussianMixture model,
+                 cache::GmmPolicyConfig policy_cfg)
+    : cfg_(cfg), policy_name_(cache::to_string(policy_cfg.strategy)) {
+  slot_ = std::make_unique<ModelSlot>(
+      std::make_shared<const gmm::GaussianMixture>(std::move(model)));
+  batchers_.reserve(cfg_.shards);
+  sharded_ = std::make_unique<ShardedCache>(
+      ShardedCacheConfig{.cache = cfg_.cache, .shards = cfg_.shards},
+      [this, &policy_cfg](std::uint32_t) {
+        auto batcher = std::make_unique<InferenceBatcher>(*slot_);
+        InferenceBatcher* b = batcher.get();  // owned below; shard-lifetime
+        auto policy = std::make_unique<cache::GmmPolicy>(
+            [b](PageIndex page, Timestamp ts) { return b->score_one(page, ts); },
+            policy_cfg);
+        policy->set_batch_scorer(
+            [b](std::span<const PageIndex> pages, Timestamp ts,
+                std::span<double> out) { b->score_span(pages, ts, out); });
+        batchers_.push_back(std::move(batcher));
+        return policy;
+      });
+  if (cfg_.adapt) {
+    refresher_ = std::make_unique<ModelRefresher>(*slot_, cfg_.refresher);
+  }
+}
+
+Runtime::~Runtime() { stop(); }
+
+void Runtime::start() {
+  if (refresher_) refresher_->start();
+}
+
+void Runtime::stop() {
+  if (refresher_) refresher_->stop();
+}
+
+cache::AccessResult Runtime::access(PageIndex page, Timestamp ts,
+                                    bool is_write) {
+  const cache::AccessResult result = sharded_->access(
+      {.page = page, .timestamp = ts, .is_write = is_write});
+  if (refresher_ && refresher_->running()) {
+    // 1-in-N systematic sampling keeps the adapter fed with an unbiased
+    // thinning of the live access stream. The clock is thread-local: a
+    // shared atomic here would put one contended cache line back on the
+    // hot path the sharding exists to keep core-private. (Threads share
+    // the counter across Runtime instances, which only phase-shifts each
+    // thread's 1-in-N pick — the sampling rate is unchanged.)
+    thread_local std::uint64_t sample_clock = 0;
+    const std::uint64_t n = sample_clock++;
+    if (cfg_.sample_every <= 1 || n % cfg_.sample_every == 0) {
+      const trace::GmmSample sample{.page = static_cast<double>(page),
+                                    .time = static_cast<double>(ts)};
+      refresher_->submit({&sample, 1});
+    }
+  }
+  return result;
+}
+
+std::uint64_t Runtime::inferences() const {
+  std::uint64_t total = 0;
+  for (std::uint32_t i = 0; i < sharded_->shards(); ++i) {
+    sharded_->with_policy(i, [&total](const cache::ReplacementPolicy& p) {
+      if (const auto* gmm = dynamic_cast<const cache::GmmPolicy*>(&p)) {
+        total += gmm->inferences();
+      }
+    });
+  }
+  return total;
+}
+
+RuntimeSnapshot Runtime::snapshot() const {
+  RuntimeSnapshot snap;
+  snap.merged = sharded_->merged_stats();
+  snap.per_shard.reserve(sharded_->shards());
+  for (std::uint32_t i = 0; i < sharded_->shards(); ++i) {
+    snap.per_shard.push_back(sharded_->shard_stats(i));
+  }
+  snap.inferences = inferences();
+  for (const auto& batcher : batchers_) {
+    // Batcher counters are written under the shard lock; reading here is a
+    // monitoring-grade snapshot (exact at quiescence).
+    snap.score_batches += batcher->batches();
+  }
+  if (slot_) snap.model_version = slot_->version();
+  if (refresher_) {
+    snap.models_published = refresher_->published();
+    snap.samples_observed = refresher_->observed();
+    snap.samples_dropped = refresher_->dropped();
+  }
+  return snap;
+}
+
+void Runtime::clear_stats() { sharded_->clear_stats(); }
+
+}  // namespace icgmm::runtime

@@ -1,0 +1,123 @@
+// The embeddable serving runtime: the thread-safe facade wrapping the
+// single-threaded ICGMM pieces for concurrent traffic.
+//
+//   requests --> ShardRouter --> per-shard {mutex, SetAssociativeCache,
+//                                           ReplacementPolicy clone,
+//                                           InferenceBatcher}
+//                                   |                       ^
+//                                   v (sampled accesses)    | (snapshots)
+//                             ModelRefresher --- publishes --> ModelSlot
+//
+// Two construction modes:
+//  * prototype mode — any ReplacementPolicy, cloned once per shard
+//    (classic policies, ARC/SRRIP, or an externally-wired GmmPolicy);
+//  * GMM mode — a trained GaussianMixture plus a GmmPolicyConfig; every
+//    shard gets its own GmmPolicy scored through a per-shard
+//    InferenceBatcher against the shared ModelSlot, and (optionally) a
+//    background ModelRefresher adapts the model to drift from sampled
+//    traffic.
+//
+// access() is safe from any number of threads. start()/stop() bracket the
+// background adaptation thread; a runtime without adaptation needs
+// neither.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/policies/gmm_policy.hpp"
+#include "runtime/inference_batcher.hpp"
+#include "runtime/model_refresher.hpp"
+#include "runtime/sharded_cache.hpp"
+
+namespace icgmm::runtime {
+
+struct RuntimeConfig {
+  /// TOTAL cache geometry, split evenly across shards.
+  cache::CacheConfig cache;
+  std::uint32_t shards = 4;
+  /// GMM mode only: run the background ModelRefresher (start()/stop()).
+  bool adapt = false;
+  /// 1-in-N access sampling into the refresher (1 = every request).
+  std::uint32_t sample_every = 64;
+  ModelRefresherConfig refresher;
+};
+
+/// Coherent observability snapshot (merged lock-free; per-shard locked).
+struct RuntimeSnapshot {
+  cache::CacheStats merged;
+  std::vector<cache::CacheStats> per_shard;
+  std::uint64_t inferences = 0;       ///< GMM scorings across shards
+  std::uint64_t score_batches = 0;    ///< batched span scorings
+  std::uint64_t model_version = 0;    ///< ModelSlot publishes (GMM mode)
+  std::uint64_t models_published = 0; ///< refresher publishes
+  std::uint64_t samples_observed = 0;
+  std::uint64_t samples_dropped = 0;
+};
+
+class Runtime {
+ public:
+  /// Prototype mode: every shard serves with prototype.clone(). The clone
+  /// contract requires independent per-shard state, so a GmmPolicy
+  /// prototype is only safe here when its scorer closures capture
+  /// immutable state (a model by value); scorers that capture shared
+  /// mutable state (an InferenceBatcher, a live model cache) would be
+  /// raced by the shards — use the GMM-mode constructor below, which
+  /// builds that plumbing per shard.
+  Runtime(RuntimeConfig cfg, const cache::ReplacementPolicy& prototype);
+
+  /// GMM mode: per-shard GmmPolicy scoring against a shared snapshot of
+  /// `model` (with batched eviction-time rescoring), plus the optional
+  /// drift adapter when cfg.adapt is set.
+  Runtime(RuntimeConfig cfg, gmm::GaussianMixture model,
+          cache::GmmPolicyConfig policy_cfg);
+
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  const RuntimeConfig& config() const noexcept { return cfg_; }
+  const std::string& policy_name() const noexcept { return policy_name_; }
+
+  /// Starts background adaptation (no-op without a refresher). Serving
+  /// does not require start(); it only enables drift adaptation.
+  void start();
+
+  /// Stops background adaptation, draining queued samples. Idempotent.
+  void stop();
+
+  /// Serves one request from any thread.
+  cache::AccessResult access(PageIndex page, Timestamp ts,
+                             bool is_write = false);
+
+  /// Merged + per-shard statistics and model/refresher counters.
+  RuntimeSnapshot snapshot() const;
+
+  /// Total GMM inferences across shard policies (0 in prototype mode
+  /// unless the prototype was a GmmPolicy).
+  std::uint64_t inferences() const;
+
+  /// Zeroes all statistics counters (cache contents stay warm).
+  void clear_stats();
+
+  ShardedCache& cache() noexcept { return *sharded_; }
+  const ShardedCache& cache() const noexcept { return *sharded_; }
+
+  /// Null in prototype mode.
+  const ModelSlot* model_slot() const noexcept { return slot_.get(); }
+  /// Null unless GMM mode with cfg.adapt.
+  ModelRefresher* refresher() noexcept { return refresher_.get(); }
+
+ private:
+  RuntimeConfig cfg_;
+  std::string policy_name_;
+  std::unique_ptr<ModelSlot> slot_;                       // GMM mode only
+  std::vector<std::unique_ptr<InferenceBatcher>> batchers_;  // one per shard
+  std::unique_ptr<ShardedCache> sharded_;
+  std::unique_ptr<ModelRefresher> refresher_;
+};
+
+}  // namespace icgmm::runtime

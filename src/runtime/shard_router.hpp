@@ -1,0 +1,49 @@
+// Address -> shard routing for the concurrent serving runtime.
+//
+// Pages are spread across shards by a splitmix64-style finalizer rather
+// than low address bits: page indices from real workloads are strongly
+// clustered (hot heaps, sequential scans), and modulo routing would pile
+// whole hot regions onto one shard. The finalizer is a bijection with full
+// avalanche, so any input set spreads near-uniformly; Lemire's multiply-
+// shift maps the 64-bit hash onto [0, shards) without bias or division.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "common/types.hpp"
+
+namespace icgmm::runtime {
+
+/// splitmix64 finalizer (Steele et al.) as a stateless page mixer.
+constexpr std::uint64_t mix_page(PageIndex page) noexcept {
+  std::uint64_t z = page + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Stateless, deterministic page -> shard map. Same page always routes to
+/// the same shard (required: a page's blocks must live in exactly one
+/// shard's tag array), and distinct pages spread uniformly.
+class ShardRouter {
+ public:
+  explicit ShardRouter(std::uint32_t shards) : shards_(shards) {
+    if (shards == 0) {
+      throw std::invalid_argument("ShardRouter: shards must be positive");
+    }
+  }
+
+  std::uint32_t shards() const noexcept { return shards_; }
+
+  std::uint32_t route(PageIndex page) const noexcept {
+    if (shards_ == 1) return 0;  // identity fast path for the 1-shard case
+    return static_cast<std::uint32_t>(
+        (static_cast<__uint128_t>(mix_page(page)) * shards_) >> 64);
+  }
+
+ private:
+  std::uint32_t shards_;
+};
+
+}  // namespace icgmm::runtime

@@ -1,0 +1,128 @@
+#include "runtime/sharded_cache.hpp"
+
+#include <stdexcept>
+
+namespace icgmm::runtime {
+
+cache::CacheConfig ShardedCache::split_config(const ShardedCacheConfig& cfg) {
+  if (cfg.shards == 0) {
+    throw std::invalid_argument("ShardedCache: shards must be positive");
+  }
+  if (cfg.cache.capacity_bytes % cfg.shards != 0) {
+    throw std::invalid_argument(
+        "ShardedCache: capacity not divisible by shard count");
+  }
+  cache::CacheConfig per_shard = cfg.cache;
+  per_shard.capacity_bytes = cfg.cache.capacity_bytes / cfg.shards;
+  per_shard.validate();  // throws when the split breaks set geometry
+  return per_shard;
+}
+
+ShardedCache::ShardedCache(ShardedCacheConfig cfg, const PolicyFactory& factory)
+    : router_(cfg.shards), shard_cfg_(split_config(cfg)) {
+  if (!factory) throw std::invalid_argument("ShardedCache: null policy factory");
+  shards_.reserve(cfg.shards);
+  for (std::uint32_t i = 0; i < cfg.shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->cache =
+        std::make_unique<cache::SetAssociativeCache>(shard_cfg_, factory(i));
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ShardedCache::ShardedCache(ShardedCacheConfig cfg,
+                           const cache::ReplacementPolicy& prototype)
+    : ShardedCache(cfg, [&prototype](std::uint32_t) {
+        return prototype.clone();
+      }) {}
+
+cache::AccessResult ShardedCache::access(const cache::AccessContext& ctx) {
+  Shard& shard = *shards_[router_.route(ctx.page)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const cache::AccessResult result = shard.cache->access(ctx);
+  // Mirror the outcome into the lock-free-readable counters (same
+  // derivation the cache applies internally, see
+  // SetAssociativeCache::access). Updated while still holding the shard
+  // lock: a clear_stats() racing an unlocked mirror update would leave
+  // the mirrors permanently ahead of the authoritative per-shard stats.
+  Counters& c = shard.counters;
+  c.accesses.fetch_add(1, std::memory_order_relaxed);
+  if (result.hit) {
+    c.hits.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    (ctx.is_write ? c.write_misses : c.read_misses)
+        .fetch_add(1, std::memory_order_relaxed);
+    (result.admitted ? c.fills : c.bypasses)
+        .fetch_add(1, std::memory_order_relaxed);
+    if (result.evicted) {
+      c.evictions.fetch_add(1, std::memory_order_relaxed);
+      if (result.evicted_dirty) {
+        c.dirty_evictions.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  return result;
+}
+
+cache::CacheStats ShardedCache::merged_stats() const noexcept {
+  cache::CacheStats merged;
+  for (const auto& shard : shards_) {
+    const Counters& c = shard->counters;
+    merged.accesses += c.accesses.load(std::memory_order_relaxed);
+    merged.hits += c.hits.load(std::memory_order_relaxed);
+    merged.read_misses += c.read_misses.load(std::memory_order_relaxed);
+    merged.write_misses += c.write_misses.load(std::memory_order_relaxed);
+    merged.fills += c.fills.load(std::memory_order_relaxed);
+    merged.bypasses += c.bypasses.load(std::memory_order_relaxed);
+    merged.evictions += c.evictions.load(std::memory_order_relaxed);
+    merged.dirty_evictions += c.dirty_evictions.load(std::memory_order_relaxed);
+  }
+  return merged;
+}
+
+cache::CacheStats ShardedCache::shard_stats(std::uint32_t shard) const {
+  const Shard& s = *shards_.at(shard);
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.cache->stats();
+}
+
+void ShardedCache::with_policy(
+    std::uint32_t shard,
+    const std::function<void(const cache::ReplacementPolicy&)>& fn) const {
+  const Shard& s = *shards_.at(shard);
+  std::lock_guard<std::mutex> lock(s.mu);
+  fn(s.cache->policy());
+}
+
+bool ShardedCache::contains(PageIndex page) const {
+  const Shard& s = *shards_[router_.route(page)];
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.cache->contains(page);
+}
+
+std::uint64_t ShardedCache::valid_blocks() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->cache->valid_blocks();
+  }
+  return total;
+}
+
+void ShardedCache::clear_stats() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->cache->clear_stats();
+    Counters& c = shard->counters;
+    c.accesses.store(0, std::memory_order_relaxed);
+    c.hits.store(0, std::memory_order_relaxed);
+    c.read_misses.store(0, std::memory_order_relaxed);
+    c.write_misses.store(0, std::memory_order_relaxed);
+    c.fills.store(0, std::memory_order_relaxed);
+    c.bypasses.store(0, std::memory_order_relaxed);
+    c.evictions.store(0, std::memory_order_relaxed);
+    c.dirty_evictions.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace icgmm::runtime

@@ -1,0 +1,106 @@
+// N independent SetAssociativeCache shards behind per-shard mutexes.
+//
+// The single-threaded cache model is kept untouched; concurrency comes
+// from partitioning the page space across shards with the splitmix router
+// so threads serving different pages rarely contend. Each shard owns its
+// own ReplacementPolicy (cloned from one prototype or built per shard by
+// a factory), its own tag array, and a cache-line-padded block of atomic
+// counters mirroring CacheStats — so merged statistics are readable
+// lock-free while a request storm is in flight.
+//
+// Consistency: each atomic counter is updated (relaxed) while the shard
+// lock is still held, so the mirrors never drift from the authoritative
+// per-shard stats — even against a concurrent clear_stats(). Readers of
+// merged_stats() take no locks; a mid-flight snapshot is per-counter
+// coherent, while identities like hits + misses == accesses are
+// guaranteed only at quiescence (e.g. after worker joins).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "runtime/shard_router.hpp"
+
+namespace icgmm::runtime {
+
+struct ShardedCacheConfig {
+  /// TOTAL geometry; capacity is split evenly across shards (each shard is
+  /// a CacheConfig with capacity_bytes / shards). Must divide cleanly.
+  cache::CacheConfig cache;
+  std::uint32_t shards = 4;
+};
+
+class ShardedCache {
+ public:
+  /// Builds shard `i`'s policy. Called once per shard at construction.
+  using PolicyFactory =
+      std::function<std::unique_ptr<cache::ReplacementPolicy>(std::uint32_t)>;
+
+  /// Throws std::invalid_argument when the total geometry does not split
+  /// evenly into `shards` valid per-shard geometries.
+  ShardedCache(ShardedCacheConfig cfg, const PolicyFactory& factory);
+
+  /// Convenience: every shard gets prototype.clone().
+  ShardedCache(ShardedCacheConfig cfg, const cache::ReplacementPolicy& prototype);
+
+  std::uint32_t shards() const noexcept { return router_.shards(); }
+  const cache::CacheConfig& shard_config() const noexcept { return shard_cfg_; }
+  const ShardRouter& router() const noexcept { return router_; }
+
+  /// Routes, locks the owning shard, and processes the request.
+  cache::AccessResult access(const cache::AccessContext& ctx);
+
+  /// Lock-free merged statistics (relaxed sums of the per-shard atomics).
+  cache::CacheStats merged_stats() const noexcept;
+
+  /// One shard's authoritative CacheStats (takes that shard's lock).
+  cache::CacheStats shard_stats(std::uint32_t shard) const;
+
+  /// Runs `fn` on shard `i`'s policy under that shard's lock — read-only
+  /// introspection (e.g. per-shard inference counters).
+  void with_policy(
+      std::uint32_t shard,
+      const std::function<void(const cache::ReplacementPolicy&)>& fn) const;
+
+  /// True if `page` is resident in its owning shard (locks that shard).
+  bool contains(PageIndex page) const;
+
+  /// Total valid blocks across shards (locks each shard in turn).
+  std::uint64_t valid_blocks() const;
+
+  /// Zeroes every shard's counters and the atomic mirrors; cached blocks
+  /// and policy state are kept (warm-up discipline, as clear_stats()).
+  void clear_stats();
+
+ private:
+  // Padded so two shards' hot state never share a cache line.
+  struct alignas(64) Counters {
+    std::atomic<std::uint64_t> accesses{0};
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> read_misses{0};
+    std::atomic<std::uint64_t> write_misses{0};
+    std::atomic<std::uint64_t> fills{0};
+    std::atomic<std::uint64_t> bypasses{0};
+    std::atomic<std::uint64_t> evictions{0};
+    std::atomic<std::uint64_t> dirty_evictions{0};
+  };
+
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    std::unique_ptr<cache::SetAssociativeCache> cache;
+    Counters counters;
+  };
+
+  static cache::CacheConfig split_config(const ShardedCacheConfig& cfg);
+
+  ShardRouter router_;
+  cache::CacheConfig shard_cfg_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace icgmm::runtime

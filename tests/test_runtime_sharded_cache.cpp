@@ -1,0 +1,159 @@
+// ShardedCache invariants: the sharded run's merged CacheStats equals the
+// per-shard sum, hit + miss == requests, a single shard is exactly the
+// unsharded cache, and everything holds under concurrent traffic.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "cache/policies/classic.hpp"
+#include "common/rng.hpp"
+#include "runtime/sharded_cache.hpp"
+#include "test_util.hpp"
+#include "trace/zipf.hpp"
+
+namespace icgmm {
+namespace {
+
+using runtime::ShardedCache;
+using runtime::ShardedCacheConfig;
+
+std::vector<cache::AccessContext> zipf_traffic(std::size_t n,
+                                               std::uint64_t pages,
+                                               std::uint64_t seed) {
+  trace::Zipf zipf(pages, 0.9);
+  Rng rng(seed);
+  std::vector<cache::AccessContext> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back({.page = zipf.sample(rng),
+                   .timestamp = i / 32,
+                   .is_write = rng.chance(0.15)});
+  }
+  return out;
+}
+
+void expect_stats_eq(const cache::CacheStats& a, const cache::CacheStats& b) {
+  EXPECT_EQ(a.accesses, b.accesses);
+  EXPECT_EQ(a.hits, b.hits);
+  EXPECT_EQ(a.read_misses, b.read_misses);
+  EXPECT_EQ(a.write_misses, b.write_misses);
+  EXPECT_EQ(a.fills, b.fills);
+  EXPECT_EQ(a.bypasses, b.bypasses);
+  EXPECT_EQ(a.evictions, b.evictions);
+  EXPECT_EQ(a.dirty_evictions, b.dirty_evictions);
+}
+
+cache::CacheStats shard_sum(const ShardedCache& sc) {
+  cache::CacheStats sum;
+  for (std::uint32_t i = 0; i < sc.shards(); ++i) {
+    const cache::CacheStats s = sc.shard_stats(i);
+    sum.accesses += s.accesses;
+    sum.hits += s.hits;
+    sum.read_misses += s.read_misses;
+    sum.write_misses += s.write_misses;
+    sum.fills += s.fills;
+    sum.bypasses += s.bypasses;
+    sum.evictions += s.evictions;
+    sum.dirty_evictions += s.dirty_evictions;
+  }
+  return sum;
+}
+
+TEST(RuntimeShardedCache, SingleShardMatchesUnshardedCacheExactly) {
+  const auto reqs = zipf_traffic(60000, 2048, 0x5a5a);
+  cache::SetAssociativeCache plain(test_util::tiny_cache(64, 8),
+                                   std::make_unique<cache::LruPolicy>());
+  ShardedCache sharded(
+      ShardedCacheConfig{.cache = test_util::tiny_cache(64, 8), .shards = 1},
+      cache::LruPolicy());
+  for (const auto& ctx : reqs) {
+    const cache::AccessResult a = plain.access(ctx);
+    const cache::AccessResult b = sharded.access(ctx);
+    ASSERT_EQ(a.hit, b.hit);
+    ASSERT_EQ(a.admitted, b.admitted);
+    ASSERT_EQ(a.evicted, b.evicted);
+    ASSERT_EQ(a.victim_page, b.victim_page);
+  }
+  expect_stats_eq(sharded.merged_stats(), plain.stats());
+  expect_stats_eq(sharded.shard_stats(0), plain.stats());
+}
+
+TEST(RuntimeShardedCache, MergedEqualsShardSumWithCoherentIdentities) {
+  const std::size_t kRequests = 80000;
+  const auto reqs = zipf_traffic(kRequests, 4096, 0x7777);
+  ShardedCache sharded(
+      ShardedCacheConfig{.cache = test_util::tiny_cache(64, 8), .shards = 8},
+      cache::LruPolicy());
+  for (const auto& ctx : reqs) sharded.access(ctx);
+
+  const cache::CacheStats merged = sharded.merged_stats();
+  expect_stats_eq(merged, shard_sum(sharded));
+  EXPECT_EQ(merged.accesses, kRequests);
+  EXPECT_EQ(merged.hits + merged.misses(), merged.accesses);
+  EXPECT_EQ(merged.fills + merged.bypasses, merged.misses());
+  EXPECT_LE(sharded.valid_blocks(), test_util::tiny_cache(64, 8).blocks());
+
+  // The splitmix router must have spread traffic over every shard.
+  for (std::uint32_t i = 0; i < sharded.shards(); ++i) {
+    EXPECT_GT(sharded.shard_stats(i).accesses, 0u) << "idle shard " << i;
+  }
+}
+
+TEST(RuntimeShardedCache, ConcurrentTrafficKeepsInvariants) {
+  const std::uint32_t kThreads = 4;
+  const std::size_t kPerThread = 40000;
+  ShardedCache sharded(
+      ShardedCacheConfig{.cache = test_util::tiny_cache(64, 8), .shards = 8},
+      cache::LruPolicy());
+
+  std::vector<std::thread> workers;
+  for (std::uint32_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&sharded, t] {
+      const auto reqs = zipf_traffic(kPerThread, 4096, 0x1000 + t);
+      for (const auto& ctx : reqs) sharded.access(ctx);
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  const cache::CacheStats merged = sharded.merged_stats();
+  expect_stats_eq(merged, shard_sum(sharded));
+  EXPECT_EQ(merged.accesses, kThreads * kPerThread);
+  EXPECT_EQ(merged.hits + merged.misses(), merged.accesses);
+  EXPECT_EQ(merged.fills + merged.bypasses, merged.misses());
+}
+
+TEST(RuntimeShardedCache, ClearStatsKeepsWarmBlocks) {
+  const auto reqs = zipf_traffic(20000, 2048, 0x9e);
+  ShardedCache sharded(
+      ShardedCacheConfig{.cache = test_util::tiny_cache(64, 8), .shards = 4},
+      cache::LruPolicy());
+  for (const auto& ctx : reqs) sharded.access(ctx);
+  const std::uint64_t warm_blocks = sharded.valid_blocks();
+  ASSERT_GT(warm_blocks, 0u);
+
+  sharded.clear_stats();
+  EXPECT_EQ(sharded.merged_stats().accesses, 0u);
+  EXPECT_EQ(shard_sum(sharded).accesses, 0u);
+  EXPECT_EQ(sharded.valid_blocks(), warm_blocks);  // contents stay warm
+}
+
+TEST(RuntimeShardedCache, RejectsGeometryThatDoesNotSplit) {
+  // 64 MB does not divide into 3 shards of whole blocks.
+  EXPECT_THROW(ShardedCache(ShardedCacheConfig{.cache = {}, .shards = 3},
+                            cache::LruPolicy()),
+               std::invalid_argument);
+  // Per-shard capacity below one full set (8 blocks x 4 KB).
+  EXPECT_THROW(
+      ShardedCache(
+          ShardedCacheConfig{.cache = test_util::one_set(8), .shards = 2},
+          cache::LruPolicy()),
+      std::invalid_argument);
+  EXPECT_THROW(ShardedCache(ShardedCacheConfig{.cache = {}, .shards = 0},
+                            cache::LruPolicy()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace icgmm
