@@ -13,6 +13,8 @@ SetAssociativeCache::SetAssociativeCache(
     throw std::invalid_argument("SetAssociativeCache: associativity > kMaxWays");
   }
   sets_ = cfg_.sets();
+  sets_pow2_ = (sets_ & (sets_ - 1)) == 0;
+  set_mask_ = sets_ - 1;
   blocks_.resize(cfg_.blocks());
   policy_->attach(sets_, cfg_.associativity);
 }

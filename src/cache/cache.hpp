@@ -53,6 +53,14 @@ class SetAssociativeCache {
   /// same warm-up discipline the paper applies (§3.1).
   void clear_stats() noexcept { stats_ = CacheStats{}; }
 
+  /// Set index of a page. Runs on every access, so when the set count is a
+  /// power of two (every realistic geometry: capacity, block size and
+  /// associativity are all powers of two) the constructor precomputes a
+  /// mask and this is a single AND instead of a 64-bit modulo.
+  std::uint64_t set_of(PageIndex page) const noexcept {
+    return sets_pow2_ ? (page & set_mask_) : (page % sets_);
+  }
+
  private:
   struct Block {
     PageIndex tag = 0;
@@ -60,7 +68,6 @@ class SetAssociativeCache {
     bool dirty = false;
   };
 
-  std::uint64_t set_of(PageIndex page) const noexcept { return page % sets_; }
   Block& block(std::uint64_t set, std::uint32_t way) noexcept {
     return blocks_[set * cfg_.associativity + way];
   }
@@ -70,6 +77,8 @@ class SetAssociativeCache {
 
   CacheConfig cfg_;
   std::uint64_t sets_;
+  bool sets_pow2_ = false;
+  std::uint64_t set_mask_ = 0;  ///< sets_ - 1, valid when sets_pow2_
   std::vector<Block> blocks_;
   std::unique_ptr<ReplacementPolicy> policy_;
   CacheStats stats_;

@@ -72,8 +72,12 @@ std::uint32_t GmmPolicy::choose_victim(std::uint64_t set,
   std::uint32_t victim = 0;
   if (cfg_.strategy == GmmStrategy::kCachingOnly) {
     // LRU fallback — smart caching changes admission only.
+    std::uint64_t oldest = last_use_[base];
     for (std::uint32_t way = 1; way < ways_; ++way) {
-      if (last_use_[base + way] < last_use_[base + victim]) victim = way;
+      if (last_use_[base + way] < oldest) {
+        victim = way;
+        oldest = last_use_[base + way];
+      }
     }
     return victim;
   }
@@ -99,17 +103,26 @@ std::uint32_t GmmPolicy::choose_victim(std::uint64_t set,
   // survive its burst even when the model scores it cold — without this,
   // streaming bursts thrash).
   std::uint32_t mru = 0;
+  std::uint64_t newest = last_use_[base];
   for (std::uint32_t way = 1; way < ways_; ++way) {
-    if (last_use_[base + way] > last_use_[base + mru]) mru = way;
+    if (last_use_[base + way] > newest) {
+      mru = way;
+      newest = last_use_[base + way];
+    }
   }
   victim = mru == 0 ? 1 : 0;
+  // Best-so-far kept in locals: the victim's score/recency were re-read
+  // from the tables on every iteration before.
+  double best_score = score_[base + victim];
+  std::uint64_t best_use = last_use_[base + victim];
   for (std::uint32_t way = 0; way < ways_; ++way) {
     if (way == mru) continue;
     const double s = score_[base + way];
-    const double best = score_[base + victim];
-    if (s < best ||
-        (s == best && last_use_[base + way] < last_use_[base + victim])) {
+    const std::uint64_t use = last_use_[base + way];
+    if (s < best_score || (s == best_score && use < best_use)) {
       victim = way;
+      best_score = s;
+      best_use = use;
     }
   }
   return victim;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "gmm/kernel.hpp"
+
 namespace icgmm::core {
 
 const gmm::FitReport& PolicyEngine::train(const trace::Trace& collected) {
@@ -53,11 +55,12 @@ const gmm::GaussianMixture& PolicyEngine::model() const {
 
 cache::ScoreFn PolicyEngine::score_fn() const {
   if (!model_) throw std::logic_error("PolicyEngine: not trained");
-  // Copy the model into the closure: scorers outlive the engine freely and
-  // the model is a few KB (K * 6 doubles).
-  return [model = *model_](PageIndex page, Timestamp ts) {
-    return model.log_score(static_cast<double>(page),
-                           static_cast<double>(ts));
+  // Capture the flat SoA kernel snapshot, not the mixture: scorers outlive
+  // the engine freely, the kernel is a few KB (K * 6 doubles), and copies
+  // (e.g. policy clones) get independent timestamp caches, so every clone
+  // stays safe to drive from its own thread.
+  return [kernel = model_->make_kernel()](PageIndex page, Timestamp ts) {
+    return kernel.score_one(page, ts);
   };
 }
 

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "common/rng.hpp"
+#include "gmm/kernel.hpp"
 #include "gmm/kmeans.hpp"
 
 namespace icgmm::gmm {
@@ -100,25 +101,18 @@ GaussianMixture EmTrainer::fit(std::span<const trace::GmmSample> samples) {
 
   // --- EM iterations (streaming sufficient statistics). ---
   double prev_ll = -std::numeric_limits<double>::infinity();
-  std::vector<double> log_w(k);
   std::vector<double> terms(k);
   for (std::uint32_t iter = 0; iter < cfg_.max_iters; ++iter) {
     GaussianMixture model = build();
-    for (std::size_t c = 0; c < k; ++c) {
-      log_w[c] = model.weights()[c] > 0.0
-                     ? std::log(model.weights()[c])
-                     : -std::numeric_limits<double>::infinity();
-    }
+    // The per-component log terms come from the mixture's folded SoA
+    // kernel — same flat coefficients the serving miss path scores with.
+    const ScorerKernel& kern = model.kernel();
 
     std::vector<Suff> suff(k);
     double ll = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
       // E-step for one sample: responsibilities in the log domain.
-      double max_term = -std::numeric_limits<double>::infinity();
-      for (std::size_t c = 0; c < k; ++c) {
-        terms[c] = log_w[c] + model.components()[c].log_pdf(xs[i]);
-        max_term = std::max(max_term, terms[c]);
-      }
+      const double max_term = kern.component_log_terms(xs[i], terms);
       double denom = 0.0;
       for (std::size_t c = 0; c < k; ++c) {
         terms[c] = std::exp(terms[c] - max_term);

@@ -44,6 +44,14 @@ class Gaussian2D {
   /// Squared Mahalanobis distance (x-mu)^T Sigma^-1 (x-mu).
   double mahalanobis2(Vec2 x) const noexcept;
 
+  /// Precomputed inverse-covariance entries and log normalization, exposed
+  /// so gmm::ScorerKernel can fold them into its flat coefficient arrays
+  /// without re-deriving them from the covariance.
+  double inv_pp() const noexcept { return inv_pp_; }
+  double inv_pt() const noexcept { return inv_pt_; }
+  double inv_tt() const noexcept { return inv_tt_; }
+  double log_norm() const noexcept { return log_norm_; }
+
  private:
   Vec2 mean_;
   Cov2 cov_;

@@ -1,0 +1,424 @@
+#include "gmm/kernel.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+// This translation unit is compiled with -fno-trapping-math (see
+// src/CMakeLists.txt): the flag lets the vectorizer if-convert the
+// underflow clamp in exp_core into a branch-free select. No fenv state is
+// inspected anywhere in this library, so the transformation does not
+// change any computed bit.
+
+namespace icgmm::gmm {
+namespace {
+
+/// Pages are scored through the dispatch in chunks of at most this many at
+/// a time so scratch buffers have a fixed stack footprint.
+constexpr std::size_t kBatchChunk = 64;
+
+/// Timestamp-coefficient scratch for *stateless* kernels above the fixed-K
+/// limit (e.g. the mixture-embedded kernel at the paper's K = 256, which
+/// PolicyEngine::train drives once per training sample). Reused per thread
+/// so that path stays allocation-free after warm-up, like the seed's
+/// thread_local terms buffer; the hot policy/batcher kernels never touch
+/// this — they carry their own single-owner cache.
+thread_local std::vector<double> stateless_generic_scratch;
+
+// Function multi-versioning: the hot entry points are cloned for
+// x86-64-v3 (AVX2+FMA) with a portable baseline fallback, resolved once at
+// load time. `flatten` pulls the whole scoring core into each clone so it
+// vectorizes at that clone's ISA. Disabled under TSan/ASan: their runtimes
+// are not initialized yet when the loader runs ifunc resolvers, which
+// segfaults at startup.
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && \
+    !defined(__SANITIZE_THREAD__) && !defined(__SANITIZE_ADDRESS__)
+#define ICGMM_KERNEL_HOT \
+  __attribute__((target_clones("arch=x86-64-v3", "default"), flatten))
+#else
+#define ICGMM_KERNEL_HOT
+#endif
+
+/// Inlined exp for arguments in [-745, 360] — the range reachable from
+/// c[k] - q_k (q >= 0; c is bounded by the largest representable log
+/// normalization, ~353, so the sum below can never overflow). Arguments
+/// below -708 are clamped: the true result there is a subnormal whose
+/// contribution cannot survive against kAccFloor, and the clamp keeps the
+/// 2^n exponent construction inside the normal range while staying
+/// branch-free (vectorizable select). Standard Cody–Waite reduction
+/// x = n*ln2 + r, then degree-12 Taylor in Estrin form (faithful to ~1
+/// ulp on |r| <= ln2/2) — no division, short dependency tree.
+inline double exp_core(double x) noexcept {
+  x = x < -708.0 ? -708.0 : x;
+  const double z = x * 1.4426950408889634073599 + 6755399441055744.0;
+  const double n = z - 6755399441055744.0;  // nearbyint(x / ln2)
+  // Low 32 bits of the magic-shifted double hold n in two's complement.
+  const auto ni = static_cast<std::int32_t>(std::bit_cast<std::uint64_t>(z));
+  const double r =
+      (x - n * 6.93145751953125e-1) - n * 1.42860682030941723212e-6;
+  const double r2 = r * r;
+  const double r4 = r2 * r2;
+  const double r8 = r4 * r4;
+  // Taylor coefficients 1/k!, pairs combined Estrin-style.
+  const double p01 = 1.0 + r;
+  const double p23 = 0.5 + r * 1.66666666666666666667e-1;
+  const double p45 = 4.16666666666666666667e-2 + r * 8.33333333333333333333e-3;
+  const double p67 = 1.38888888888888888889e-3 + r * 1.98412698412698412698e-4;
+  const double p89 = 2.48015873015873015873e-5 + r * 2.75573192239858906526e-6;
+  const double pab = 2.75573192239858906526e-7 + r * 2.50521083854417187751e-8;
+  const double pc = 2.08767569878680989792e-9;
+  const double q0 = p01 + r2 * p23;
+  const double q1 = p45 + r2 * p67;
+  const double q2 = p89 + r2 * pab;
+  double e = (q0 + r4 * q1) + r8 * (q2 + r4 * pc);
+  // Scale by 2^n through the exponent bits; n is in [-1022, 520] here so
+  // the biased exponent stays normal.
+  const std::int64_t biased = (static_cast<std::int64_t>(ni) + 1023) << 52;
+  e *= std::bit_cast<double>(static_cast<std::uint64_t>(biased));
+  return e;
+}
+
+/// Inlined log for positive normal arguments (the accumulator is in
+/// [kAccFloor, K * exp(353)] when this runs). fdlibm-style: scale the
+/// mantissa into [sqrt(1/2), sqrt(2)) through the exponent bits, then the
+/// classic atanh-form rational polynomial. Faithful to ~1 ulp.
+inline double log_core(double x) noexcept {
+  const std::uint64_t u = std::bit_cast<std::uint64_t>(x);
+  const auto hi = static_cast<std::int32_t>(u >> 32);
+  const std::int32_t k32 = (hi - 0x3fe69555) >> 20;
+  const std::uint64_t mbits =
+      u - (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k32)) << 52);
+  const double m = std::bit_cast<double>(mbits);
+  const double kd = static_cast<double>(k32);
+  const double f = m - 1.0;
+  const double s = f / (2.0 + f);
+  const double z = s * s;
+  const double w = z * z;
+  const double t1 = w * (3.999999999940941908e-1 +
+                         w * (2.222219843214978396e-1 +
+                              w * 1.531383769920937332e-1));
+  const double t2 = z * (6.666666666666735130e-1 +
+                         w * (2.857142874366239149e-1 +
+                              w * (1.818357216161805012e-1 +
+                                   w * 1.479819860511658591e-1)));
+  const double hfsq = 0.5 * f * f;
+  return kd * 6.93147180369123816490e-1 +
+         (f - (hfsq - (s * (hfsq + t1 + t2) + kd * 1.90821492927058770002e-10)));
+}
+
+/// Exact fallback with the seed's log-sum-exp shape: running max over the
+/// terms, libm exp/log on the max-subtracted sum. Handles -inf terms
+/// (zero-weight components) and far outliers whose direct sum underflows.
+double lse_max_subtracted(const double* terms, std::size_t k) noexcept {
+  double max_term = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < k; ++i) max_term = std::max(max_term, terms[i]);
+  if (!std::isfinite(max_term)) return max_term;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < k; ++i) acc += std::exp(terms[i] - max_term);
+  return max_term + std::log(acc);
+}
+
+}  // namespace
+
+/// The scoring core, templated on K so trip counts are compile-time
+/// constants (fully unrolled + SLP-vectorized inside each clone). All
+/// public entry points reach the per-K instantiation through one stored
+/// function pointer, so every path runs the identical machine code.
+template <std::size_t K>
+struct KernelBatchEntry {
+  static inline double accumulate(const double* __restrict mp,
+                                  const double* __restrict a,
+                                  const double* __restrict c,
+                                  const double* __restrict cross,
+                                  const double* __restrict ttc,
+                                  double xp) noexcept {
+    alignas(64) double ex[K];
+    for (std::size_t i = 0; i < K; ++i) {
+      const double dp = xp - mp[i];
+      const double q = dp * dp * a[i] + dp * cross[i] + ttc[i];
+      ex[i] = exp_core(c[i] - q);
+    }
+    // Pairwise tree accumulation: deterministic, log-depth.
+    for (std::size_t w = K; w > 1; w /= 2) {
+      for (std::size_t i = 0; i < w / 2; ++i) ex[i] = ex[i] + ex[i + w / 2];
+    }
+    return ex[0];
+  }
+
+  static __attribute__((noinline)) double guarded(
+      const ScorerKernel& kern, const double* cross, const double* ttc,
+      double xp) noexcept {
+    const double* soa = kern.soa_.data();
+    const double* mp = soa;
+    const double* a = soa + 2 * K;
+    const double* c = soa + 5 * K;
+    double terms[K];
+    for (std::size_t i = 0; i < K; ++i) {
+      const double dp = xp - mp[i];
+      terms[i] = c[i] - (dp * dp * a[i] + dp * cross[i] + ttc[i]);
+    }
+    return lse_max_subtracted(terms, K);
+  }
+
+  ICGMM_KERNEL_HOT
+  static void run(const ScorerKernel& kern, const double* xs, std::size_t n,
+                  double xt, double* out) noexcept {
+    const double* __restrict soa = kern.soa_.data();
+    const double* __restrict mp = soa;
+    const double* __restrict mt = soa + K;
+    const double* __restrict a = soa + 2 * K;
+    const double* __restrict b = soa + 3 * K;
+    const double* __restrict g = soa + 4 * K;
+    const double* __restrict c = soa + 5 * K;
+
+    alignas(64) double local_cross[K], local_ttc[K];
+    const double* cross;
+    const double* ttc;
+    if (kern.cache_enabled_) {
+      if (!kern.cache_valid_ || kern.cache_xt_ != xt) {
+        for (std::size_t i = 0; i < K; ++i) {
+          const double dt = xt - mt[i];
+          kern.cache_cross_[i] = dt * b[i];
+          kern.cache_ttc_[i] = (dt * dt) * g[i];
+        }
+        kern.cache_xt_ = xt;
+        kern.cache_valid_ = true;
+      }
+      cross = kern.cache_cross_;
+      ttc = kern.cache_ttc_;
+    } else {
+      for (std::size_t i = 0; i < K; ++i) {
+        const double dt = xt - mt[i];
+        local_cross[i] = dt * b[i];
+        local_ttc[i] = (dt * dt) * g[i];
+      }
+      cross = local_cross;
+      ttc = local_ttc;
+    }
+
+    if (n == 1) {  // admission path: keep the accumulator in registers
+      const double acc = accumulate(mp, a, c, cross, ttc, xs[0]);
+      out[0] = acc < ScorerKernel::kAccFloor ? guarded(kern, cross, ttc, xs[0])
+                                             : log_core(acc);
+      return;
+    }
+
+    alignas(64) double accs[kBatchChunk];
+    for (std::size_t j = 0; j < n; ++j) {
+      accs[j] = accumulate(mp, a, c, cross, ttc, xs[j]);
+    }
+    for (std::size_t j = 0; j < n; ++j) out[j] = log_core(accs[j]);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (accs[j] < ScorerKernel::kAccFloor) {
+        out[j] = guarded(kern, cross, ttc, xs[j]);
+      }
+    }
+  }
+};
+
+/// Runtime-K core for mixtures outside the fixed dispatch set (e.g. the
+/// paper's K = 256). Same structure with runtime trip counts; the
+/// timestamp coefficients live in the kernel's heap scratch when the cache
+/// is on, or in a per-call heap buffer on stateless kernels.
+struct KernelBatchGeneric {
+  static __attribute__((noinline)) double guarded(
+      const ScorerKernel& kern, const double* cross, const double* ttc,
+      double xp) noexcept {
+    const std::size_t k = kern.k_;
+    const double* soa = kern.soa_.data();
+    const double* mp = soa;
+    const double* a = soa + 2 * k;
+    const double* c = soa + 5 * k;
+    std::vector<double> terms(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      const double dp = xp - mp[i];
+      terms[i] = c[i] - (dp * dp * a[i] + dp * cross[i] + ttc[i]);
+    }
+    return lse_max_subtracted(terms.data(), k);
+  }
+
+  ICGMM_KERNEL_HOT
+  static void run(const ScorerKernel& kern, const double* xs, std::size_t n,
+                  double xt, double* out) noexcept {
+    const std::size_t k = kern.k_;
+    const double* __restrict soa = kern.soa_.data();
+    const double* __restrict mp = soa;
+    const double* __restrict mt = soa + k;
+    const double* __restrict a = soa + 2 * k;
+    const double* __restrict b = soa + 3 * k;
+    const double* __restrict g = soa + 4 * k;
+    const double* __restrict c = soa + 5 * k;
+
+    double* cross;
+    double* ttc;
+    bool fresh = true;
+    if (kern.cache_enabled_) {
+      cross = kern.spill_.data();
+      ttc = kern.spill_.data() + k;
+      fresh = !kern.cache_valid_ || kern.cache_xt_ != xt;
+      kern.cache_xt_ = xt;
+      kern.cache_valid_ = true;
+    } else {
+      if (stateless_generic_scratch.size() < 2 * k) {
+        stateless_generic_scratch.resize(2 * k);
+      }
+      cross = stateless_generic_scratch.data();
+      ttc = stateless_generic_scratch.data() + k;
+    }
+    if (fresh) {
+      double* __restrict cr = cross;
+      double* __restrict tc = ttc;
+      for (std::size_t i = 0; i < k; ++i) {
+        const double dt = xt - mt[i];
+        cr[i] = dt * b[i];
+        tc[i] = (dt * dt) * g[i];
+      }
+    }
+
+    for (std::size_t j = 0; j < n; ++j) {
+      const double xp = xs[j];
+      const double* __restrict cr = cross;
+      const double* __restrict tc = ttc;
+      // Chunked pairwise accumulation: sum each block of kMaxFixedComponents
+      // with the tree, chain blocks in order — deterministic for any K.
+      double acc = 0.0;
+      std::size_t i = 0;
+      alignas(64) double ex[ScorerKernel::kMaxFixedComponents];
+      for (; i + ScorerKernel::kMaxFixedComponents <= k;
+           i += ScorerKernel::kMaxFixedComponents) {
+        for (std::size_t u = 0; u < ScorerKernel::kMaxFixedComponents; ++u) {
+          const double dp = xp - mp[i + u];
+          const double q = dp * dp * a[i + u] + dp * cr[i + u] + tc[i + u];
+          ex[u] = exp_core(c[i + u] - q);
+        }
+        for (std::size_t w = ScorerKernel::kMaxFixedComponents; w > 1; w /= 2) {
+          for (std::size_t u = 0; u < w / 2; ++u) ex[u] = ex[u] + ex[u + w / 2];
+        }
+        acc += ex[0];
+      }
+      for (; i < k; ++i) {  // remainder, sequential
+        const double dp = xp - mp[i];
+        const double q = dp * dp * a[i] + dp * cr[i] + tc[i];
+        acc += exp_core(c[i] - q);
+      }
+      out[j] = acc < ScorerKernel::kAccFloor ? guarded(kern, cross, ttc, xp)
+                                             : log_core(acc);
+    }
+  }
+};
+
+ScorerKernel::BatchFn ScorerKernel::pick_batch_fn(std::size_t k) noexcept {
+  switch (k) {
+    case 1: return &KernelBatchEntry<1>::run;
+    case 2: return &KernelBatchEntry<2>::run;
+    case 4: return &KernelBatchEntry<4>::run;
+    case 8: return &KernelBatchEntry<8>::run;
+    case 16: return &KernelBatchEntry<16>::run;
+    case 32: return &KernelBatchEntry<32>::run;
+    default: return &KernelBatchGeneric::run;
+  }
+}
+
+ScorerKernel::ScorerKernel(const GaussianMixture& model, bool timestamp_cache)
+    : k_(model.size()),
+      norm_(model.normalizer()),
+      cache_enabled_(timestamp_cache),
+      batch_fn_(pick_batch_fn(model.size())) {
+  soa_.resize(6 * k_);
+  double* mu_p = soa_.data();
+  double* mu_t = soa_.data() + k_;
+  double* a = soa_.data() + 2 * k_;
+  double* b = soa_.data() + 3 * k_;
+  double* g = soa_.data() + 4 * k_;
+  double* c = soa_.data() + 5 * k_;
+  const auto weights = model.weights();
+  const auto comps = model.components();
+  for (std::size_t i = 0; i < k_; ++i) {
+    const Gaussian2D& comp = comps[i];
+    mu_p[i] = comp.mean().p;
+    mu_t[i] = comp.mean().t;
+    // Diagonal quadratic coefficients pre-halved (exact: scaling by 0.5
+    // commutes with rounding), cancelling the 0.5 * quad and the 2 * pt
+    // cross factor in the scoring loop.
+    a[i] = 0.5 * comp.inv_pp();
+    b[i] = comp.inv_pt();
+    g[i] = 0.5 * comp.inv_tt();
+    const double w = weights[i];
+    c[i] = (w > 0.0 ? std::log(w) : -std::numeric_limits<double>::infinity()) +
+           comp.log_norm();
+  }
+  // The generic core keeps its timestamp coefficients in spill_ whenever
+  // the cache is on (it is also picked for small K outside the fixed
+  // dispatch set, e.g. K = 3).
+  if (cache_enabled_ && batch_fn_ == &KernelBatchGeneric::run) {
+    spill_.resize(2 * k_);
+  }
+}
+
+double ScorerKernel::score_one(PageIndex page, Timestamp t) const noexcept {
+  return score_raw(static_cast<double>(page), static_cast<double>(t));
+}
+
+double ScorerKernel::score_raw(double raw_page, double raw_time) const noexcept {
+  const double xp = (raw_page - norm_.p_offset) * norm_.p_scale;
+  const double xt = (raw_time - norm_.t_offset) * norm_.t_scale;
+  double out;
+  run_batch(&xp, 1, xt, &out);
+  return out;
+}
+
+void ScorerKernel::score_batch(std::span<const PageIndex> pages, Timestamp t,
+                               std::span<double> out) const noexcept {
+  assert(out.size() >= pages.size());
+  const double xt =
+      (static_cast<double>(t) - norm_.t_offset) * norm_.t_scale;
+  alignas(64) double xs[kBatchChunk];
+  for (std::size_t base = 0; base < pages.size(); base += kBatchChunk) {
+    const std::size_t n = std::min(kBatchChunk, pages.size() - base);
+    for (std::size_t j = 0; j < n; ++j) {
+      xs[j] = (static_cast<double>(pages[base + j]) - norm_.p_offset) *
+              norm_.p_scale;
+    }
+    run_batch(xs, n, xt, out.data() + base);
+  }
+}
+
+double ScorerKernel::log_score_normalized(Vec2 x) const noexcept {
+  double out;
+  run_batch(&x.p, 1, x.t, &out);
+  return out;
+}
+
+double ScorerKernel::mean_log_likelihood(
+    std::span<const Vec2> normalized) const noexcept {
+  if (normalized.empty()) return 0.0;
+  double acc = 0.0;
+  for (const Vec2& x : normalized) acc += log_score_normalized(x);
+  return acc / static_cast<double>(normalized.size());
+}
+
+double ScorerKernel::component_log_terms(Vec2 x,
+                                         std::span<double> terms) const noexcept {
+  assert(terms.size() >= k_);
+  const double* __restrict mp = soa_.data();
+  const double* __restrict mt = soa_.data() + k_;
+  const double* __restrict a = soa_.data() + 2 * k_;
+  const double* __restrict b = soa_.data() + 3 * k_;
+  const double* __restrict g = soa_.data() + 4 * k_;
+  const double* __restrict c = soa_.data() + 5 * k_;
+  double* __restrict ts = terms.data();
+  for (std::size_t i = 0; i < k_; ++i) {
+    const double dp = x.p - mp[i];
+    const double dt = x.t - mt[i];
+    const double q = dp * dp * a[i] + dp * (dt * b[i]) + (dt * dt) * g[i];
+    ts[i] = c[i] - q;
+  }
+  double max_term = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < k_; ++i) max_term = std::max(max_term, ts[i]);
+  return max_term;
+}
+
+}  // namespace icgmm::gmm

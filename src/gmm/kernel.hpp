@@ -1,0 +1,129 @@
+// Flat structure-of-arrays scoring kernel for a trained GaussianMixture —
+// the software analogue of the paper's II=1 HLS scoring pipeline (§4.1):
+// every component is pre-folded at construction into per-component
+// coefficient arrays that the inner loop streams through contiguously.
+//
+// Per component k the kernel stores
+//
+//   mu_p[k], mu_t[k],                     (component mean)
+//   a[k] = 0.5 * inv_pp, b[k] = inv_pt,   (inverse-covariance quadratic
+//   g[k] = 0.5 * inv_tt,                   form, diagonal terms pre-halved)
+//   c[k] = log(pi_k) + log_norm_k          (fused constant)
+//
+// so a log-score is  log sum_k exp(c[k] - q_k(x))  with
+// q_k = dp*dp*a[k] + dp*(dt*b[k]) + (dt*dt)*g[k], evaluated over flat
+// arrays with no allocation and no thread_local state on the hot path
+// (K <= kMaxFixedComponents uses fixed stack/member buffers; larger K
+// spills to a heap scratch buffer).
+//
+// Numerical contract
+// ------------------
+// The kernel keeps the seed's log-sum-exp *shape* (terms evaluated in
+// component order; a max-subtracted, libm-evaluated fallback guards far
+// outliers and -inf log-weights) but owns its arithmetic: the fused
+// constant, the pre-halved quadratic form, a pairwise accumulation tree,
+// and inlined polynomial exp/log (faithful to ~2 ulp) replace one
+// out-of-line libm call per component. Every consumer in the system
+// (mixture, cache policy, runtime batcher, EM trainers) scores through
+// this one kernel, so all cross-path comparisons — admission threshold vs
+// runtime score, single-page vs batched set-rescore, simulator vs serving
+// runtime — remain bit-for-bit consistent: all public scoring entry
+// points funnel into the single compiled core selected at construction.
+//
+// Threading: a kernel constructed with the timestamp cache enabled
+// (GaussianMixture::make_kernel) memoizes the timestamp-dependent
+// coefficients of the last batch and is single-owner — share nothing, copy
+// freely (copies are independent). The cache-disabled kernel embedded in
+// GaussianMixture is stateless and safe to share across threads.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "gmm/mixture.hpp"
+
+namespace icgmm::gmm {
+
+class ScorerKernel {
+ public:
+  /// Largest K served by the fixed-size (stack/member buffer, fully
+  /// unrolled dispatch) path; larger mixtures use the heap-scratch path.
+  static constexpr std::size_t kMaxFixedComponents = 32;
+
+  /// Below this direct-sum magnitude the kernel re-scores through the
+  /// exact max-subtracted log-sum-exp (outlier inputs, -inf log-weights).
+  static constexpr double kAccFloor = 1e-250;
+
+  /// Snapshots `model` into flat coefficient arrays. With
+  /// `timestamp_cache` on, consecutive scores at the same timestamp skip
+  /// recomputing the timestamp-dependent coefficients (Algorithm-1
+  /// windows repeat each logical timestamp ~len_window times); such a
+  /// kernel must stay single-owner.
+  explicit ScorerKernel(const GaussianMixture& model,
+                        bool timestamp_cache = false);
+
+  std::size_t size() const noexcept { return k_; }
+  const Normalizer& normalizer() const noexcept { return norm_; }
+  bool timestamp_cache_enabled() const noexcept { return cache_enabled_; }
+
+  /// Log-score of one page at one timestamp (raw units, the miss path).
+  double score_one(PageIndex page, Timestamp t) const noexcept;
+
+  /// Raw-unit doubles variant (trace samples store doubles).
+  double score_raw(double raw_page, double raw_time) const noexcept;
+
+  /// Log-scores pages[i] at the shared timestamp `t` into out[i]; the
+  /// timestamp is normalized (and its coefficients folded) once for the
+  /// whole batch. Requires out.size() >= pages.size(). Bit-identical to
+  /// score_one per page.
+  void score_batch(std::span<const PageIndex> pages, Timestamp t,
+                   std::span<double> out) const noexcept;
+
+  /// Log-score of an already-normalized input (EM / tests).
+  double log_score_normalized(Vec2 x) const noexcept;
+
+  /// Mean log-score over normalized samples (model selection, reports).
+  double mean_log_likelihood(std::span<const Vec2> normalized) const noexcept;
+
+  /// E-step support: writes the per-component log terms
+  /// terms[k] = c[k] - q_k(x) (== log pi_k + log N_k(x) up to folding)
+  /// and returns their maximum. Requires terms.size() >= size().
+  /// Stateless — safe on shared kernels.
+  double component_log_terms(Vec2 x, std::span<double> terms) const noexcept;
+
+ private:
+  using BatchFn = void (*)(const ScorerKernel&, const double*, std::size_t,
+                           double, double*);
+
+  template <std::size_t K> friend struct KernelBatchEntry;
+  friend struct KernelBatchGeneric;
+
+  /// Normalized-domain core dispatch: xs are normalized page coordinates,
+  /// xt the normalized timestamp, n <= kBatchChunk.
+  void run_batch(const double* xs, std::size_t n, double xt,
+                 double* out) const noexcept {
+    batch_fn_(*this, xs, n, xt, out);
+  }
+
+  static BatchFn pick_batch_fn(std::size_t k) noexcept;
+
+  std::size_t k_ = 0;
+  Normalizer norm_;
+  bool cache_enabled_ = false;
+  BatchFn batch_fn_ = nullptr;
+  /// 6 contiguous arrays of k_ doubles: mu_p | mu_t | a | b | g | c.
+  std::vector<double> soa_;
+
+  /// Timestamp-coefficient cache (single-owner kernels only): cross[i] =
+  /// dt*b[i], ttc[i] = (dt*dt)*g[i] for the last xt seen. The fixed
+  /// arrays serve K <= kMaxFixedComponents; spill_ serves larger K.
+  mutable double cache_xt_ = 0.0;
+  mutable bool cache_valid_ = false;
+  alignas(64) mutable double cache_cross_[kMaxFixedComponents];
+  alignas(64) mutable double cache_ttc_[kMaxFixedComponents];
+  mutable std::vector<double> spill_;  ///< 2*k_ doubles when K > fixed
+};
+
+}  // namespace icgmm::gmm

@@ -1,9 +1,10 @@
 #include "gmm/mixture.hpp"
 
-#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+
+#include "gmm/kernel.hpp"
 
 namespace icgmm::gmm {
 
@@ -28,28 +29,23 @@ GaussianMixture::GaussianMixture(std::vector<double> weights,
     log_weights_.push_back(w > 0.0 ? std::log(w)
                                    : -std::numeric_limits<double>::infinity());
   }
+  // All members are in their final state here; snapshot the scoring kernel
+  // (stateless variant — copies of this mixture share it across threads).
+  kernel_ = std::make_shared<const ScorerKernel>(*this);
+}
+
+ScorerKernel GaussianMixture::make_kernel() const {
+  return ScorerKernel(*this, /*timestamp_cache=*/true);
 }
 
 double GaussianMixture::log_score_normalized(Vec2 x) const noexcept {
-  // log-sum-exp with running max for numerical stability.
-  double max_term = -std::numeric_limits<double>::infinity();
-  // Small-K fast path would fit here; K<=512 keeps this loop cheap enough.
-  thread_local std::vector<double> terms;
-  terms.clear();
-  terms.reserve(components_.size());
-  for (std::size_t k = 0; k < components_.size(); ++k) {
-    const double t = log_weights_[k] + components_[k].log_pdf(x);
-    terms.push_back(t);
-    max_term = std::max(max_term, t);
-  }
-  if (!std::isfinite(max_term)) return max_term;
-  double acc = 0.0;
-  for (double t : terms) acc += std::exp(t - max_term);
-  return max_term + std::log(acc);
+  return kernel_->log_score_normalized(x);
 }
 
 double GaussianMixture::log_score(double raw_page, double raw_time) const noexcept {
-  return log_score_normalized(normalizer_.apply(raw_page, raw_time));
+  // Delegates the normalization too, so this is bit-identical to the raw
+  // kernel entry the cache policy scores through.
+  return kernel_->score_raw(raw_page, raw_time);
 }
 
 double GaussianMixture::score(double raw_page, double raw_time) const noexcept {
@@ -58,10 +54,7 @@ double GaussianMixture::score(double raw_page, double raw_time) const noexcept {
 
 double GaussianMixture::mean_log_likelihood(
     std::span<const Vec2> normalized) const noexcept {
-  if (normalized.empty()) return 0.0;
-  double acc = 0.0;
-  for (const Vec2& x : normalized) acc += log_score_normalized(x);
-  return acc / static_cast<double>(normalized.size());
+  return kernel_->mean_log_likelihood(normalized);
 }
 
 }  // namespace icgmm::gmm

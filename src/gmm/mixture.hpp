@@ -4,12 +4,15 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "gmm/gaussian2d.hpp"
 
 namespace icgmm::gmm {
+
+class ScorerKernel;
 
 /// Affine input normalization stored with the model. Raw page indices span
 /// millions while timestamps span thousands; EM on raw units conditions
@@ -57,11 +60,22 @@ class GaussianMixture {
   /// normalized input. Exposed for the EM trainer.
   double log_score_normalized(Vec2 x) const noexcept;
 
+  /// The flat SoA scoring kernel all of the above delegate to. Stateless
+  /// (timestamp cache off), shared by copies of this mixture, safe to use
+  /// from any thread.
+  const ScorerKernel& kernel() const noexcept { return *kernel_; }
+
+  /// A fresh kernel snapshot with the single-owner timestamp cache
+  /// enabled — what scoring closures and per-shard batchers should hold.
+  ScorerKernel make_kernel() const;
+
  private:
   std::vector<double> weights_;
   std::vector<double> log_weights_;
   std::vector<Gaussian2D> components_;
   Normalizer normalizer_;
+  /// Immutable, so copies of the mixture share one snapshot.
+  std::shared_ptr<const ScorerKernel> kernel_;
 };
 
 }  // namespace icgmm::gmm

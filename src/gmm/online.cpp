@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "gmm/kernel.hpp"
+
 namespace icgmm::gmm {
 
 OnlineEm::OnlineEm(GaussianMixture initial, OnlineEmConfig cfg)
@@ -12,6 +14,7 @@ OnlineEm::OnlineEm(GaussianMixture initial, OnlineEmConfig cfg)
   // updates blend with (rather than overwrite) the offline fit.
   stats_.resize(model_.size());
   batch_stats_.resize(model_.size());
+  terms_.resize(model_.size());
   for (std::size_t c = 0; c < model_.size(); ++c) {
     const Gaussian2D& g = model_.components()[c];
     Suff& s = stats_[c];
@@ -27,25 +30,17 @@ OnlineEm::OnlineEm(GaussianMixture initial, OnlineEmConfig cfg)
 void OnlineEm::accumulate(const trace::GmmSample& sample) {
   const Vec2 x = model_.normalizer().apply(sample.page, sample.time);
 
-  // E-step for one sample (log domain).
-  thread_local std::vector<double> terms;
-  terms.assign(model_.size(), 0.0);
-  double max_term = -std::numeric_limits<double>::infinity();
-  for (std::size_t c = 0; c < model_.size(); ++c) {
-    const double w = model_.weights()[c];
-    terms[c] = (w > 0.0 ? std::log(w)
-                        : -std::numeric_limits<double>::infinity()) +
-               model_.components()[c].log_pdf(x);
-    max_term = std::max(max_term, terms[c]);
-  }
+  // E-step for one sample (log domain): per-component terms come from the
+  // model's folded SoA scoring kernel, responsibilities stay libm-exact.
+  const double max_term = model_.kernel().component_log_terms(x, terms_);
   double denom = 0.0;
-  for (double& t : terms) {
+  for (double& t : terms_) {
     t = std::exp(t - max_term);
     denom += t;
   }
   const double inv_denom = 1.0 / denom;
   for (std::size_t c = 0; c < model_.size(); ++c) {
-    const double r = terms[c] * inv_denom;
+    const double r = terms_[c] * inv_denom;
     if (r < 1e-12) continue;
     Suff& s = batch_stats_[c];
     s.n += r;

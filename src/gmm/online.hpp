@@ -53,6 +53,9 @@ class OnlineEm {
   std::vector<Suff> stats_;
   // Mini-batch accumulators.
   std::vector<Suff> batch_stats_;
+  // Per-sample responsibility scratch (was thread_local; a member keeps
+  // the adapter allocation-free and self-contained).
+  std::vector<double> terms_;
   std::uint32_t batch_count_ = 0;
   std::uint64_t steps_ = 0;
 };

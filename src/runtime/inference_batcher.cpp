@@ -8,33 +8,32 @@ void batched_log_score(const gmm::GaussianMixture& model,
                        std::span<const PageIndex> pages, Timestamp t,
                        std::span<double> out) noexcept {
   assert(out.size() >= pages.size());
-  const double time = static_cast<double>(t);
-  for (std::size_t i = 0; i < pages.size(); ++i) {
-    out[i] = model.log_score(static_cast<double>(pages[i]), time);
-  }
+  // One flat SoA sweep through the mixture's shared (stateless) kernel —
+  // bit-identical per page to model.log_score.
+  model.kernel().score_batch(pages, t, out);
 }
 
-const gmm::GaussianMixture& InferenceBatcher::current_model() {
+const gmm::ScorerKernel& InferenceBatcher::current_kernel() {
   const std::uint64_t published = slot_->version();
   if (published != version_) {
     model_ = slot_->load();
+    kernel_ = model_->make_kernel();
     version_ = published;
   }
-  return *model_;
+  return kernel_;
 }
 
 void InferenceBatcher::score_span(std::span<const PageIndex> pages,
                                   Timestamp t, std::span<double> out) {
-  // One snapshot pin for the whole span.
-  batched_log_score(current_model(), pages, t, out);
+  // One snapshot pin (and one timestamp-coefficient fold) per span.
+  current_kernel().score_batch(pages, t, out);
   batches_.fetch_add(1, std::memory_order_relaxed);
   scored_.fetch_add(pages.size(), std::memory_order_relaxed);
 }
 
 double InferenceBatcher::score_one(PageIndex page, Timestamp t) {
   scored_.fetch_add(1, std::memory_order_relaxed);
-  return current_model().log_score(static_cast<double>(page),
-                                   static_cast<double>(t));
+  return current_kernel().score_one(page, t);
 }
 
 }  // namespace icgmm::runtime

@@ -5,11 +5,13 @@
 // with atomic model swaps that pattern gets worse: every call would also
 // load the shared_ptr snapshot. The batcher amortizes both — one snapshot
 // load and one indirect call per *span* (a whole set's resident tags at
-// eviction time), with the log-score loop running over the contiguous
-// span against a pinned model.
+// eviction time), and it pins one flat gmm::ScorerKernel per published
+// model snapshot, so a set-rescore is a single SoA sweep with the
+// timestamp-dependent coefficients folded once per span.
 //
-// Per-page math is byte-identical to GaussianMixture::log_score, which is
-// what keeps a 1-shard/1-thread runtime bit-identical to sim::run_trace.
+// Per-page math is byte-identical to GaussianMixture::log_score (both
+// funnel into the same ScorerKernel core), which is what keeps a
+// 1-shard/1-thread runtime bit-identical to sim::run_trace.
 #pragma once
 
 #include <atomic>
@@ -18,6 +20,7 @@
 #include <span>
 
 #include "common/types.hpp"
+#include "gmm/kernel.hpp"
 #include "runtime/model_slot.hpp"
 
 namespace icgmm::runtime {
@@ -29,10 +32,13 @@ namespace icgmm::runtime {
 class InferenceBatcher {
  public:
   // Version is read *before* the model (declaration order below), the
-  // same order current_model() uses: a publish landing in between makes
+  // same order current_kernel() uses: a publish landing in between makes
   // the next call reload (over-fresh), never serve a stale model forever.
   explicit InferenceBatcher(const ModelSlot& slot)
-      : slot_(&slot), version_(slot.version()), model_(slot.load()) {}
+      : slot_(&slot),
+        version_(slot.version()),
+        model_(slot.load()),
+        kernel_(model_->make_kernel()) {}
 
   /// Log-scores pages[i] at `t` into out[i]. out.size() >= pages.size().
   /// Loads the model snapshot once for the whole span.
@@ -52,14 +58,17 @@ class InferenceBatcher {
   }
 
  private:
-  /// Refreshes the cached snapshot iff the slot published a newer model;
+  /// Refreshes the pinned kernel iff the slot published a newer model;
   /// the common case is one relaxed integer compare.
-  const gmm::GaussianMixture& current_model();
+  const gmm::ScorerKernel& current_kernel();
 
   const ModelSlot* slot_;
-  // Per-shard snapshot cache, accessed under the owning shard's lock.
+  // Per-shard snapshot cache, accessed under the owning shard's lock. The
+  // shared_ptr pins the snapshot; kernel_ is this shard's private scoring
+  // state (flat SoA + timestamp-coefficient cache).
   std::uint64_t version_;
   std::shared_ptr<const gmm::GaussianMixture> model_;
+  gmm::ScorerKernel kernel_;
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> scored_{0};
 };

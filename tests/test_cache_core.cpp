@@ -43,6 +43,37 @@ TEST(CacheConfig, RejectsBadGeometry) {
                std::invalid_argument);
 }
 
+TEST(Cache, SetIndexMaskMatchesModulo) {
+  // The constructor switches set_of to an AND when the set count is a
+  // power of two; the mapping must be identical to the modulo it replaced,
+  // and non-power-of-two set counts must keep using the modulo.
+  Rng rng(0x5e7);
+  // 4-set (power of two) and 3-set (associativity 2, 6 blocks) geometries.
+  const CacheConfig pow2 = test_util::tiny_cache(4, 2);
+  const CacheConfig non_pow2{.capacity_bytes = 6 * 4096,
+                             .block_bytes = 4096,
+                             .associativity = 2};
+  non_pow2.validate();
+  auto pow2_cache = make_cache(pow2);
+  SetAssociativeCache odd_cache(non_pow2, std::make_unique<LruPolicy>());
+  for (int i = 0; i < 2000; ++i) {
+    const PageIndex page = rng();
+    EXPECT_EQ(pow2_cache.set_of(page), page % pow2.sets());
+    EXPECT_EQ(odd_cache.set_of(page), page % non_pow2.sets());
+  }
+  // Edge geometries: a single set, and the paper's 2048 sets.
+  const CacheConfig one_set{.capacity_bytes = 2 * 4096,
+                            .block_bytes = 4096,
+                            .associativity = 2};
+  SetAssociativeCache single(one_set, std::make_unique<LruPolicy>());
+  EXPECT_EQ(single.set_of(rng()), 0u);
+  auto paper_cache = make_cache(CacheConfig{});
+  for (int i = 0; i < 100; ++i) {
+    const PageIndex page = rng();
+    EXPECT_EQ(paper_cache.set_of(page), page % 2048u);
+  }
+}
+
 TEST(Cache, RejectsNullPolicy) {
   EXPECT_THROW(SetAssociativeCache(tiny_config(), nullptr),
                std::invalid_argument);

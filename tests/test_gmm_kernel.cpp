@@ -1,0 +1,303 @@
+// gmm::ScorerKernel — the flat SoA scoring kernel every consumer (mixture,
+// cache policy, runtime batcher, EM) funnels into.
+//
+// The load-bearing contracts verified here:
+//  * bit-identity across every public entry point: mixture delegation,
+//    score_one, score_raw, batched spans, with and without the timestamp
+//    cache, fixed-K and generic/heap-spill dispatch;
+//  * numerical faithfulness to an independent AoS libm reference
+//    (the seed implementation's shape);
+//  * degenerate inputs: zero-weight components (-inf log-weight),
+//    near-singular covariance, far outliers that take the guarded
+//    max-subtracted fallback, empty batches.
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "gmm/kernel.hpp"
+#include "gmm/mixture.hpp"
+
+namespace icgmm::gmm {
+namespace {
+
+/// Independent reference: the seed's exact evaluation shape (per-component
+/// log_pdf + log weight, max-subtracted libm log-sum-exp).
+double reference_log_score(const GaussianMixture& m, double raw_page,
+                           double raw_time) {
+  const Vec2 x = m.normalizer().apply(raw_page, raw_time);
+  double max_term = -std::numeric_limits<double>::infinity();
+  std::vector<double> terms;
+  for (std::size_t k = 0; k < m.size(); ++k) {
+    const double w = m.weights()[k];
+    terms.push_back((w > 0.0 ? std::log(w)
+                             : -std::numeric_limits<double>::infinity()) +
+                    m.components()[k].log_pdf(x));
+    max_term = std::max(max_term, terms.back());
+  }
+  if (!std::isfinite(max_term)) return max_term;
+  double acc = 0.0;
+  for (double t : terms) acc += std::exp(t - max_term);
+  return max_term + std::log(acc);
+}
+
+GaussianMixture random_model(std::size_t k, Rng& rng,
+                             bool with_zero_weight = false) {
+  std::vector<double> weights;
+  std::vector<Gaussian2D> comps;
+  for (std::size_t i = 0; i < k; ++i) {
+    weights.push_back(with_zero_weight && i == 0 ? 0.0
+                                                 : 0.1 + rng.uniform());
+    const Vec2 mean{rng.uniform(), rng.uniform()};
+    const double spp = rng.uniform(0.001, 0.1);
+    const double stt = rng.uniform(0.001, 0.1);
+    const double spt = rng.uniform(-0.6, 0.6) * std::sqrt(spp * stt);
+    comps.emplace_back(mean, Cov2{spp, spt, stt});
+  }
+  Normalizer norm;
+  norm.p_scale = 1.0 / 65536.0;
+  norm.t_scale = 1.0 / 1000.0;
+  return GaussianMixture(std::move(weights), std::move(comps), norm);
+}
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+// Every public scoring entry point must produce identical bits for the
+// same (page, timestamp) — this is what keeps admission thresholds,
+// eviction rescoring, the simulator, and the serving runtime mutually
+// consistent.
+TEST(ScorerKernel, AllEntryPointsBitIdentical) {
+  Rng rng(0xabc1);
+  for (const std::size_t k : {1u, 2u, 3u, 4u, 7u, 8u, 16u, 32u, 33u, 64u}) {
+    const GaussianMixture m = random_model(k, rng);
+    const ScorerKernel cached = m.make_kernel();
+    ASSERT_TRUE(cached.timestamp_cache_enabled());
+    ASSERT_FALSE(m.kernel().timestamp_cache_enabled());
+
+    std::vector<PageIndex> pages;
+    for (int i = 0; i < 64; ++i) pages.push_back(rng.below(1u << 16));
+    const Timestamp t = rng.below(1000);
+
+    std::vector<double> batch(pages.size());
+    cached.score_batch(pages, t, batch);
+    std::vector<double> batch_stateless(pages.size());
+    m.kernel().score_batch(pages, t, batch_stateless);
+
+    for (std::size_t i = 0; i < pages.size(); ++i) {
+      const double one = cached.score_one(pages[i], t);
+      SCOPED_TRACE(testing::Message() << "k=" << k << " i=" << i);
+      // batched == single, cached == stateless, kernel == mixture.
+      EXPECT_EQ(bits(batch[i]), bits(one));
+      EXPECT_EQ(bits(batch_stateless[i]), bits(one));
+      EXPECT_EQ(bits(m.log_score(static_cast<double>(pages[i]),
+                                 static_cast<double>(t))),
+                bits(one));
+      EXPECT_EQ(bits(cached.score_raw(static_cast<double>(pages[i]),
+                                      static_cast<double>(t))),
+                bits(one));
+    }
+  }
+}
+
+TEST(ScorerKernel, MatchesReferenceWithinTolerance) {
+  Rng rng(0x51ee7);
+  for (const std::size_t k : {2u, 8u, 16u, 33u, 256u}) {
+    const GaussianMixture m = random_model(k, rng);
+    const ScorerKernel kern = m.make_kernel();
+    for (int i = 0; i < 200; ++i) {
+      const double page = rng.uniform(0.0, 65536.0);
+      const double time = rng.uniform(0.0, 1000.0);
+      const double ref = reference_log_score(m, page, time);
+      const double got = kern.score_raw(page, time);
+      EXPECT_NEAR(got, ref, 1e-11 * std::max(1.0, std::abs(ref)))
+          << "k=" << k << " page=" << page << " t=" << time;
+    }
+  }
+}
+
+TEST(ScorerKernel, TimestampCacheChangesNothing) {
+  Rng rng(0xcafe);
+  const GaussianMixture m = random_model(8, rng);
+  const ScorerKernel kern = m.make_kernel();
+  // Repeated timestamps (cache hits), interleaved with changes, against
+  // a fresh kernel per call (never a hit).
+  for (int i = 0; i < 300; ++i) {
+    const PageIndex page = rng.below(1u << 16);
+    const Timestamp t = i % 3 == 0 ? rng.below(1000) : 77;
+    const ScorerKernel fresh = m.make_kernel();
+    EXPECT_EQ(bits(kern.score_one(page, t)), bits(fresh.score_one(page, t)));
+  }
+}
+
+TEST(ScorerKernel, CopiesAreIndependent) {
+  Rng rng(0xd00d);
+  const GaussianMixture m = random_model(8, rng);
+  const ScorerKernel a = m.make_kernel();
+  a.score_one(5, 500);  // warm a's timestamp cache
+  const ScorerKernel b = a;
+  // Diverging timestamp streams through the two copies must not interfere.
+  for (int i = 0; i < 100; ++i) {
+    const PageIndex page = rng.below(1u << 16);
+    const double va = a.score_one(page, 500);
+    const double vb = b.score_one(page, 900);
+    EXPECT_EQ(bits(va), bits(m.log_score(static_cast<double>(page), 500.0)));
+    EXPECT_EQ(bits(vb), bits(m.log_score(static_cast<double>(page), 900.0)));
+  }
+}
+
+TEST(ScorerKernel, ZeroWeightComponentScoresLikeReference) {
+  Rng rng(0xbeef);
+  const GaussianMixture m = random_model(8, rng, /*with_zero_weight=*/true);
+  EXPECT_EQ(m.weights()[0], 0.0);
+  const ScorerKernel kern = m.make_kernel();
+  for (int i = 0; i < 100; ++i) {
+    const double page = rng.uniform(0.0, 65536.0);
+    const double time = rng.uniform(0.0, 1000.0);
+    const double ref = reference_log_score(m, page, time);
+    EXPECT_NEAR(kern.score_raw(page, time), ref,
+                1e-11 * std::max(1.0, std::abs(ref)));
+    EXPECT_TRUE(std::isfinite(kern.score_raw(page, time)));
+  }
+}
+
+TEST(ScorerKernel, FarOutlierTakesGuardedPathAndStaysExact) {
+  // Tight covariances + an input far outside the normalized box: the
+  // direct sum underflows past kAccFloor and the kernel re-scores through
+  // the exact max-subtracted fallback, which must agree with the libm
+  // reference to full precision (it is the same math).
+  std::vector<double> weights{0.5, 0.5};
+  std::vector<Gaussian2D> comps{
+      Gaussian2D({0.5, 0.5}, {1e-5, 0.0, 1e-5}),
+      Gaussian2D({0.2, 0.8}, {1e-5, 0.0, 1e-5}),
+  };
+  const GaussianMixture m(weights, comps, {});
+  const ScorerKernel kern = m.make_kernel();
+  const double got = kern.score_raw(50.0, 50.0);  // ~1e5 sigma away
+  const double ref = reference_log_score(m, 50.0, 50.0);
+  EXPECT_LT(got, -1e5);
+  EXPECT_NEAR(got, ref, 1e-9 * std::abs(ref));
+  // And batches mixing outliers with inliers stay consistent per page.
+  const PageIndex pages[4] = {50, 0, 1, 2};
+  double out[4];
+  kern.score_batch({pages, 4}, 50, {out, 4});
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(bits(out[i]), bits(kern.score_one(pages[i], 50)));
+  }
+}
+
+TEST(ScorerKernel, ZeroWeightTermSurvivesGuardedPath) {
+  // A zero-weight (-inf log-weight) component combined with a far-field
+  // input drives the guarded fallback; the -inf term must drop out of the
+  // sum exactly as in the reference, leaving a finite score.
+  std::vector<double> weights{1.0, 0.0};
+  std::vector<Gaussian2D> comps{
+      Gaussian2D({0.5, 0.5}, {1e-6, 0.0, 1e-6}),
+      Gaussian2D({0.5, 0.5}, {1e-6, 0.0, 1e-6}),
+  };
+  const GaussianMixture m(weights, comps, {});
+  const ScorerKernel kern = m.make_kernel();
+  const double got = kern.score_raw(1000.0, 1000.0);
+  const double ref = reference_log_score(m, 1000.0, 1000.0);
+  EXPECT_TRUE(std::isfinite(got));
+  EXPECT_NEAR(got, ref, 1e-9 * std::abs(ref));
+}
+
+TEST(ScorerKernel, NearSingularCovariance) {
+  // Covariance at the edge of positive definiteness (what EM's reg_covar
+  // ridge produces in the worst case).
+  std::vector<double> weights{1.0};
+  const double s = 1e-12;
+  std::vector<Gaussian2D> comps{Gaussian2D({0.5, 0.5}, {s, 0.0, s})};
+  const GaussianMixture m(weights, comps, {});
+  const ScorerKernel kern = m.make_kernel();
+  const double at_mean = kern.score_raw(0.5, 0.5);
+  EXPECT_TRUE(std::isfinite(at_mean));
+  EXPECT_NEAR(at_mean, reference_log_score(m, 0.5, 0.5),
+              1e-11 * std::abs(at_mean) + 1e-11);
+  EXPECT_LT(kern.score_raw(0.6, 0.5), at_mean);
+}
+
+TEST(ScorerKernel, EmptyBatchIsANoOp) {
+  Rng rng(0x11);
+  const GaussianMixture m = random_model(4, rng);
+  const ScorerKernel kern = m.make_kernel();
+  kern.score_batch({}, 5, {});
+  double sentinel = 42.0;
+  kern.score_batch({}, 5, {&sentinel, 1});
+  EXPECT_EQ(sentinel, 42.0);
+}
+
+TEST(ScorerKernel, HeapSpillPathAboveFixedLimit) {
+  Rng rng(0x5b111);
+  const std::size_t k = ScorerKernel::kMaxFixedComponents + 1;
+  const GaussianMixture m = random_model(k, rng);
+  const ScorerKernel kern = m.make_kernel();
+  std::vector<PageIndex> pages;
+  for (int i = 0; i < 100; ++i) pages.push_back(rng.below(1u << 16));
+  std::vector<double> out(pages.size());
+  kern.score_batch(pages, 123, out);
+  for (std::size_t i = 0; i < pages.size(); ++i) {
+    EXPECT_EQ(bits(out[i]), bits(kern.score_one(pages[i], 123)));
+    EXPECT_EQ(bits(out[i]),
+              bits(m.log_score(static_cast<double>(pages[i]), 123.0)));
+  }
+}
+
+TEST(ScorerKernel, LargeSpansAreChunkedCorrectly) {
+  Rng rng(0xc4a11);
+  const GaussianMixture m = random_model(8, rng);
+  const ScorerKernel kern = m.make_kernel();
+  std::vector<PageIndex> pages;
+  for (int i = 0; i < 200; ++i) pages.push_back(rng.below(1u << 16));
+  std::vector<double> out(pages.size());
+  kern.score_batch(pages, 9, out);  // > one 64-page chunk
+  for (std::size_t i = 0; i < pages.size(); ++i) {
+    EXPECT_EQ(bits(out[i]), bits(kern.score_one(pages[i], 9)));
+  }
+}
+
+TEST(ScorerKernel, ComponentLogTermsMatchReference) {
+  Rng rng(0x7e57);
+  for (const std::size_t k : {3u, 8u, 256u}) {
+    const GaussianMixture m = random_model(k, rng);
+    std::vector<double> terms(k);
+    for (int i = 0; i < 50; ++i) {
+      const Vec2 x{rng.uniform(), rng.uniform()};
+      const double max_term = m.kernel().component_log_terms(x, terms);
+      double ref_max = -std::numeric_limits<double>::infinity();
+      for (std::size_t c = 0; c < k; ++c) {
+        const double w = m.weights()[c];
+        const double ref =
+            (w > 0.0 ? std::log(w) : -std::numeric_limits<double>::infinity()) +
+            m.components()[c].log_pdf(x);
+        EXPECT_NEAR(terms[c], ref, 1e-11 * std::max(1.0, std::abs(ref)));
+        ref_max = std::max(ref_max, ref);
+      }
+      EXPECT_NEAR(max_term, ref_max, 1e-11 * std::max(1.0, std::abs(ref_max)));
+    }
+  }
+}
+
+TEST(ScorerKernel, MixtureDelegationIsSelfConsistent) {
+  Rng rng(0x99);
+  const GaussianMixture m = random_model(8, rng);
+  for (int i = 0; i < 50; ++i) {
+    const double p = rng.uniform(0.0, 65536.0);
+    const double t = rng.uniform(0.0, 1000.0);
+    const Vec2 x = m.normalizer().apply(p, t);
+    EXPECT_EQ(bits(m.log_score(p, t)), bits(m.log_score_normalized(x)));
+    EXPECT_DOUBLE_EQ(m.score(p, t), std::exp(m.log_score(p, t)));
+  }
+  const std::vector<Vec2> xs{{0.1, 0.2}, {0.8, 0.9}};
+  EXPECT_EQ(bits(m.mean_log_likelihood(xs)),
+            bits((m.log_score_normalized(xs[0]) +
+                  m.log_score_normalized(xs[1])) /
+                 2.0));
+}
+
+}  // namespace
+}  // namespace icgmm::gmm
