@@ -23,6 +23,7 @@
 
 #include "bench_util.hpp"
 #include "common/rng.hpp"
+#include "common/run_env.hpp"
 #include "common/table.hpp"
 #include "gmm/kernel.hpp"
 #include "gmm/mixture.hpp"
@@ -221,7 +222,8 @@ int main(int argc, char** argv) {
 
   if (!json_path.empty()) {
     std::ofstream out(json_path);
-    out << "{\n  \"bench\": \"scoring_kernel\",\n"
+    out << "{\n  " << run_env_json_fields() << ",\n"
+        << "  \"bench\": \"scoring_kernel\",\n"
         << "  \"scores_per_rep\": " << scores << ",\n  \"reps\": " << reps
         << ",\n  \"ways\": " << kWays << ",\n  \"kernel_dispatch\": \""
         << kernel_dispatch_arch() << "\",\n  \"rows\": [\n";

@@ -20,6 +20,7 @@
 
 #include "bench_util.hpp"
 #include "cache/policies/classic.hpp"
+#include "common/run_env.hpp"
 #include "common/table.hpp"
 #include "core/policy_engine.hpp"
 #include "core/threshold.hpp"
@@ -130,11 +131,11 @@ int main(int argc, char** argv) {
 
   if (!json_path.empty()) {
     std::ofstream out(json_path);
-    out << "{\n  \"bench\": \"runtime_throughput\",\n"
+    out << "{\n  " << run_env_json_fields() << ",\n"
+        << "  \"bench\": \"runtime_throughput\",\n"
         << "  \"requests\": " << workload.size() << ",\n"
-        << "  \"unique_pages\": " << workload.unique_pages() << ",\n"
-        << "  \"hardware_concurrency\": "
-        << std::thread::hardware_concurrency() << ",\n  \"cells\": [\n";
+        << "  \"unique_pages\": " << workload.unique_pages()
+        << ",\n  \"cells\": [\n";
     for (std::size_t i = 0; i < cells.size(); ++i) {
       const Cell& c = cells[i];
       out << "    {\"policy\": \"" << c.policy << "\", \"shards\": "

@@ -1,0 +1,90 @@
+// Capture-environment provenance stamped into every bench/tool --json
+// output, so checked-in BENCH_*.json baselines are attributable: a
+// 1-core container capture and a 32-core dev-box capture must never be
+// confused. The shared schema fragment is
+//
+//   "host": "<hostname>", "hardware_concurrency": N,
+//   "build_flags": "<build type + compiler flags>",
+//   "git_describe": "<git describe --always --dirty at configure time>"
+//
+// ICGMM_BUILD_FLAGS / ICGMM_GIT_DESCRIBE are injected per-target by the
+// `icgmm_runenv` interface library (see the root CMakeLists); absent
+// definitions degrade to "unknown" so the header works in any TU.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace icgmm {
+
+inline std::string run_env_host() {
+#if defined(__unix__) || defined(__APPLE__)
+  char buf[256] = {0};
+  if (::gethostname(buf, sizeof(buf) - 1) == 0 && buf[0] != '\0') {
+    return buf;
+  }
+#endif
+  return "unknown";
+}
+
+inline const char* run_env_build_flags() {
+#ifdef ICGMM_BUILD_FLAGS
+  return ICGMM_BUILD_FLAGS;
+#else
+  return "unknown";
+#endif
+}
+
+inline const char* run_env_git_describe() {
+#ifdef ICGMM_GIT_DESCRIBE
+  return ICGMM_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
+/// Escapes a string for embedding in a JSON string literal (quotes,
+/// backslashes, control characters) — build flags can legally contain
+/// embedded quotes (`-DNAME=\"x\"`).
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// The shared `BENCH_*.json` header fields, without surrounding braces —
+/// emit as the first fields of the JSON object, comma-terminated:
+///   out << "{\n  " << run_env_json_fields() << ",\n  ...
+inline std::string run_env_json_fields() {
+  return "\"host\": \"" + json_escape(run_env_host()) +
+         "\", \"hardware_concurrency\": " +
+         std::to_string(std::thread::hardware_concurrency()) +
+         ", \"build_flags\": \"" + json_escape(run_env_build_flags()) +
+         "\", \"git_describe\": \"" + json_escape(run_env_git_describe()) +
+         "\"";
+}
+
+}  // namespace icgmm

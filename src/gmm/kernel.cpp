@@ -127,22 +127,37 @@ double lse_max_subtracted(const double* terms, std::size_t k) noexcept {
 /// constants (fully unrolled + SLP-vectorized inside each clone). All
 /// public entry points reach the per-K instantiation through one stored
 /// function pointer, so every path runs the identical machine code.
-template <std::size_t K>
+///
+/// KLanes >= K pads the compute loops to a wider trip count: the SoA is
+/// laid out with stride KLanes (pad coefficients all zero — see the
+/// constructor), every lane computes, and the pad lanes are overwritten
+/// with exact 0.0 before the pairwise tree. Adding +0.0 to the strictly
+/// positive real terms is exact, and the tree over (r0..rK-1, 0...0)
+/// performs the identical pairing of real terms as the K-wide tree — so
+/// the padded instantiation is bit-identical to the narrow one by
+/// construction. Used for K = 4, whose natural 4-lane loops are
+/// single-vector trips under AVX2 (no ILP across vector iterations).
+template <std::size_t K, std::size_t KLanes = K>
 struct KernelBatchEntry {
+  static_assert(KLanes >= K && (KLanes & (KLanes - 1)) == 0);
+
   static inline double accumulate(const double* __restrict mp,
                                   const double* __restrict a,
                                   const double* __restrict c,
                                   const double* __restrict cross,
                                   const double* __restrict ttc,
                                   double xp) noexcept {
-    alignas(64) double ex[K];
-    for (std::size_t i = 0; i < K; ++i) {
+    alignas(64) double ex[KLanes];
+    for (std::size_t i = 0; i < KLanes; ++i) {
       const double dp = xp - mp[i];
       const double q = dp * dp * a[i] + dp * cross[i] + ttc[i];
       ex[i] = exp_core(c[i] - q);
     }
+    // Pad lanes computed harmless junk (coefficients are zero); kill it
+    // exactly so the tree below reduces to the K-wide tree bit for bit.
+    for (std::size_t i = K; i < KLanes; ++i) ex[i] = 0.0;
     // Pairwise tree accumulation: deterministic, log-depth.
-    for (std::size_t w = K; w > 1; w /= 2) {
+    for (std::size_t w = KLanes; w > 1; w /= 2) {
       for (std::size_t i = 0; i < w / 2; ++i) ex[i] = ex[i] + ex[i + w / 2];
     }
     return ex[0];
@@ -153,8 +168,8 @@ struct KernelBatchEntry {
       double xp) noexcept {
     const double* soa = kern.soa_.data();
     const double* mp = soa;
-    const double* a = soa + 2 * K;
-    const double* c = soa + 5 * K;
+    const double* a = soa + 2 * KLanes;
+    const double* c = soa + 5 * KLanes;
     double terms[K];
     for (std::size_t i = 0; i < K; ++i) {
       const double dp = xp - mp[i];
@@ -168,18 +183,18 @@ struct KernelBatchEntry {
                   double xt, double* out) noexcept {
     const double* __restrict soa = kern.soa_.data();
     const double* __restrict mp = soa;
-    const double* __restrict mt = soa + K;
-    const double* __restrict a = soa + 2 * K;
-    const double* __restrict b = soa + 3 * K;
-    const double* __restrict g = soa + 4 * K;
-    const double* __restrict c = soa + 5 * K;
+    const double* __restrict mt = soa + KLanes;
+    const double* __restrict a = soa + 2 * KLanes;
+    const double* __restrict b = soa + 3 * KLanes;
+    const double* __restrict g = soa + 4 * KLanes;
+    const double* __restrict c = soa + 5 * KLanes;
 
-    alignas(64) double local_cross[K], local_ttc[K];
+    alignas(64) double local_cross[KLanes], local_ttc[KLanes];
     const double* cross;
     const double* ttc;
     if (kern.cache_enabled_) {
       if (!kern.cache_valid_ || kern.cache_xt_ != xt) {
-        for (std::size_t i = 0; i < K; ++i) {
+        for (std::size_t i = 0; i < KLanes; ++i) {
           const double dt = xt - mt[i];
           kern.cache_cross_[i] = dt * b[i];
           kern.cache_ttc_[i] = (dt * dt) * g[i];
@@ -190,7 +205,7 @@ struct KernelBatchEntry {
       cross = kern.cache_cross_;
       ttc = kern.cache_ttc_;
     } else {
-      for (std::size_t i = 0; i < K; ++i) {
+      for (std::size_t i = 0; i < KLanes; ++i) {
         const double dt = xt - mt[i];
         local_cross[i] = dt * b[i];
         local_ttc[i] = (dt * dt) * g[i];
@@ -314,7 +329,9 @@ ScorerKernel::BatchFn ScorerKernel::pick_batch_fn(std::size_t k) noexcept {
   switch (k) {
     case 1: return &KernelBatchEntry<1>::run;
     case 2: return &KernelBatchEntry<2>::run;
-    case 4: return &KernelBatchEntry<4>::run;
+    // K = 4 dispatches through an 8-lane padded instantiation (see the
+    // template comment); results are bit-identical to the narrow core.
+    case 4: return &KernelBatchEntry<4, 8>::run;
     case 8: return &KernelBatchEntry<8>::run;
     case 16: return &KernelBatchEntry<16>::run;
     case 32: return &KernelBatchEntry<32>::run;
@@ -324,16 +341,20 @@ ScorerKernel::BatchFn ScorerKernel::pick_batch_fn(std::size_t k) noexcept {
 
 ScorerKernel::ScorerKernel(const GaussianMixture& model, bool timestamp_cache)
     : k_(model.size()),
+      // K = 4 is laid out at stride 8 for the padded 8-lane core; the pad
+      // entries stay at the zero-fill below (mu = a = b = g = c = 0), so a
+      // pad lane computes exp_core(0) = 1 and is zeroed out of the tree.
+      stride_(model.size() == 4 ? 8 : model.size()),
       norm_(model.normalizer()),
       cache_enabled_(timestamp_cache),
       batch_fn_(pick_batch_fn(model.size())) {
-  soa_.resize(6 * k_);
+  soa_.resize(6 * stride_);
   double* mu_p = soa_.data();
-  double* mu_t = soa_.data() + k_;
-  double* a = soa_.data() + 2 * k_;
-  double* b = soa_.data() + 3 * k_;
-  double* g = soa_.data() + 4 * k_;
-  double* c = soa_.data() + 5 * k_;
+  double* mu_t = soa_.data() + stride_;
+  double* a = soa_.data() + 2 * stride_;
+  double* b = soa_.data() + 3 * stride_;
+  double* g = soa_.data() + 4 * stride_;
+  double* c = soa_.data() + 5 * stride_;
   const auto weights = model.weights();
   const auto comps = model.components();
   for (std::size_t i = 0; i < k_; ++i) {
@@ -404,11 +425,11 @@ double ScorerKernel::component_log_terms(Vec2 x,
                                          std::span<double> terms) const noexcept {
   assert(terms.size() >= k_);
   const double* __restrict mp = soa_.data();
-  const double* __restrict mt = soa_.data() + k_;
-  const double* __restrict a = soa_.data() + 2 * k_;
-  const double* __restrict b = soa_.data() + 3 * k_;
-  const double* __restrict g = soa_.data() + 4 * k_;
-  const double* __restrict c = soa_.data() + 5 * k_;
+  const double* __restrict mt = soa_.data() + stride_;
+  const double* __restrict a = soa_.data() + 2 * stride_;
+  const double* __restrict b = soa_.data() + 3 * stride_;
+  const double* __restrict g = soa_.data() + 4 * stride_;
+  const double* __restrict c = soa_.data() + 5 * stride_;
   double* __restrict ts = terms.data();
   for (std::size_t i = 0; i < k_; ++i) {
     const double dp = x.p - mp[i];

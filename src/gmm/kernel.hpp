@@ -97,7 +97,7 @@ class ScorerKernel {
   using BatchFn = void (*)(const ScorerKernel&, const double*, std::size_t,
                            double, double*);
 
-  template <std::size_t K> friend struct KernelBatchEntry;
+  template <std::size_t K, std::size_t KLanes> friend struct KernelBatchEntry;
   friend struct KernelBatchGeneric;
 
   /// Normalized-domain core dispatch: xs are normalized page coordinates,
@@ -110,10 +110,16 @@ class ScorerKernel {
   static BatchFn pick_batch_fn(std::size_t k) noexcept;
 
   std::size_t k_ = 0;
+  /// SoA array stride. Equal to k_ except K = 4, which is padded to an
+  /// 8-lane trip count (4-lane loops are single-vector trips under AVX2,
+  /// with no instruction-level parallelism across vector iterations);
+  /// the pad lanes carry zero coefficients and are zeroed out of the
+  /// accumulation tree, so results stay bit-identical to the narrow path.
+  std::size_t stride_ = 0;
   Normalizer norm_;
   bool cache_enabled_ = false;
   BatchFn batch_fn_ = nullptr;
-  /// 6 contiguous arrays of k_ doubles: mu_p | mu_t | a | b | g | c.
+  /// 6 contiguous arrays of stride_ doubles: mu_p | mu_t | a | b | g | c.
   std::vector<double> soa_;
 
   /// Timestamp-coefficient cache (single-owner kernels only): cross[i] =

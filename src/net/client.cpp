@@ -1,0 +1,374 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <stdexcept>
+#include <system_error>
+#include <thread>
+#include <utility>
+
+namespace icgmm::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+}  // namespace
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      next_seq_(other.next_seq_),
+      next_reply_seq_(other.next_reply_seq_),
+      outstanding_(other.outstanding_),
+      rx_(std::move(other.rx_)),
+      tx_(std::move(other.tx_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    next_seq_ = other.next_seq_;
+    next_reply_seq_ = other.next_reply_seq_;
+    outstanding_ = other.outstanding_;
+    rx_ = std::move(other.rx_);
+    tx_ = std::move(other.tx_);
+  }
+  return *this;
+}
+
+void Client::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  rx_.clear();
+  outstanding_ = 0;
+  next_seq_ = next_reply_seq_ = 1;
+}
+
+Client Client::connect(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw_errno("socket");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string ip =
+      (host == "localhost" || host.empty()) ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, ip.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("Client::connect: bad IPv4 address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::system_error(err, std::generic_category(), "connect");
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  Client c;
+  c.fd_ = fd;
+  return c;
+}
+
+// Transport-level failures (socket errors, EOF, undecodable or
+// out-of-sequence reply streams) leave the connection unusable: close it
+// before throwing so connected() turns false and ClientPool's lazy
+// reconnect can heal the slot. Server ERROR replies are NOT transport
+// failures — the stream stays in sync and the connection stays open.
+
+void Client::send_all(const std::vector<std::uint8_t>& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    const int err = errno;
+    close();
+    throw std::system_error(err, std::generic_category(), "send");
+  }
+}
+
+std::vector<std::uint8_t> Client::recv_frame() {
+  while (true) {
+    Frame frame;
+    std::size_t consumed = 0;
+    const DecodeStatus st = decode_frame(rx_, frame, consumed);
+    if (st == DecodeStatus::kOk) {
+      std::vector<std::uint8_t> bytes(rx_.begin(), rx_.begin() + consumed);
+      rx_.erase(rx_.begin(), rx_.begin() + consumed);
+      return bytes;
+    }
+    if (st != DecodeStatus::kNeedMore) {
+      close();
+      throw std::runtime_error(std::string("Client: malformed reply frame: ") +
+                               to_string(st));
+    }
+    char buf[16 * 1024];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      rx_.insert(rx_.end(), buf, buf + n);
+      continue;
+    }
+    if (n == 0) {
+      close();
+      throw std::runtime_error("Client: connection closed by server");
+    }
+    if (errno == EINTR) continue;
+    const int err = errno;
+    close();
+    throw std::system_error(err, std::generic_category(), "recv");
+  }
+}
+
+std::vector<std::uint8_t> Client::expect(MsgType type, std::uint32_t seq,
+                                         Frame& frame) {
+  std::vector<std::uint8_t> bytes = recv_frame();
+  std::size_t consumed = 0;
+  if (decode_frame(bytes, frame, consumed) != DecodeStatus::kOk) {
+    throw std::runtime_error("Client: reply re-decode failed");
+  }
+  if (frame.header.type == MsgType::kError) {
+    ErrorReply err;
+    if (decode_error(frame, err) == DecodeStatus::kOk) {
+      throw std::runtime_error("Client: server error " +
+                               std::to_string(static_cast<int>(err.code)) +
+                               ": " + err.message);
+    }
+    throw std::runtime_error("Client: server error (undecodable)");
+  }
+  if (frame.header.type != type) {
+    close();  // reply stream is desynchronized; unusable
+    throw std::runtime_error(std::string("Client: expected ") +
+                             to_string(type) + ", got " +
+                             to_string(frame.header.type));
+  }
+  if (frame.header.seq != seq) {
+    close();
+    throw std::runtime_error("Client: out-of-sequence reply (expected " +
+                             std::to_string(seq) + ", got " +
+                             std::to_string(frame.header.seq) + ")");
+  }
+  return bytes;
+}
+
+namespace {
+
+/// Synchronous RPCs interleave with pipelined ACCESS traffic only at a
+/// quiet point — replies are correlated purely by order, so a STATS in the
+/// middle of an ACCESS window would desynchronize the stream.
+void require_quiet(std::uint32_t outstanding, const char* what) {
+  if (outstanding != 0) {
+    throw std::logic_error(std::string("Client: ") + what +
+                           " with ACCESS replies outstanding");
+  }
+}
+
+}  // namespace
+
+void Client::ping() {
+  require_quiet(outstanding_, "ping");
+  const std::uint32_t seq = next_seq_++;
+  tx_.clear();
+  encode_ping(tx_, seq);
+  send_all(tx_);
+  Frame frame;
+  expect(MsgType::kPong, seq, frame);
+  next_reply_seq_ = seq + 1;
+}
+
+std::uint32_t Client::send_access(std::span<const WireAccess> accesses) {
+  const std::uint32_t seq = next_seq_++;
+  tx_.clear();
+  encode_access_batch(tx_, seq, accesses);
+  send_all(tx_);
+  ++outstanding_;
+  return seq;
+}
+
+AccessReply Client::await_access_reply() {
+  if (outstanding_ == 0) {
+    throw std::logic_error("Client: no outstanding ACCESS_BATCH");
+  }
+  const std::uint32_t seq = next_reply_seq_++;
+  // Count the reply as consumed up front: a server ERROR frame for this
+  // request surfaces as an exception from expect(), but it still consumed
+  // this request's slot in the reply stream — the connection stays usable.
+  --outstanding_;
+  Frame frame;
+  const auto bytes = expect(MsgType::kAccessReply, seq, frame);
+  AccessReply reply;
+  if (decode_access_reply(frame, reply) != DecodeStatus::kOk) {
+    throw std::runtime_error("Client: malformed ACCESS_REPLY payload");
+  }
+  return reply;
+}
+
+AccessReply Client::access(std::span<const WireAccess> accesses) {
+  send_access(accesses);
+  return await_access_reply();
+}
+
+StatsReply Client::stats() {
+  require_quiet(outstanding_, "stats");
+  const std::uint32_t seq = next_seq_++;
+  tx_.clear();
+  encode_stats_request(tx_, seq);
+  send_all(tx_);
+  Frame frame;
+  const auto bytes = expect(MsgType::kStatsReply, seq, frame);
+  StatsReply reply;
+  if (decode_stats_reply(frame, reply) != DecodeStatus::kOk) {
+    throw std::runtime_error("Client: malformed STATS_REPLY payload");
+  }
+  next_reply_seq_ = seq + 1;
+  return reply;
+}
+
+ModelInfoReply Client::model_info() {
+  require_quiet(outstanding_, "model_info");
+  const std::uint32_t seq = next_seq_++;
+  tx_.clear();
+  encode_model_info_request(tx_, seq);
+  send_all(tx_);
+  Frame frame;
+  const auto bytes = expect(MsgType::kModelInfoReply, seq, frame);
+  ModelInfoReply reply;
+  if (decode_model_info_reply(frame, reply) != DecodeStatus::kOk) {
+    throw std::runtime_error("Client: malformed MODEL_INFO_REPLY payload");
+  }
+  next_reply_seq_ = seq + 1;
+  return reply;
+}
+
+void Client::flush() {
+  require_quiet(outstanding_, "flush");
+  const std::uint32_t seq = next_seq_++;
+  tx_.clear();
+  encode_flush_request(tx_, seq);
+  send_all(tx_);
+  Frame frame;
+  expect(MsgType::kFlushReply, seq, frame);
+  next_reply_seq_ = seq + 1;
+}
+
+// --- replay_stream ----------------------------------------------------------
+
+std::uint64_t replay_stream(Client& client,
+                            std::span<const WireAccess> stream,
+                            const ReplayOptions& opts,
+                            const ReplayBatchHook& on_reply) {
+  using Clock = std::chrono::steady_clock;
+  struct InFlight {
+    Clock::time_point ref;
+    std::uint32_t count;
+  };
+  const std::size_t batch = std::max<std::size_t>(1, opts.batch);
+  const std::size_t pipeline = std::max<std::size_t>(1, opts.pipeline);
+  const bool open_loop = opts.batch_interval.count() > 0;
+  const auto start = Clock::now();
+
+  std::deque<InFlight> window;
+  std::uint64_t completed = 0;
+  auto await_one = [&] {
+    const AccessReply reply = client.await_access_reply();
+    const InFlight oldest = window.front();
+    window.pop_front();
+    completed += reply.count;
+    if (on_reply) on_reply(reply, oldest.ref, oldest.count);
+  };
+
+  std::size_t sent = 0;
+  std::uint64_t batch_index = 0;
+  while (sent < stream.size()) {
+    if (opts.flush_after != 0 && sent == opts.flush_after) {
+      while (!window.empty()) await_one();
+      client.flush();
+    }
+    std::size_t n = std::min(batch, stream.size() - sent);
+    if (opts.flush_after != 0 && sent < opts.flush_after) {
+      n = std::min(n, opts.flush_after - sent);  // land exactly on the boundary
+    }
+    Clock::time_point ref;
+    if (open_loop) {
+      // Scheduled by batches launched, not requests: a split batch (the
+      // flush boundary, the stream tail) consumes a full interval slot,
+      // shifting later launches by at most one interval per split.
+      ref = start + batch_index * opts.batch_interval;
+      std::this_thread::sleep_until(ref);  // no-op when behind schedule
+    }
+    while (window.size() >= pipeline) await_one();
+    if (!open_loop) ref = Clock::now();
+    client.send_access(stream.subspan(sent, n));
+    window.push_back({ref, static_cast<std::uint32_t>(n)});
+    sent += n;
+    ++batch_index;
+  }
+  while (!window.empty()) await_one();
+  return completed;
+}
+
+// --- ClientPool -------------------------------------------------------------
+
+ClientPool::ClientPool(std::string host, std::uint16_t port, std::size_t size)
+    : host_(std::move(host)),
+      port_(port),
+      clients_(size == 0 ? 1 : size),
+      leased_(size == 0 ? 1 : size, false) {}
+
+ClientPool::Lease ClientPool::acquire() {
+  std::unique_lock<std::mutex> lock(mu_);
+  std::size_t slot = clients_.size();
+  cv_.wait(lock, [&] {
+    for (std::size_t i = 0; i < leased_.size(); ++i) {
+      if (!leased_[i]) {
+        slot = i;
+        return true;
+      }
+    }
+    return false;
+  });
+  leased_[slot] = true;
+  lock.unlock();
+  // Connect outside the pool lock; a failure releases the slot.
+  if (!clients_[slot].connected()) {
+    try {
+      clients_[slot] = Client::connect(host_, port_);
+    } catch (...) {
+      std::lock_guard<std::mutex> relock(mu_);
+      leased_[slot] = false;
+      cv_.notify_one();
+      throw;
+    }
+  }
+  return Lease(*this, slot);
+}
+
+void ClientPool::Lease::release() {
+  if (!pool_) return;
+  {
+    std::lock_guard<std::mutex> lock(pool_->mu_);
+    pool_->leased_[slot_] = false;
+  }
+  pool_->cv_.notify_one();
+  pool_ = nullptr;
+}
+
+}  // namespace icgmm::net

@@ -1,0 +1,171 @@
+// Blocking client for the ICGMM wire protocol: one TCP connection per
+// Client, synchronous request/reply helpers, and explicit send/await
+// halves so callers can pipeline several ACCESS_BATCH frames before
+// collecting replies (the server guarantees in-order replies per
+// connection). ClientPool keeps N connections to one server for
+// multi-threaded drivers.
+//
+// All failures (connect/socket errors, unexpected EOF, malformed or
+// out-of-sequence replies, server ERROR frames) surface as
+// std::runtime_error / std::system_error.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/protocol.hpp"
+
+namespace icgmm::net {
+
+class Client {
+ public:
+  /// Disconnected client; connect() to use.
+  Client() = default;
+  ~Client();
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Blocking TCP connect (IPv4 dotted-quad or "localhost"). Throws on
+  /// failure.
+  static Client connect(const std::string& host, std::uint16_t port);
+
+  bool connected() const noexcept { return fd_ >= 0; }
+  void close() noexcept;
+
+  // --- synchronous round trips ---------------------------------------------
+
+  /// PING/PONG round trip; throws if the server misbehaves.
+  void ping();
+  AccessReply access(std::span<const WireAccess> accesses);
+  StatsReply stats();
+  ModelInfoReply model_info();
+  /// Admin: zero the server's statistics counters.
+  void flush();
+
+  // --- pipelining ------------------------------------------------------------
+  // send_access() writes one ACCESS_BATCH frame and returns immediately;
+  // await_access_reply() blocks for the oldest outstanding reply. Replies
+  // arrive in send order. Callers bound their own window (the bench and
+  // loadgen keep <= depth outstanding).
+
+  /// Returns the frame's sequence number.
+  std::uint32_t send_access(std::span<const WireAccess> accesses);
+  AccessReply await_access_reply();
+  std::uint32_t outstanding() const noexcept { return outstanding_; }
+
+ private:
+  /// Reads until one complete frame is buffered; returns owned bytes.
+  std::vector<std::uint8_t> recv_frame();
+  void send_all(const std::vector<std::uint8_t>& bytes);
+  /// Receives a frame, requiring `type` with sequence `seq`; decodes a
+  /// server ERROR frame into an exception.
+  std::vector<std::uint8_t> expect(MsgType type, std::uint32_t seq,
+                                   Frame& frame);
+
+  int fd_ = -1;
+  std::uint32_t next_seq_ = 1;
+  std::uint32_t next_reply_seq_ = 1;
+  std::uint32_t outstanding_ = 0;
+  std::vector<std::uint8_t> rx_;  ///< partial inbound stream
+  std::vector<std::uint8_t> tx_;  ///< scratch encode buffer
+};
+
+/// How replay_stream paces and windows one connection's request stream.
+struct ReplayOptions {
+  std::size_t batch = 64;
+  /// Max ACCESS_BATCH frames in flight (closed-loop window).
+  std::size_t pipeline = 1;
+  /// Send an admin FLUSH after exactly this many requests (0 = never) —
+  /// the server-side warm-up discard. Batches are split so the boundary
+  /// is exact, and the window is drained first so the FLUSH lands between
+  /// the last warm-up request and the first measured one.
+  std::size_t flush_after = 0;
+  /// Open-loop pacing: time between batch launches (0 = closed loop).
+  std::chrono::nanoseconds batch_interval{0};
+};
+
+/// Per-batch completion hook: the reply, the batch's reference time (the
+/// *scheduled* send time in open loop — queueing delay counts toward
+/// latency, no coordinated omission — or the actual send time in closed
+/// loop), and the number of requests the batch carried.
+using ReplayBatchHook =
+    std::function<void(const AccessReply&,
+                       std::chrono::steady_clock::time_point ref,
+                       std::uint32_t count)>;
+
+/// Replays `stream` through `client` in order with a bounded in-flight
+/// window — THE closed/open-loop driver shared by icgmm_loadgen,
+/// bench/throughput_net, and the end-to-end equivalence tests, so all
+/// three exercise one code path. Returns the number of requests whose
+/// replies were received. Exceptions from the client propagate.
+std::uint64_t replay_stream(Client& client,
+                            std::span<const WireAccess> stream,
+                            const ReplayOptions& opts,
+                            const ReplayBatchHook& on_reply = {});
+
+/// Contiguous chunk `index` of `parts` over a request stream, remainder
+/// spread over the first chunks — the per-connection split every
+/// multi-connection driver uses (loadgen, net bench).
+inline std::span<const WireAccess> stream_chunk(
+    std::span<const WireAccess> stream, std::size_t index,
+    std::size_t parts) {
+  const std::size_t base = stream.size() / parts;
+  const std::size_t extra = stream.size() % parts;
+  const std::size_t first = index * base + (index < extra ? index : extra);
+  return stream.subspan(first, base + (index < extra ? 1 : 0));
+}
+
+/// Fixed-size pool of connections to one server. acquire() hands out an
+/// exclusive lease (round-robin over idle connections, blocking when all
+/// are leased); the lease reconnects transparently if its connection died.
+class ClientPool {
+ public:
+  ClientPool(std::string host, std::uint16_t port, std::size_t size);
+
+  class Lease {
+   public:
+    Lease(ClientPool& pool, std::size_t slot) : pool_(&pool), slot_(slot) {}
+    ~Lease() { release(); }
+    Lease(Lease&& other) noexcept
+        : pool_(other.pool_), slot_(other.slot_) {
+      other.pool_ = nullptr;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    Lease& operator=(Lease&&) = delete;
+
+    Client& operator*() const { return pool_->clients_[slot_]; }
+    Client* operator->() const { return &pool_->clients_[slot_]; }
+
+   private:
+    void release();
+    ClientPool* pool_;
+    std::size_t slot_;
+  };
+
+  /// Blocks until a connection is free; connects lazily on first use.
+  Lease acquire();
+
+  std::size_t size() const noexcept { return clients_.size(); }
+
+ private:
+  friend class Lease;
+
+  std::string host_;
+  std::uint16_t port_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Client> clients_;
+  std::vector<bool> leased_;
+};
+
+}  // namespace icgmm::net

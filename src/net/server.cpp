@@ -1,0 +1,551 @@
+#include "net/server.hpp"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cassert>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <system_error>
+#include <thread>
+#include <utility>
+
+namespace icgmm::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+void set_nodelay(int fd) noexcept {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+/// Per-connection state. The I/O thread owns `in` (the partial byte
+/// stream) exclusively; everything under `mu` is shared between the I/O
+/// thread and whichever worker currently has the connection scheduled.
+struct Server::Connection {
+  explicit Connection(int fd_in) : fd(fd_in) {}
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  const int fd;
+
+  /// Partial inbound byte stream; I/O thread only.
+  std::vector<std::uint8_t> in;
+
+  std::mutex mu;
+  // --- guarded by mu ---
+  std::deque<std::vector<std::uint8_t>> inbox;  ///< complete frames, owned
+  std::vector<std::uint8_t> out;                ///< pending reply bytes
+  std::size_t out_off = 0;
+  bool scheduled = false;   ///< queued or being drained by a worker
+  bool want_write = false;  ///< EPOLLOUT armed
+  bool eof = false;         ///< peer FIN seen; close once drained
+  bool dead = false;        ///< deregistered; drop work, never write
+
+  bool drained() const {  // call with mu held
+    return inbox.empty() && !scheduled && out_off >= out.size();
+  }
+};
+
+Server::Server(runtime::Runtime& rt, ServerConfig cfg)
+    : rt_(rt), cfg_(cfg) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  if (started_) throw std::logic_error("Server::start: already started");
+  try {
+    start_impl();
+  } catch (...) {
+    // Partial setup (e.g. bind EADDRINUSE after socket()) must not leak
+    // fds — a caller retrying ports would otherwise creep toward EMFILE.
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+    listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+    throw;
+  }
+}
+
+void Server::start_impl() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) throw_errno("socket");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr =
+      htonl(cfg_.bind_any ? INADDR_ANY : INADDR_LOOPBACK);
+  addr.sin_port = htons(cfg_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    throw_errno("bind");
+  }
+  if (::listen(listen_fd_, cfg_.listen_backlog) < 0) throw_errno("listen");
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) throw_errno("epoll_create1");
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) throw_errno("eventfd");
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) < 0) {
+    throw_errno("epoll_ctl(listen)");
+  }
+  ev.data.fd = wake_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) < 0) {
+    throw_errno("epoll_ctl(wake)");
+  }
+
+  started_ = true;
+  running_.store(true, std::memory_order_release);
+  io_thread_ = std::thread([this] { io_loop(); });
+  workers_.reserve(cfg_.workers);
+  for (std::uint32_t i = 0; i < cfg_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void Server::stop() {
+  if (!started_) return;
+  running_.store(false, std::memory_order_release);
+  const std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  if (io_thread_.joinable()) io_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      queue_.push_back(nullptr);  // stop tokens
+    }
+  }
+  queue_cv_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  {
+    std::lock_guard<std::mutex> lock(close_mu_);
+    close_queue_.clear();  // entries are still in conns_, closed below
+  }
+  closed_.fetch_add(conns_.size(), std::memory_order_relaxed);
+  conns_.clear();  // destructors close the sockets
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+  started_ = false;
+}
+
+ServerStats Server::stats() const noexcept {
+  return {.connections_accepted = accepted_.load(std::memory_order_relaxed),
+          .connections_closed = closed_.load(std::memory_order_relaxed),
+          .frames_served = frames_.load(std::memory_order_relaxed),
+          .requests_served = requests_.load(std::memory_order_relaxed),
+          .protocol_errors = protocol_errors_.load(std::memory_order_relaxed),
+          .error_replies = error_replies_.load(std::memory_order_relaxed)};
+}
+
+void Server::io_loop() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (running_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll fd gone — shutting down
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        std::uint64_t drain;
+        while (::read(wake_fd_, &drain, sizeof(drain)) > 0) {
+        }
+        continue;  // running_ re-checked by the loop condition
+      }
+      if (fd == listen_fd_) {
+        accept_ready();
+        continue;
+      }
+      const auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;  // closed earlier this wake-up
+      const ConnPtr conn = it->second;
+      if (events[i].events & (EPOLLERR | EPOLLHUP)) {
+        close_connection(conn);
+        continue;
+      }
+      if (events[i].events & EPOLLOUT) write_ready(conn);
+      if (events[i].events & EPOLLIN) read_ready(conn);
+    }
+    // Close EOF'd connections whose drain completed since the last wake
+    // (queued by flush_writes from a worker, signalled via wake_fd_).
+    std::vector<ConnPtr> to_close;
+    {
+      std::lock_guard<std::mutex> lock(close_mu_);
+      to_close.swap(close_queue_);
+    }
+    for (const ConnPtr& conn : to_close) close_connection(conn);
+  }
+}
+
+void Server::accept_ready() {
+  while (true) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      // Persistent failure (EMFILE/ENFILE/ENOBUFS): the pending
+      // connection keeps the listen fd readable, so returning immediately
+      // would make the level-triggered epoll loop spin at 100% CPU. Back
+      // off briefly and let an fd free up.
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      return;
+    }
+    if (conns_.size() >= cfg_.max_connections) {
+      ::close(fd);  // at capacity: refuse
+      continue;
+    }
+    set_nodelay(fd);
+    auto conn = std::make_shared<Connection>(fd);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      continue;  // conn destructor closes fd
+    }
+    conns_.emplace(fd, std::move(conn));
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Server::read_ready(const ConnPtr& conn) {
+  // Drain the socket (level-triggered epoll would re-notify, but fewer
+  // wake-ups means fewer epoll_wait syscalls under load).
+  char buf[16 * 1024];
+  bool eof = false;
+  while (true) {
+    const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn->in.insert(conn->in.end(), buf, buf + n);
+      if (conn->in.size() > kHeaderBytes + kMaxPayload + sizeof(buf)) {
+        break;  // stop reading; frame the backlog first
+      }
+      continue;
+    }
+    if (n == 0) {
+      eof = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    eof = true;  // hard socket error
+    break;
+  }
+
+  // Slice complete frames off the stream front.
+  std::size_t off = 0;
+  bool poisoned = false;
+  bool got_frame = false;
+  while (true) {
+    Frame frame;
+    std::size_t consumed = 0;
+    const DecodeStatus st = decode_frame(
+        std::span<const std::uint8_t>(conn->in).subspan(off), frame, consumed);
+    if (st == DecodeStatus::kNeedMore) break;
+    if (st != DecodeStatus::kOk) {
+      poisoned = true;
+      break;
+    }
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->inbox.emplace_back(conn->in.begin() + off,
+                               conn->in.begin() + off + consumed);
+    }
+    got_frame = true;
+    off += consumed;
+  }
+  if (off > 0) conn->in.erase(conn->in.begin(), conn->in.begin() + off);
+
+  if (poisoned) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    close_connection(conn);
+    return;
+  }
+  if (got_frame) {
+    if (workers_.empty()) {
+      serve_connection(conn);  // inline mode
+    } else {
+      enqueue_ready(conn);
+    }
+  }
+  if (eof) {
+    // A client that pipelines requests and then half-closes (FIN) is
+    // still owed its replies. Close immediately only if nothing is
+    // pending; otherwise mark eof and silence EPOLLIN — a half-closed
+    // socket stays permanently readable, so leaving it armed would spin
+    // the level-triggered loop at 100% CPU while a worker drains. The
+    // drain's final flush_writes requeues the close through wake_fd_.
+    bool drained;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      drained = conn->drained();
+      if (!drained) {
+        conn->eof = true;
+        epoll_event ev{};
+        ev.events = conn->want_write ? static_cast<std::uint32_t>(EPOLLOUT) : 0u;
+        ev.data.fd = conn->fd;
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+      }
+    }
+    if (drained) close_connection(conn);
+  }
+}
+
+void Server::enqueue_ready(const ConnPtr& conn) {
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->scheduled || conn->inbox.empty() || conn->dead) return;
+    conn->scheduled = true;
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_.push_back(conn);
+  }
+  queue_cv_.notify_one();
+}
+
+void Server::write_ready(const ConnPtr& conn) { flush_writes(conn); }
+
+void Server::close_connection(const ConnPtr& conn) {
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->dead) return;
+    conn->dead = true;
+  }
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  conns_.erase(conn->fd);
+  closed_.fetch_add(1, std::memory_order_relaxed);
+  // The socket itself closes when the last reference (possibly a worker
+  // mid-drain) drops — never before, so the fd number cannot be reused
+  // while a worker might still write to it.
+}
+
+void Server::worker_loop() {
+  while (true) {
+    ConnPtr conn;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return !queue_.empty(); });
+      conn = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    if (!conn) return;  // stop token
+    serve_connection(conn);
+  }
+}
+
+void Server::serve_connection(const ConnPtr& conn) {
+  std::vector<std::uint8_t> reply;
+  while (true) {
+    std::vector<std::uint8_t> frame_bytes;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      if (conn->inbox.empty() || conn->dead) {
+        conn->scheduled = false;
+        break;
+      }
+      frame_bytes = std::move(conn->inbox.front());
+      conn->inbox.pop_front();
+    }
+    reply.clear();
+    serve_frame(frame_bytes, reply);
+    frames_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->out.insert(conn->out.end(), reply.begin(), reply.end());
+    }
+  }
+  flush_writes(conn);
+}
+
+void Server::serve_frame(std::span<const std::uint8_t> frame_bytes,
+                         std::vector<std::uint8_t>& out) {
+  Frame frame;
+  std::size_t consumed = 0;
+  const DecodeStatus st = decode_frame(frame_bytes, frame, consumed);
+  assert(st == DecodeStatus::kOk);  // read_ready only enqueues whole frames
+  if (st != DecodeStatus::kOk) return;
+  const std::uint32_t seq = frame.header.seq;
+
+  switch (frame.header.type) {
+    case MsgType::kPing:
+      if (decode_empty(frame) != DecodeStatus::kOk) break;
+      encode_pong(out, seq);
+      return;
+
+    case MsgType::kAccessBatch: {
+      // Thread-local staging keeps the hot path allocation-free after
+      // warm-up; one wire batch becomes one apply_batch span.
+      thread_local std::vector<WireAccess> wire;
+      thread_local std::vector<runtime::Access> batch;
+      thread_local std::vector<cache::AccessResult> results;
+      if (decode_access_batch(frame, wire) != DecodeStatus::kOk) break;
+      batch.clear();
+      batch.reserve(wire.size());
+      for (const WireAccess& a : wire) {
+        batch.push_back({.page = a.page,
+                         .timestamp = a.timestamp,
+                         .is_write = a.is_write});
+      }
+      results.resize(batch.size());
+      rt_.apply_batch(batch, results);
+      AccessReply reply;
+      reply.count = static_cast<std::uint32_t>(batch.size());
+      for (const cache::AccessResult& r : results) {
+        reply.hits += r.hit ? 1 : 0;
+        reply.admitted += r.admitted ? 1 : 0;
+        reply.evictions += r.evicted ? 1 : 0;
+        reply.dirty_evictions += r.evicted_dirty ? 1 : 0;
+      }
+      requests_.fetch_add(batch.size(), std::memory_order_relaxed);
+      encode_access_reply(out, seq, reply);
+      return;
+    }
+
+    case MsgType::kStats: {
+      if (decode_empty(frame) != DecodeStatus::kOk) break;
+      const runtime::RuntimeSnapshot snap = rt_.snapshot();
+      StatsReply reply;
+      reply.accesses = snap.merged.accesses;
+      reply.hits = snap.merged.hits;
+      reply.read_misses = snap.merged.read_misses;
+      reply.write_misses = snap.merged.write_misses;
+      reply.fills = snap.merged.fills;
+      reply.bypasses = snap.merged.bypasses;
+      reply.evictions = snap.merged.evictions;
+      reply.dirty_evictions = snap.merged.dirty_evictions;
+      reply.inferences = snap.inferences;
+      reply.score_batches = snap.score_batches;
+      reply.model_version = snap.model_version;
+      reply.models_published = snap.models_published;
+      encode_stats_reply(out, seq, reply);
+      return;
+    }
+
+    case MsgType::kModelInfo: {
+      if (decode_empty(frame) != DecodeStatus::kOk) break;
+      ModelInfoReply reply;
+      reply.shards = rt_.config().shards;
+      reply.policy_name = rt_.policy_name();
+      if (const runtime::ModelSlot* slot = rt_.model_slot()) {
+        reply.components = static_cast<std::uint32_t>(slot->load()->size());
+        reply.model_version = slot->version();
+      }
+      encode_model_info_reply(out, seq, reply);
+      return;
+    }
+
+    case MsgType::kFlush:
+      if (decode_empty(frame) != DecodeStatus::kOk) break;
+      rt_.clear_stats();
+      encode_flush_reply(out, seq);
+      return;
+
+    default:
+      error_replies_.fetch_add(1, std::memory_order_relaxed);
+      encode_error(out, seq,
+                   {.code = ErrorCode::kUnknownType,
+                    .message = std::string("not a request: ") +
+                               to_string(frame.header.type)});
+      return;
+  }
+  // A known request type whose payload failed validation.
+  error_replies_.fetch_add(1, std::memory_order_relaxed);
+  encode_error(out, seq,
+               {.code = ErrorCode::kBadRequest,
+                .message = std::string("malformed ") +
+                           to_string(frame.header.type) + " payload"});
+}
+
+void Server::flush_writes(const ConnPtr& conn) {
+  std::lock_guard<std::mutex> lock(conn->mu);
+  if (conn->dead) return;
+  while (conn->out_off < conn->out.size()) {
+    const ssize_t n =
+        ::send(conn->fd, conn->out.data() + conn->out_off,
+               conn->out.size() - conn->out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->out_off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!conn->want_write) {
+        epoll_event ev{};
+        // Never re-arm EPOLLIN on a half-closed socket (permanently
+        // readable — it would spin the level-triggered loop).
+        ev.events = (conn->eof ? 0u : static_cast<std::uint32_t>(EPOLLIN)) |
+                    EPOLLOUT;
+        ev.data.fd = conn->fd;
+        if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev) == 0) {
+          conn->want_write = true;
+        }
+      }
+      return;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return;  // peer went away; epoll reports ERR/HUP and the I/O thread closes
+  }
+  conn->out.clear();
+  conn->out_off = 0;
+  if (conn->eof) {
+    // The peer already FIN'd and its last reply byte is out: hand the
+    // connection to the I/O thread for closing (never re-arm EPOLLIN on
+    // a half-closed socket — that is the busy-spin this path avoids).
+    if (conn->inbox.empty() && !conn->scheduled) request_close_locked(conn);
+    return;
+  }
+  if (conn->want_write) {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = conn->fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev) == 0) {
+      conn->want_write = false;
+    }
+  }
+}
+
+void Server::request_close_locked(const ConnPtr& conn) {
+  if (conn->dead) return;
+  {
+    std::lock_guard<std::mutex> lock(close_mu_);
+    close_queue_.push_back(conn);
+  }
+  const std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+}  // namespace icgmm::net

@@ -1,0 +1,158 @@
+// Epoll-based non-blocking TCP serving frontend over a runtime::Runtime.
+//
+//   clients --> accept --> per-connection read buffer --> frame decoder
+//                               |                              |
+//                               v                              v
+//                        worker pool (N threads)  <--  per-connection inbox
+//                               |
+//                               v
+//                  Runtime::apply_batch(span<Access>)   (one wire batch =
+//                               |                        one span through
+//                               v                        the miss path)
+//                  per-connection write buffer --> epoll EPOLLOUT flush
+//
+// One I/O thread owns the epoll set: it accepts, reads, frames, and
+// flushes backpressured writes. Complete frames are appended to the
+// owning connection's inbox; a connection is scheduled onto the worker
+// queue only when its inbox goes non-empty and it is not already
+// scheduled, so frames from one connection are always processed in
+// arrival order by exactly one worker at a time (replies stay in request
+// order — the pipelining contract), while different connections spread
+// across the pool. `workers = 0` processes frames inline on the I/O
+// thread (zero cross-thread handoff — the deterministic mode the
+// loopback equivalence tests use).
+//
+// Framing errors (bad magic/version, oversized declared length,
+// unparseable payload) poison the byte stream: the server counts a
+// protocol error and closes that connection. Well-framed but
+// unserviceable requests get an ERROR reply and the connection lives on.
+//
+// Linux-only (epoll, eventfd, accept4).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/protocol.hpp"
+#include "runtime/runtime.hpp"
+
+namespace icgmm::net {
+
+struct ServerConfig {
+  /// TCP port; 0 binds an ephemeral port (read it back via port()).
+  std::uint16_t port = 0;
+  /// Accept from any interface (default: loopback only).
+  bool bind_any = false;
+  /// Worker threads decoding/serving frames; 0 = serve inline on the I/O
+  /// thread.
+  std::uint32_t workers = 1;
+  std::uint32_t max_connections = 256;
+  int listen_backlog = 64;
+};
+
+/// Monitoring counters (relaxed atomics; exact at quiescence).
+struct ServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_closed = 0;
+  std::uint64_t frames_served = 0;
+  std::uint64_t requests_served = 0;  ///< individual accesses
+  std::uint64_t protocol_errors = 0;  ///< stream-poison closes
+  std::uint64_t error_replies = 0;    ///< well-framed ERROR replies
+};
+
+class Server {
+ public:
+  /// Serves `rt` (not owned; must outlive the server).
+  Server(runtime::Runtime& rt, ServerConfig cfg);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and spawns the I/O + worker threads. Throws
+  /// std::system_error on socket/bind failure. Not restartable.
+  void start();
+
+  /// Graceful shutdown: stop accepting, drain workers, close connections.
+  /// Idempotent; the destructor calls it.
+  void stop();
+
+  bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+
+  /// Actual bound port (resolves ephemeral binds); valid after start().
+  std::uint16_t port() const noexcept { return port_; }
+
+  ServerStats stats() const noexcept;
+
+ private:
+  struct Connection;
+  using ConnPtr = std::shared_ptr<Connection>;
+
+  void start_impl();
+  void io_loop();
+  void worker_loop();
+  void accept_ready();
+  void read_ready(const ConnPtr& conn);
+  void write_ready(const ConnPtr& conn);
+  void close_connection(const ConnPtr& conn);
+  /// Hands a drained, EOF'd connection to the I/O thread for closing
+  /// (workers cannot touch conns_ / epoll teardown). Call with conn->mu
+  /// held.
+  void request_close_locked(const ConnPtr& conn);
+  /// Drains conn's inbox (exclusively — the scheduled flag), serving each
+  /// frame against the runtime and flushing replies.
+  void serve_connection(const ConnPtr& conn);
+  /// Serves one complete frame, appending the reply to `out`.
+  void serve_frame(std::span<const std::uint8_t> frame_bytes,
+                   std::vector<std::uint8_t>& out);
+  /// Sends as much buffered output as the socket accepts; arms EPOLLOUT
+  /// for the remainder. Call with conn->mu NOT held.
+  void flush_writes(const ConnPtr& conn);
+  void enqueue_ready(const ConnPtr& conn);
+
+  runtime::Runtime& rt_;
+  ServerConfig cfg_;
+  std::uint16_t port_ = 0;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  ///< eventfd: kicks epoll_wait on stop()
+
+  std::atomic<bool> running_{false};
+  bool started_ = false;
+  std::thread io_thread_;
+  std::vector<std::thread> workers_;
+
+  // Work queue: connections with non-empty inboxes. nullptr = stop token.
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<ConnPtr> queue_;
+
+  // Live connections, keyed by fd. I/O thread only (no lock needed).
+  std::unordered_map<int, ConnPtr> conns_;
+
+  // EOF'd connections whose last replies have been flushed; the I/O
+  // thread closes them on the next wake. Guarded by close_mu_; never
+  // locked while holding a conn->mu in the pop path (push holds conn->mu
+  // then close_mu_ — one direction only).
+  std::mutex close_mu_;
+  std::vector<ConnPtr> close_queue_;
+
+  mutable std::atomic<std::uint64_t> accepted_{0};
+  mutable std::atomic<std::uint64_t> closed_{0};
+  mutable std::atomic<std::uint64_t> frames_{0};
+  mutable std::atomic<std::uint64_t> requests_{0};
+  mutable std::atomic<std::uint64_t> protocol_errors_{0};
+  mutable std::atomic<std::uint64_t> error_replies_{0};
+};
+
+}  // namespace icgmm::net

@@ -11,20 +11,43 @@ namespace icgmm::runtime {
 
 namespace {
 
+/// Requests staged per apply_batch call — large enough to amortize the
+/// span setup, small enough to keep the staging arrays in L1.
+constexpr std::size_t kReplayBatch = 256;
+
 /// Replays records [first, last) with a fresh logical clock and private
-/// latency accumulator. `warmup` > 0 clears the runtime's stats and this
-/// thread's latency after that many requests (single-thread mode only).
+/// latency accumulator, staged through Runtime::apply_batch in spans of
+/// kReplayBatch — the same entry point the net server feeds, so both
+/// drivers run one code path. `warmup` > 0 clears the runtime's stats and
+/// this thread's latency after that many requests (single-thread mode
+/// only); batches are split at the warm-up boundary so the clear lands on
+/// exactly the same request it always did.
 void replay_chunk(Runtime& rt, const trace::Trace& trace, std::size_t first,
                   std::size_t last, const ReplayConfig& cfg, std::size_t warmup,
                   sim::LatencyModel& latency) {
   trace::TimestampTransform transform(cfg.transform);
+  Access batch[kReplayBatch];
+  cache::AccessResult results[kReplayBatch];
   std::size_t processed = 0;
-  for (std::size_t i = first; i < last; ++i) {
-    const trace::Record& r = trace[i];
-    const Timestamp ts = transform.next();
-    const cache::AccessResult outcome = rt.access(r.page(), ts, r.is_write());
-    latency.record(outcome, cfg.policy_runs_on_miss && !outcome.hit);
-    if (++processed == warmup) {
+  std::size_t i = first;
+  while (i < last) {
+    std::size_t n = std::min(kReplayBatch, last - i);
+    if (warmup > processed && warmup - processed < n) {
+      n = warmup - processed;  // split so the batch ends at the warm-up point
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      const trace::Record& r = trace[i + j];
+      batch[j] = {.page = r.page(),
+                  .timestamp = transform.next(),
+                  .is_write = r.is_write()};
+    }
+    rt.apply_batch({batch, n}, {results, n});
+    for (std::size_t j = 0; j < n; ++j) {
+      latency.record(results[j], cfg.policy_runs_on_miss && !results[j].hit);
+    }
+    processed += n;
+    i += n;
+    if (processed == warmup) {
       rt.clear_stats();
       latency.reset();
     }

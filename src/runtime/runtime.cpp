@@ -1,5 +1,6 @@
 #include "runtime/runtime.hpp"
 
+#include <cassert>
 #include <utility>
 
 namespace icgmm::runtime {
@@ -66,6 +67,17 @@ cache::AccessResult Runtime::access(PageIndex page, Timestamp ts,
     }
   }
   return result;
+}
+
+void Runtime::apply_batch(std::span<const Access> batch,
+                          std::span<cache::AccessResult> results) {
+  assert(results.empty() || results.size() >= batch.size());
+  const bool record = !results.empty();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Access& a = batch[i];
+    const cache::AccessResult r = access(a.page, a.timestamp, a.is_write);
+    if (record) results[i] = r;
+  }
 }
 
 std::uint64_t Runtime::inferences() const {

@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,14 @@ struct RuntimeConfig {
   /// 1-in-N access sampling into the refresher (1 = every request).
   std::uint32_t sample_every = 64;
   ModelRefresherConfig refresher;
+};
+
+/// One serving request — the unit both the trace replayer and the network
+/// frontend hand to the runtime, so the two drivers share one code path.
+struct Access {
+  PageIndex page = 0;
+  Timestamp timestamp = 0;
+  bool is_write = false;
 };
 
 /// Coherent observability snapshot (merged lock-free; per-shard locked).
@@ -92,6 +101,15 @@ class Runtime {
   /// Serves one request from any thread.
   cache::AccessResult access(PageIndex page, Timestamp ts,
                              bool is_write = false);
+
+  /// Serves a span of requests in order, from any thread — the entry point
+  /// replay_trace and the net server share (one syscall-batched read
+  /// becomes one span through the miss path). When `results` is non-empty
+  /// it must hold at least batch.size() elements and receives the
+  /// per-request outcomes. Equivalent to calling access() per element —
+  /// asserted bit-identical by the apply-batch tests.
+  void apply_batch(std::span<const Access> batch,
+                   std::span<cache::AccessResult> results = {});
 
   /// Merged + per-shard statistics and model/refresher counters.
   RuntimeSnapshot snapshot() const;

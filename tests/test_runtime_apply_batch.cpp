@@ -1,0 +1,150 @@
+// Runtime::apply_batch — the span entry point replay_trace and the net
+// server share. Replaying a trace through replay_trace must be
+// bit-identical to hand-feeding the same stream through apply_batch at
+// any chunking, per-request results must match access() exactly, and the
+// GMM inference counters must agree — at threads == 1 everything is
+// deterministic, so all comparisons are exact equality.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cache/policies/classic.hpp"
+#include "core/icgmm.hpp"
+#include "runtime/replay.hpp"
+#include "test_util.hpp"
+#include "trace/timestamp_transform.hpp"
+
+namespace icgmm {
+namespace {
+
+void expect_stats_eq(const cache::CacheStats& a, const cache::CacheStats& b) {
+  EXPECT_EQ(a.accesses, b.accesses);
+  EXPECT_EQ(a.hits, b.hits);
+  EXPECT_EQ(a.read_misses, b.read_misses);
+  EXPECT_EQ(a.write_misses, b.write_misses);
+  EXPECT_EQ(a.fills, b.fills);
+  EXPECT_EQ(a.bypasses, b.bypasses);
+  EXPECT_EQ(a.evictions, b.evictions);
+  EXPECT_EQ(a.dirty_evictions, b.dirty_evictions);
+}
+
+/// The access stream replay_trace generates at threads == 1 (trace
+/// order, fresh Algorithm-1 clock), with replay's warm-up index.
+std::vector<runtime::Access> make_stream(const trace::Trace& t) {
+  trace::TimestampTransform transform;
+  std::vector<runtime::Access> stream;
+  stream.reserve(t.size());
+  for (const trace::Record& r : t) {
+    stream.push_back({.page = r.page(),
+                      .timestamp = transform.next(),
+                      .is_write = r.is_write()});
+  }
+  return stream;
+}
+
+TEST(RuntimeApplyBatch, ReplayVsManualBatchesBitIdenticalStatsLru) {
+  const trace::Trace t = test_util::zipf_trace(50000, 2048, 0.9, 0xB1);
+  const runtime::RuntimeConfig rcfg{.cache = test_util::tiny_cache(64, 8),
+                                    .shards = 1};
+
+  runtime::Runtime replayed(rcfg, cache::LruPolicy());
+  runtime::ReplayConfig cfg;
+  cfg.threads = 1;
+  cfg.warmup_fraction = 0.2;
+  runtime::replay_trace(replayed, t, cfg);
+
+  const std::vector<runtime::Access> stream = make_stream(t);
+  const std::size_t warmup = t.size() / 5;
+  for (const std::size_t chunk : {1u, 13u, 256u, 4096u}) {
+    runtime::Runtime batched(rcfg, cache::LruPolicy());
+    std::size_t i = 0;
+    while (i < stream.size()) {
+      std::size_t n = std::min(chunk, stream.size() - i);
+      if (i < warmup) n = std::min(n, warmup - i);
+      batched.apply_batch({stream.data() + i, n});
+      i += n;
+      if (i == warmup) batched.clear_stats();
+    }
+    expect_stats_eq(batched.cache().merged_stats(),
+                    replayed.cache().merged_stats());
+  }
+}
+
+TEST(RuntimeApplyBatch, ReplayVsBatchBitIdenticalStatsAndInferencesGmm) {
+  const trace::Trace t = test_util::zipf_trace(40000, 2048, 0.9, 0xB2);
+  core::IcgmmConfig cfg = test_util::small_system_config();
+  cfg.engine.cache = test_util::tiny_cache(64, 8);
+  core::IcgmmSystem system(cfg);
+  system.train(t);
+  const auto strategy = cache::GmmStrategy::kCachingEviction;
+  const double threshold = system.pick_threshold(t, strategy);
+  const runtime::RuntimeConfig rcfg{.cache = cfg.engine.cache, .shards = 1};
+
+  const auto replayed = system.make_runtime(rcfg, strategy, threshold);
+  runtime::ReplayConfig replay_cfg;
+  replay_cfg.threads = 1;
+  replay_cfg.warmup_fraction = 0.0;
+  const runtime::ReplayResult ref =
+      runtime::replay_trace(*replayed, t, replay_cfg);
+
+  const auto batched = system.make_runtime(rcfg, strategy, threshold);
+  const std::vector<runtime::Access> stream = make_stream(t);
+  for (std::size_t i = 0; i < stream.size(); i += 777) {
+    batched->apply_batch(
+        {stream.data() + i, std::min<std::size_t>(777, stream.size() - i)});
+  }
+
+  expect_stats_eq(batched->cache().merged_stats(), ref.run.stats);
+  EXPECT_EQ(batched->inferences(), ref.run.policy_inferences);
+  EXPECT_GT(batched->inferences(), 0u);
+}
+
+TEST(RuntimeApplyBatch, PerRequestResultsMatchAccessExactly) {
+  const trace::Trace t = test_util::zipf_trace(20000, 1024, 0.9, 0xB3);
+  const runtime::RuntimeConfig rcfg{.cache = test_util::tiny_cache(32, 4),
+                                    .shards = 2};
+  const std::vector<runtime::Access> stream = make_stream(t);
+
+  runtime::Runtime one_by_one(rcfg, cache::LruPolicy());
+  std::vector<cache::AccessResult> expected;
+  expected.reserve(stream.size());
+  for (const runtime::Access& a : stream) {
+    expected.push_back(one_by_one.access(a.page, a.timestamp, a.is_write));
+  }
+
+  runtime::Runtime spanned(rcfg, cache::LruPolicy());
+  std::vector<cache::AccessResult> results(stream.size());
+  spanned.apply_batch(stream, results);
+
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    EXPECT_EQ(results[i].hit, expected[i].hit) << "at " << i;
+    EXPECT_EQ(results[i].admitted, expected[i].admitted) << "at " << i;
+    EXPECT_EQ(results[i].evicted, expected[i].evicted) << "at " << i;
+    EXPECT_EQ(results[i].evicted_dirty, expected[i].evicted_dirty)
+        << "at " << i;
+    EXPECT_EQ(results[i].is_write, expected[i].is_write) << "at " << i;
+    if (results[i].evicted) {
+      EXPECT_EQ(results[i].victim_page, expected[i].victim_page) << "at " << i;
+    }
+  }
+  expect_stats_eq(spanned.cache().merged_stats(),
+                  one_by_one.cache().merged_stats());
+}
+
+TEST(RuntimeApplyBatch, EmptyBatchAndNoResultsSpanAreNoOps) {
+  runtime::Runtime rt(
+      runtime::RuntimeConfig{.cache = test_util::tiny_cache(32, 4),
+                             .shards = 2},
+      cache::LruPolicy());
+  rt.apply_batch({});
+  EXPECT_EQ(rt.cache().merged_stats().accesses, 0u);
+
+  const std::vector<runtime::Access> two = {{.page = 1, .timestamp = 0},
+                                            {.page = 2, .timestamp = 0}};
+  rt.apply_batch(two);  // no results span: still served
+  EXPECT_EQ(rt.cache().merged_stats().accesses, 2u);
+}
+
+}  // namespace
+}  // namespace icgmm

@@ -1,0 +1,329 @@
+// icgmm_loadgen — drives an icgmm_serve instance over TCP with a real
+// request stream and measures what the paper's serving story ultimately
+// cares about: tail latency and achieved throughput.
+//
+// Usage:
+//   icgmm_loadgen [--host H] [--port P] [-n REQUESTS]
+//                 [--trace FILE | --benchmark NAME]   (default: Zipf stream)
+//                 [--pages N] [--skew S] [--seed S] [--write-frac F]
+//                 [--connections C] [--batch B] [--pipeline D]
+//                 [--qps TARGET]        open-loop at TARGET req/s total
+//                                       (default 0 = closed loop)
+//                 [--no-transform]      send raw trace times, not
+//                                       Algorithm-1 logical timestamps
+//                 [--flush-at FRAC]     admin FLUSH after this fraction of
+//                                       requests (server-side warm-up
+//                                       discard; exact with 1 connection)
+//                 [--json FILE] [--quiet]
+//
+// The workload is replayed in trace order, split into contiguous
+// per-connection chunks (1 connection = the exact replay_trace order).
+// Closed loop: each connection keeps up to --pipeline batches in flight
+// and sends the next as soon as a reply frees the window — measures the
+// server's capacity. Open loop: batches are launched on a fixed schedule
+// derived from --qps and latency is measured from the *scheduled* send
+// time, so queueing delay from a saturated server is charged to the tail
+// percentiles (no coordinated omission).
+//
+// Reported: achieved QPS, per-request latency p50/p95/p99/p999/max/mean
+// (batch latency attributed to each request in the batch), per-reply hit
+// counts, and the server's own STATS afterwards. --json emits the same
+// with the shared run-environment header fields.
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/run_env.hpp"
+#include "common/rng.hpp"
+#include "net/client.hpp"
+#include "net/latency_recorder.hpp"
+#include "trace/generator.hpp"
+#include "trace/io.hpp"
+#include "trace/timestamp_transform.hpp"
+#include "trace/zipf.hpp"
+
+namespace {
+
+using namespace icgmm;
+using Clock = std::chrono::steady_clock;
+
+struct Args {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 9090;
+  std::size_t requests = 200000;
+  std::string trace_file;
+  std::string benchmark;
+  std::uint64_t pages = 1 << 16;
+  double skew = 0.99;
+  std::uint64_t seed = 7;
+  double write_frac = 0.10;
+  std::uint32_t connections = 1;
+  std::uint32_t batch = 32;
+  std::uint32_t pipeline = 1;
+  double qps = 0.0;  // 0 = closed loop
+  bool transform = true;
+  double flush_at = -1.0;
+  std::string json_path;
+  bool quiet = false;
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) throw std::invalid_argument("missing value");
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--host")) args.host = next();
+    else if (!std::strcmp(argv[i], "--port")) args.port = static_cast<std::uint16_t>(std::stoul(next()));
+    else if (!std::strcmp(argv[i], "-n")) args.requests = std::stoull(next());
+    else if (!std::strcmp(argv[i], "--trace")) args.trace_file = next();
+    else if (!std::strcmp(argv[i], "--benchmark")) args.benchmark = next();
+    else if (!std::strcmp(argv[i], "--pages")) args.pages = std::stoull(next());
+    else if (!std::strcmp(argv[i], "--skew")) args.skew = std::stod(next());
+    else if (!std::strcmp(argv[i], "--seed")) args.seed = std::stoull(next());
+    else if (!std::strcmp(argv[i], "--write-frac")) args.write_frac = std::stod(next());
+    else if (!std::strcmp(argv[i], "--connections")) args.connections = static_cast<std::uint32_t>(std::stoul(next()));
+    else if (!std::strcmp(argv[i], "--batch")) args.batch = static_cast<std::uint32_t>(std::stoul(next()));
+    else if (!std::strcmp(argv[i], "--pipeline")) args.pipeline = static_cast<std::uint32_t>(std::stoul(next()));
+    else if (!std::strcmp(argv[i], "--qps")) args.qps = std::stod(next());
+    else if (!std::strcmp(argv[i], "--no-transform")) args.transform = false;
+    else if (!std::strcmp(argv[i], "--flush-at")) args.flush_at = std::stod(next());
+    else if (!std::strcmp(argv[i], "--json")) args.json_path = next();
+    else if (!std::strcmp(argv[i], "--quiet")) args.quiet = true;
+    else throw std::invalid_argument(std::string("unknown flag: ") + argv[i]);
+  }
+  if (args.connections == 0) args.connections = 1;
+  if (args.batch == 0) args.batch = 1;
+  if (args.batch > net::kMaxBatch) args.batch = net::kMaxBatch;
+  if (args.pipeline == 0) args.pipeline = 1;
+  return args;
+}
+
+/// The whole request stream, pre-stamped: page, timestamp, write flag.
+std::vector<net::WireAccess> build_stream(const Args& args) {
+  trace::Trace t;
+  if (!args.trace_file.empty()) {
+    const bool binary = args.trace_file.size() > 4 &&
+                        args.trace_file.rfind(".bin") ==
+                            args.trace_file.size() - 4;
+    t = binary ? trace::read_binary_file(args.trace_file)
+               : trace::read_csv_file(args.trace_file);
+  } else if (!args.benchmark.empty()) {
+    t = trace::generate(trace::benchmark_from_string(args.benchmark),
+                        args.requests, args.seed);
+  } else {
+    trace::Zipf zipf(args.pages, args.skew);
+    Rng rng(args.seed);
+    t = trace::Trace("zipf-loadgen");
+    t.reserve(args.requests);
+    for (std::size_t i = 0; i < args.requests; ++i) {
+      t.push_back({.addr = addr_of(zipf.sample(rng)),
+                   .time = i,
+                   .type = rng.chance(args.write_frac) ? AccessType::kWrite
+                                                       : AccessType::kRead});
+    }
+  }
+  const std::size_t n = std::min(args.requests, t.size());
+  std::vector<net::WireAccess> stream;
+  stream.reserve(n);
+  trace::TimestampTransform transform;  // Algorithm-1 defaults
+  for (std::size_t i = 0; i < n; ++i) {
+    const trace::Record& r = t[i];
+    stream.push_back({.page = r.page(),
+                      .timestamp = args.transform ? transform.next() : r.time,
+                      .is_write = r.is_write()});
+  }
+  return stream;
+}
+
+struct ConnResult {
+  net::LatencyRecorder latency;
+  std::uint64_t requests = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t hits = 0;
+  std::string error;
+};
+
+/// Replays one connection's chunk through the shared net::replay_stream
+/// driver, recording per-batch latency against the driver's reference
+/// time (actual send in closed loop, scheduled send in open loop).
+void run_connection(const Args& args, std::span<const net::WireAccess> chunk,
+                    double conn_qps, std::size_t flush_after,
+                    ConnResult& result) {
+  try {
+    net::Client client = net::Client::connect(args.host, args.port);
+    net::ReplayOptions opts;
+    opts.batch = args.batch;
+    opts.pipeline = args.pipeline;
+    opts.flush_after = flush_after;
+    if (conn_qps > 0.0) {
+      opts.batch_interval = std::chrono::nanoseconds(static_cast<std::uint64_t>(
+          static_cast<double>(args.batch) * 1e9 / conn_qps));
+    }
+    net::replay_stream(
+        client, chunk, opts,
+        [&result](const net::AccessReply& reply, Clock::time_point ref,
+                  std::uint32_t count) {
+          result.latency.record(
+              static_cast<std::uint64_t>(
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      Clock::now() - ref)
+                      .count()),
+              count);
+          // Accumulated per reply (not from the driver's return value) so
+          // a mid-stream connection error still reports what completed.
+          result.requests += reply.count;
+          result.hits += reply.hits;
+          result.batches += 1;
+        });
+  } catch (const std::exception& e) {
+    result.error = e.what();
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  try {
+    args = parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+
+  const std::vector<net::WireAccess> stream = build_stream(args);
+  if (stream.empty()) {
+    std::cerr << "error: empty workload\n";
+    return 1;
+  }
+  if (!args.quiet) {
+    std::cout << "replaying " << stream.size() << " requests to " << args.host
+              << ":" << args.port << " over " << args.connections
+              << " connection(s), batch " << args.batch << ", pipeline "
+              << args.pipeline << ", "
+              << (args.qps > 0.0
+                      ? "open loop @ " + std::to_string(args.qps) + " req/s"
+                      : std::string("closed loop"))
+              << "\n";
+  }
+
+  // Contiguous per-connection chunks, remainder spread over the first.
+  const std::uint32_t conns = args.connections;
+  std::vector<ConnResult> results(conns);
+  std::vector<std::thread> threads;
+  threads.reserve(conns);
+  const auto t0 = Clock::now();
+  for (std::uint32_t c = 0; c < conns; ++c) {
+    const std::span<const net::WireAccess> chunk =
+        net::stream_chunk(stream, c, conns);
+    const std::size_t flush_after =
+        args.flush_at > 0.0 && args.flush_at < 1.0
+            ? static_cast<std::size_t>(args.flush_at *
+                                       static_cast<double>(chunk.size()))
+            : 0;
+    const double conn_qps =
+        args.qps > 0.0 ? args.qps / static_cast<double>(conns) : 0.0;
+    threads.emplace_back(run_connection, std::cref(args), chunk, conn_qps,
+                         flush_after, std::ref(results[c]));
+  }
+  for (std::thread& th : threads) th.join();
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  net::LatencyRecorder latency;
+  std::uint64_t completed = 0, batches = 0, hits = 0;
+  int failed = 0;
+  for (const ConnResult& r : results) {
+    latency.merge(r.latency);
+    completed += r.requests;
+    batches += r.batches;
+    hits += r.hits;
+    if (!r.error.empty()) {
+      ++failed;
+      std::cerr << "connection error: " << r.error << "\n";
+    }
+  }
+  const double achieved_qps =
+      elapsed > 0.0 ? static_cast<double>(completed) / elapsed : 0.0;
+
+  const double us = 1e-3;
+  const double p50 = static_cast<double>(latency.quantile_ns(0.50)) * us;
+  const double p95 = static_cast<double>(latency.quantile_ns(0.95)) * us;
+  const double p99 = static_cast<double>(latency.quantile_ns(0.99)) * us;
+  const double p999 = static_cast<double>(latency.quantile_ns(0.999)) * us;
+  const double pmax = static_cast<double>(latency.max_ns()) * us;
+  const double pmean = latency.mean_ns() * us;
+
+  if (!args.quiet) {
+    std::cout << "completed " << completed << " requests in " << elapsed
+              << " s (" << achieved_qps / 1e6 << " M req/s, " << batches
+              << " batches)\n"
+              << "client hit fraction: "
+              << (completed ? static_cast<double>(hits) /
+                                  static_cast<double>(completed)
+                            : 0.0)
+              << "\n"
+              << "latency us: mean " << pmean << "  p50 " << p50 << "  p95 "
+              << p95 << "  p99 " << p99 << "  p99.9 " << p999 << "  max "
+              << pmax << "\n";
+  }
+
+  // The server's own view, for cross-checking against the client counts.
+  net::StatsReply server_stats;
+  bool have_server_stats = false;
+  try {
+    net::Client c = net::Client::connect(args.host, args.port);
+    server_stats = c.stats();
+    have_server_stats = true;
+    if (!args.quiet) {
+      std::cout << "server stats: accesses=" << server_stats.accesses
+                << " hits=" << server_stats.hits
+                << " misses=" << server_stats.read_misses +
+                                     server_stats.write_misses
+                << " inferences=" << server_stats.inferences
+                << " model_v=" << server_stats.model_version << "\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "stats fetch failed: " << e.what() << "\n";
+  }
+
+  if (!args.json_path.empty()) {
+    std::ofstream out(args.json_path);
+    out << "{\n  " << run_env_json_fields() << ",\n"
+        << "  \"tool\": \"icgmm_loadgen\",\n"
+        << "  \"requests\": " << stream.size() << ",\n"
+        << "  \"completed\": " << completed << ",\n"
+        << "  \"connections\": " << conns << ",\n"
+        << "  \"batch\": " << args.batch << ",\n"
+        << "  \"pipeline\": " << args.pipeline << ",\n"
+        << "  \"mode\": \"" << (args.qps > 0.0 ? "open" : "closed") << "\",\n"
+        << "  \"target_qps\": " << args.qps << ",\n"
+        << "  \"achieved_qps\": " << achieved_qps << ",\n"
+        << "  \"elapsed_seconds\": " << elapsed << ",\n"
+        << "  \"latency_us\": {\"mean\": " << pmean << ", \"p50\": " << p50
+        << ", \"p95\": " << p95 << ", \"p99\": " << p99 << ", \"p999\": "
+        << p999 << ", \"max\": " << pmax << "},\n"
+        << "  \"client_hits\": " << hits << ",\n"
+        << "  \"server\": ";
+    if (have_server_stats) {
+      out << "{\"accesses\": " << server_stats.accesses << ", \"hits\": "
+          << server_stats.hits << ", \"read_misses\": "
+          << server_stats.read_misses << ", \"write_misses\": "
+          << server_stats.write_misses << ", \"inferences\": "
+          << server_stats.inferences << ", \"model_version\": "
+          << server_stats.model_version << "}";
+    } else {
+      out << "null";
+    }
+    out << "\n}\n";
+    if (!args.quiet) std::cout << "wrote " << args.json_path << "\n";
+  }
+  return failed == 0 && completed > 0 ? 0 : 1;
+}

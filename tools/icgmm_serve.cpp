@@ -1,0 +1,196 @@
+// icgmm_serve — the serving daemon: a sharded ICGMM runtime behind the
+// binary RPC frontend, ready for icgmm_loadgen (or any protocol client).
+//
+// Usage:
+//   icgmm_serve [--port P] [--bind-any] [--shards N] [--threads W]
+//               [--policy lru|fifo|random|lfu|clock|
+//                         gmm-caching|gmm-eviction|gmm-both]
+//               [--cache-mb MB] [--assoc WAYS]
+//               [--train-requests N] [--train-benchmark NAME] [--seed S]
+//               [--adapt] [--sample-every N]
+//               [--stats-every SECONDS] [--quiet]
+//
+// GMM policies train at startup on a synthetic workload (default: the
+// sysbench generator at --train-requests requests) and tune the admission
+// threshold at the 5th score percentile — the same recipe the throughput
+// bench uses. --adapt additionally runs the background drift refresher.
+//
+// --threads is the server worker pool (0 = serve inline on the I/O
+// thread, the fully deterministic mode). SIGINT/SIGTERM shut down
+// cleanly: stop accepting, drain, print a final stats line, exit 0.
+// --stats-every prints a one-line serving report periodically.
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "cache/policies/classic.hpp"
+#include "core/policy_engine.hpp"
+#include "core/threshold.hpp"
+#include "net/server.hpp"
+#include "trace/generator.hpp"
+
+namespace {
+
+using namespace icgmm;
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void handle_signal(int) { g_stop = 1; }
+
+struct Args {
+  std::uint16_t port = 9090;
+  bool bind_any = false;
+  std::uint32_t shards = 4;
+  std::uint32_t workers = 2;
+  std::string policy = "lru";
+  std::uint64_t cache_mb = 64;
+  std::uint32_t assoc = 8;
+  std::size_t train_requests = 200000;
+  std::string train_benchmark = "sysbench";
+  std::uint64_t seed = 7;
+  bool adapt = false;
+  std::uint32_t sample_every = 64;
+  unsigned stats_every = 10;
+  bool quiet = false;
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) throw std::invalid_argument("missing value");
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--port")) args.port = static_cast<std::uint16_t>(std::stoul(next()));
+    else if (!std::strcmp(argv[i], "--bind-any")) args.bind_any = true;
+    else if (!std::strcmp(argv[i], "--shards")) args.shards = static_cast<std::uint32_t>(std::stoul(next()));
+    else if (!std::strcmp(argv[i], "--threads") || !std::strcmp(argv[i], "--workers")) args.workers = static_cast<std::uint32_t>(std::stoul(next()));
+    else if (!std::strcmp(argv[i], "--policy")) args.policy = next();
+    else if (!std::strcmp(argv[i], "--cache-mb")) args.cache_mb = std::stoull(next());
+    else if (!std::strcmp(argv[i], "--assoc")) args.assoc = static_cast<std::uint32_t>(std::stoul(next()));
+    else if (!std::strcmp(argv[i], "--train-requests")) args.train_requests = std::stoull(next());
+    else if (!std::strcmp(argv[i], "--train-benchmark")) args.train_benchmark = next();
+    else if (!std::strcmp(argv[i], "--seed")) args.seed = std::stoull(next());
+    else if (!std::strcmp(argv[i], "--adapt")) args.adapt = true;
+    else if (!std::strcmp(argv[i], "--sample-every")) args.sample_every = static_cast<std::uint32_t>(std::stoul(next()));
+    else if (!std::strcmp(argv[i], "--stats-every")) args.stats_every = static_cast<unsigned>(std::stoul(next()));
+    else if (!std::strcmp(argv[i], "--quiet")) args.quiet = true;
+    else throw std::invalid_argument(std::string("unknown flag: ") + argv[i]);
+  }
+  return args;
+}
+
+std::unique_ptr<cache::ReplacementPolicy> make_classic(const std::string& name) {
+  if (name == "lru") return std::make_unique<cache::LruPolicy>();
+  if (name == "fifo") return std::make_unique<cache::FifoPolicy>();
+  if (name == "random") return std::make_unique<cache::RandomPolicy>();
+  if (name == "lfu") return std::make_unique<cache::LfuPolicy>();
+  if (name == "clock") return std::make_unique<cache::ClockPolicy>();
+  throw std::invalid_argument("unknown policy: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  try {
+    args = parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+
+  runtime::RuntimeConfig rcfg;
+  rcfg.cache.capacity_bytes = args.cache_mb << 20;
+  rcfg.cache.associativity = args.assoc;
+  rcfg.shards = args.shards;
+  rcfg.adapt = args.adapt;
+  rcfg.sample_every = args.sample_every;
+
+  std::unique_ptr<runtime::Runtime> rt;
+  try {
+    if (args.policy.rfind("gmm", 0) == 0) {
+      if (!args.quiet) {
+        std::cout << "training GMM on " << args.train_requests << " "
+                  << args.train_benchmark << " requests..." << std::endl;
+      }
+      const trace::Trace workload = trace::generate(
+          trace::benchmark_from_string(args.train_benchmark),
+          args.train_requests, args.seed);
+      core::PolicyEngineConfig pe_cfg;
+      core::PolicyEngine engine(pe_cfg);
+      engine.train(workload);
+      const double threshold =
+          core::threshold_at_percentile(engine.training_scores(), 0.05);
+      const cache::GmmStrategy strategy =
+          args.policy == "gmm-caching"    ? cache::GmmStrategy::kCachingOnly
+          : args.policy == "gmm-eviction" ? cache::GmmStrategy::kEvictionOnly
+                                          : cache::GmmStrategy::kCachingEviction;
+      rt = std::make_unique<runtime::Runtime>(
+          rcfg, engine.model(),
+          cache::GmmPolicyConfig{.strategy = strategy, .threshold = threshold});
+    } else {
+      rt = std::make_unique<runtime::Runtime>(rcfg, *make_classic(args.policy));
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  rt->start();  // background drift adaptation (no-op without --adapt)
+
+  net::ServerConfig scfg;
+  scfg.port = args.port;
+  scfg.bind_any = args.bind_any;
+  scfg.workers = args.workers;
+  net::Server server(*rt, scfg);
+  try {
+    server.start();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
+  // Announce the resolved port on a parseable line (CI greps for it).
+  std::cout << "icgmm_serve listening on port " << server.port()
+            << " (policy " << rt->policy_name() << ", shards " << args.shards
+            << ", workers " << args.workers
+            << (args.adapt ? ", adaptive" : "") << ")" << std::endl;
+
+  std::uint64_t last_requests = 0;
+  unsigned since_stats = 0;
+  while (!g_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    if (args.stats_every == 0 || args.quiet) continue;
+    if (++since_stats < args.stats_every * 4) continue;
+    since_stats = 0;
+    const net::ServerStats ss = server.stats();
+    const runtime::RuntimeSnapshot snap = rt->snapshot();
+    std::cout << "stats: conns=" << ss.connections_accepted - ss.connections_closed
+              << " frames=" << ss.frames_served
+              << " requests=" << ss.requests_served
+              << " (+" << ss.requests_served - last_requests << ")"
+              << " hit_rate=" << snap.merged.hit_rate()
+              << " inferences=" << snap.inferences
+              << " model_v=" << snap.model_version << std::endl;
+    last_requests = ss.requests_served;
+  }
+
+  std::cout << "shutting down..." << std::endl;
+  server.stop();
+  rt->stop();
+  const net::ServerStats ss = server.stats();
+  const runtime::RuntimeSnapshot snap = rt->snapshot();
+  std::cout << "served " << ss.requests_served << " requests in "
+            << ss.frames_served << " frames over "
+            << ss.connections_accepted << " connections ("
+            << ss.protocol_errors << " protocol errors, hit rate "
+            << snap.merged.hit_rate() << ")" << std::endl;
+  return 0;
+}
