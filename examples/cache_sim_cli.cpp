@@ -8,11 +8,15 @@
 //                           gmm-caching|gmm-eviction|gmm-both]
 //                 [--cache-mb MB] [--assoc WAYS] [--seed S]
 //                 [--threads T] [--shards S]
+//                 [--front-cache] [--front-capacity M] [--front-replicas N]
+//                 [--front-promote K]
 //
 // Every run is served through the concurrent runtime (src/runtime/);
 // --threads 1 --shards 1 (the default) is bit-identical to the
 // single-threaded simulator, higher values exercise the sharded serving
-// path and report aggregate throughput.
+// path and report aggregate throughput. --front-cache enables the
+// replicated hot-page read-front (docs/ARCHITECTURE.md) — the tuning
+// flags imply it.
 //
 // Examples:
 //   cache_sim_cli --benchmark hashmap --policy gmm-both --cache-mb 64
@@ -44,6 +48,7 @@ struct Args {
   std::uint64_t seed = 7;
   std::uint32_t threads = 1;
   std::uint32_t shards = 1;
+  runtime::FrontCacheConfig front;  // off unless a --front-* flag is given
 };
 
 Args parse(int argc, char** argv) {
@@ -62,6 +67,10 @@ Args parse(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--seed")) args.seed = std::stoull(next());
     else if (!std::strcmp(argv[i], "--threads")) args.threads = static_cast<std::uint32_t>(std::stoul(next()));
     else if (!std::strcmp(argv[i], "--shards")) args.shards = static_cast<std::uint32_t>(std::stoul(next()));
+    else if (!std::strcmp(argv[i], "--front-cache")) args.front.enabled = true;
+    else if (!std::strcmp(argv[i], "--front-capacity")) { args.front.capacity = static_cast<std::uint32_t>(std::stoul(next())); args.front.enabled = true; }
+    else if (!std::strcmp(argv[i], "--front-replicas")) { args.front.replicas = static_cast<std::uint32_t>(std::stoul(next())); args.front.enabled = true; }
+    else if (!std::strcmp(argv[i], "--front-promote")) { args.front.promote_after = static_cast<std::uint32_t>(std::stoul(next())); args.front.enabled = true; }
     else throw std::invalid_argument(std::string("unknown flag: ") + argv[i]);
   }
   return args;
@@ -94,6 +103,10 @@ int main(int argc, char** argv) {
   runtime::RuntimeConfig rcfg;
   rcfg.cache = cfg.engine.cache;
   rcfg.shards = args.shards;
+  rcfg.front = args.front;
+  if (rcfg.front.enabled && rcfg.front.replicas == 0) {
+    rcfg.front.replicas = args.threads;  // one replica per serving thread
+  }
   runtime::ReplayConfig replay_cfg;
   replay_cfg.threads = args.threads;
   replay_cfg.latency = cfg.engine.latency;
@@ -156,6 +169,20 @@ int main(int argc, char** argv) {
   report.add_row({"miss rate", Table::fmt_percent(result.miss_rate())});
   report.add_row({"AMAT", Table::fmt_micros(result.amat_us())});
   report.add_row({"hits", std::to_string(result.stats.hits)});
+  if (rcfg.front.enabled) {
+    // Front hits are already inside "hits"; break them out so the
+    // replication win is visible. Identity: front + shard hits + misses
+    // == accesses.
+    const runtime::RuntimeSnapshot snap = rt->snapshot();
+    report.add_row({"front-cache hits", std::to_string(snap.front_hits)});
+    report.add_row(
+        {"front-cache hit rate",
+         Table::fmt_percent(
+             result.stats.accesses == 0
+                 ? 0.0
+                 : static_cast<double>(snap.front_hits) /
+                       static_cast<double>(result.stats.accesses))});
+  }
   report.add_row({"read misses", std::to_string(result.stats.read_misses)});
   report.add_row({"write misses", std::to_string(result.stats.write_misses)});
   report.add_row({"bypasses", std::to_string(result.stats.bypasses)});

@@ -1,0 +1,177 @@
+#include "runtime/front_cache.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+
+namespace icgmm::runtime {
+
+namespace {
+
+constexpr bool is_pow2(std::uint64_t v) noexcept {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+
+/// Sketch counters saturate here; aging halves them back down.
+constexpr std::uint32_t kSketchMax = 1u << 20;
+
+std::uint64_t round_up_pow2(std::uint64_t v) noexcept {
+  std::uint64_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+void FrontCacheConfig::validate() const {
+  if (!is_pow2(stripes)) {
+    throw std::invalid_argument(
+        "FrontCacheConfig: stripes must be a power of two");
+  }
+  if (capacity == 0) {
+    throw std::invalid_argument("FrontCacheConfig: capacity must be positive");
+  }
+  if (promote_after == 0) {
+    throw std::invalid_argument(
+        "FrontCacheConfig: promote_after must be positive");
+  }
+  if (sketch_aging == 0) {
+    throw std::invalid_argument(
+        "FrontCacheConfig: sketch_aging must be positive");
+  }
+}
+
+FrontCache::FrontCache(FrontCacheConfig cfg) : cfg_(cfg) {
+  cfg_.validate();
+  if (cfg_.replicas == 0) {
+    cfg_.replicas = std::clamp(std::thread::hardware_concurrency(), 1u, 64u);
+  }
+  stripe_mask_ = cfg_.stripes - 1;
+  stripes_ = std::vector<std::atomic<std::uint64_t>>(cfg_.stripes);
+  // 4x capacity sketch counters keep unrelated pages from sharing a
+  // counter too often (depth-1 count-min; collisions only over-promote).
+  const std::uint64_t sketch_size =
+      round_up_pow2(static_cast<std::uint64_t>(cfg_.capacity) * 4);
+  sketch_mask_ = sketch_size - 1;
+  replicas_.reserve(cfg_.replicas);
+  for (std::uint32_t i = 0; i < cfg_.replicas; ++i) {
+    auto r = std::make_unique<Replica>();
+    r->slots.resize(cfg_.capacity);
+    r->sketch.resize(sketch_size, 0);
+    replicas_.push_back(std::move(r));
+  }
+}
+
+FrontCache::Replica& FrontCache::caller_replica() noexcept {
+  // Process-wide round-robin thread numbering: with replicas >= serving
+  // threads every thread gets a private replica; beyond that, threads
+  // share (safely, via the try_lock) instead of failing.
+  static std::atomic<std::uint32_t> next_thread{0};
+  thread_local const std::uint32_t thread_number =
+      next_thread.fetch_add(1, std::memory_order_relaxed);
+  return *replicas_[thread_number % replicas_.size()];
+}
+
+namespace {
+
+/// Try-only acquisition of a replica's busy flag; never blocks or spins.
+class ReplicaGuard {
+ public:
+  explicit ReplicaGuard(std::atomic_flag& busy) noexcept
+      : busy_(busy), owned_(!busy.test_and_set(std::memory_order_acquire)) {}
+  ~ReplicaGuard() {
+    if (owned_) busy_.clear(std::memory_order_release);
+  }
+  ReplicaGuard(const ReplicaGuard&) = delete;
+  ReplicaGuard& operator=(const ReplicaGuard&) = delete;
+  bool owns() const noexcept { return owned_; }
+
+ private:
+  std::atomic_flag& busy_;
+  bool owned_;
+};
+
+/// Counter bump without an RMW: the counter is only written while the
+/// replica's busy flag is held, so load+store cannot lose an update.
+void bump(std::atomic<std::uint64_t>& counter) noexcept {
+  counter.store(counter.load(std::memory_order_relaxed) + 1,
+                std::memory_order_relaxed);
+}
+
+}  // namespace
+
+FrontCache::ReadProbe FrontCache::probe_read(PageIndex page) noexcept {
+  Replica& r = caller_replica();
+  const ReplicaGuard guard(r.busy);
+  if (!guard.owns()) return {};  // contended replica: plain front miss
+  const std::uint64_t h = mix_page(page);
+  const std::uint64_t stripe =
+      stripe_of_hash(h).load(std::memory_order_acquire);
+  Entry& e = r.slots[entry_slot(h)];
+  if (e.valid && e.page == page) {
+    if (e.stamp == stripe) {
+      bump(r.hits);
+      return {.outcome = ReadOutcome::kHit, .stamp = stripe};
+    }
+    // A write (or invalidate_all) moved the stripe past the fill stamp:
+    // the entry may predate newer data, drop it.
+    e.valid = false;
+    bump(r.invalidations);
+  }
+  // Front miss: sketch-count the page under the same lock, so the
+  // common shard-bound read pays exactly one replica touch.
+  if (++r.reads_since_aging >= cfg_.sketch_aging) {
+    for (std::uint32_t& c : r.sketch) c >>= 1;
+    r.reads_since_aging = 0;
+  }
+  std::uint32_t& count = r.sketch[sketch_slot(h)];
+  if (count < kSketchMax) ++count;
+  return {.outcome = count >= cfg_.promote_after
+                         ? ReadOutcome::kMissPromotable
+                         : ReadOutcome::kMiss,
+          .stamp = stripe};
+}
+
+void FrontCache::promote(PageIndex page, std::uint64_t stamp) noexcept {
+  // Seqlock fill check: the stamp must have been stable (no write in
+  // flight anywhere in the stripe at the probe) and unchanged across
+  // the shard read, otherwise the residency just observed may already
+  // be stale.
+  if (!stamp_stable(stamp)) return;
+  Replica& r = caller_replica();
+  const ReplicaGuard guard(r.busy);
+  if (!guard.owns()) return;
+  const std::uint64_t h = mix_page(page);
+  if (stripe_of_hash(h).load(std::memory_order_acquire) != stamp) return;
+  r.slots[entry_slot(h)] = {.page = page, .stamp = stamp, .valid = true};
+  bump(r.fills);
+}
+
+void FrontCache::invalidate_all() noexcept {
+  // Bumping every stripe's version moves it past any stamp an entry can
+  // hold (writer counts are untouched); entries die lazily on next
+  // lookup. Version monotonicity makes revalidation impossible.
+  for (std::atomic<std::uint64_t>& s : stripes_) {
+    s.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+void FrontCache::clear_stats() noexcept {
+  for (const std::unique_ptr<Replica>& r : replicas_) {
+    r->hits.store(0, std::memory_order_relaxed);
+    r->fills.store(0, std::memory_order_relaxed);
+    r->invalidations.store(0, std::memory_order_relaxed);
+  }
+}
+
+FrontCacheStats FrontCache::stats() const noexcept {
+  FrontCacheStats total;
+  for (const std::unique_ptr<Replica>& r : replicas_) {
+    total.hits += r->hits.load(std::memory_order_relaxed);
+    total.fills += r->fills.load(std::memory_order_relaxed);
+    total.invalidations += r->invalidations.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace icgmm::runtime

@@ -1,0 +1,231 @@
+// Replicated hot-page read-front for the sharded serving runtime.
+//
+// The ShardRouter spreads *distinct* pages uniformly, but it cannot split
+// one page: every access to a single ultra-hot page lands on the same
+// shard and serializes on that shard's mutex no matter how many shards or
+// serving threads exist. The FrontCache absorbs exactly that head: N
+// independent per-thread replicas each hold the top-M hottest pages, so a
+// read of a replicated page is served from the caller's own replica — no
+// shard mutex, no tag-array walk, no policy update — the "tiny tier that
+// never takes the slow path" the CXL characterization papers motivate.
+//
+// Structure (all sizes are config knobs):
+//
+//   replicas_[tid % N]  — per-thread replica: M direct-mapped entries
+//                         {page, stamp} plus a small frequency sketch;
+//                         only ever touched under a try-only busy flag
+//                         that is private to (almost always) one thread.
+//   stripes_[h(page)]   — shared coherence stripes, read-mostly. Each
+//                         stripe word is split: the high 16 bits count
+//                         writes in flight anywhere in the stripe, the
+//                         low 48 bits are a version that bumps once per
+//                         completed write. "Stable" = writer count 0.
+//
+// Promotion: every read that had to go to the owning shard bumps the
+// caller replica's sketch counter for the page; once the counter reaches
+// `promote_after` and the page was observed resident, the replica adopts
+// the page. Counters age by halving so yesterday's hot set decays.
+//
+// Coherence (seqlock-style discipline, write-invalidate):
+//   writer:  stripe += kWriterUnit  ->  shard write  ->
+//            stripe += 1 - kWriterUnit   (writer count back down,
+//                                         version up)
+//   filler:  stamp = stripe  ->  shard read   ->  fill only if stripe
+//            still == stamp and stamp is stable (writer count 0)
+//   reader:  serve only if stripe still == entry.stamp
+// A single parity bit would NOT suffice here: two overlapping writers
+// to one stripe would make it look stable mid-write; the counter field
+// keeps the stripe unstable until the last writer finishes, and their
+// completions leave the version moved. The version is 48 bits and only
+// ever grows, so revalidating a stale entry would take 2^48 completed
+// writes to one stripe between two probes — not a real ABA risk at any
+// achievable request rate. The shard mutex provides the
+// happens-before edges this argument leans on: a filler whose shard read
+// saw a writer's data also sees that writer's stripe bump (bump is
+// sequenced before the writer's shard lock, and the shard mutex orders
+// the critical sections), so it refuses to fill; conversely any reader
+// ordered after a completed write observes the bumped stripe and misses.
+// Invalidation is conservative — spurious front misses are possible,
+// stale front hits are not.
+//
+// Stats: front hits are counted here, distinctly from shard hits. The
+// runtime folds them into merged CacheStats as accesses+hits, so the
+// hits + misses == accesses identity is preserved and
+// front_hits + shard_hits + shard_misses == total accesses at quiescence.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "runtime/shard_router.hpp"
+
+namespace icgmm::runtime {
+
+struct FrontCacheConfig {
+  /// Master switch. Off (the default) means the runtime builds no front
+  /// cache at all and serves bit-identically to a runtime without one.
+  bool enabled = false;
+  /// Replica count; 0 = one per hardware thread (clamped to [1, 64]).
+  /// Threads map to replicas round-robin on first use, so sizing this at
+  /// or above the serving thread count keeps every replica single-owner.
+  std::uint32_t replicas = 0;
+  /// Direct-mapped entries per replica — the "top-M" hot set.
+  std::uint32_t capacity = 16;
+  /// Sketch count a page must reach (while observed resident) before a
+  /// replica adopts it. 1 = promote on first resident read.
+  std::uint32_t promote_after = 8;
+  /// Coherence stripes (power of two). More stripes = fewer unrelated
+  /// writes invalidating a hot entry by hash collision.
+  std::uint32_t stripes = 256;
+  /// Halve the sketch counters every N observed reads per replica, so the
+  /// hot set tracks workload drift.
+  std::uint32_t sketch_aging = 8192;
+
+  /// Throws std::invalid_argument on a non-power-of-two stripe count or a
+  /// zero capacity/promote_after/sketch_aging.
+  void validate() const;
+};
+
+/// Counters at quiescence; mid-flight reads are monitoring-grade, same
+/// contract as ShardedCache::merged_stats().
+struct FrontCacheStats {
+  std::uint64_t hits = 0;           ///< reads served by a replica
+  std::uint64_t fills = 0;          ///< promotions into a replica
+  std::uint64_t invalidations = 0;  ///< entries dropped as stale on lookup
+};
+
+class FrontCache {
+ public:
+  /// Stripe-word layout: writes-in-flight count above this bit, version
+  /// below it (see the coherence notes in the file comment).
+  static constexpr std::uint64_t kWriterUnit = 1ull << 48;
+  /// True when no write is in flight in the stamp's stripe — the only
+  /// kind of stamp a fill may be based on.
+  static constexpr bool stamp_stable(std::uint64_t stamp) noexcept {
+    return (stamp & ~(kWriterUnit - 1)) == 0;
+  }
+
+  explicit FrontCache(FrontCacheConfig cfg);
+
+  FrontCache(const FrontCache&) = delete;
+  FrontCache& operator=(const FrontCache&) = delete;
+
+  const FrontCacheConfig& config() const noexcept { return cfg_; }
+  std::uint32_t replicas() const noexcept {
+    return static_cast<std::uint32_t>(replicas_.size());
+  }
+
+  enum class ReadOutcome : std::uint8_t {
+    kHit,             ///< served by the caller's replica (hit counted)
+    kMiss,            ///< go to the owning shard
+    kMissPromotable,  ///< go to the shard; promote() if found resident
+  };
+  struct ReadProbe {
+    ReadOutcome outcome = ReadOutcome::kMiss;
+    /// Coherence stamp taken under the probe, *before* the shard read a
+    /// promotion would be based on (see the seqlock discipline above).
+    std::uint64_t stamp = 0;
+  };
+
+  /// The one per-read touch: serves the read from the caller's replica
+  /// if it can (kHit), otherwise sketch-counts the page and tells the
+  /// caller whether it qualifies for promotion after the shard read.
+  /// Never blocks: a contended replica is simply a front miss.
+  ReadProbe probe_read(PageIndex page) noexcept;
+
+  /// Adopts `page` into the caller's replica after a shard read that
+  /// found it resident. `stamp` must be the probe's; promotion is
+  /// refused when any write moved the stripe since (or was in flight at
+  /// the probe), so a stale residency observation can never be adopted.
+  void promote(PageIndex page, std::uint64_t stamp) noexcept;
+
+  /// Marks a write to `page` in flight for its whole shard access: the
+  /// stripe's writer count goes up on construction; destruction brings
+  /// it back down and bumps the version. Overlapping guards on one
+  /// stripe keep it unstable until the last one is destroyed.
+  class WriteGuard {
+   public:
+    explicit WriteGuard(std::atomic<std::uint64_t>& stripe) noexcept
+        : stripe_(stripe) {
+      stripe_.fetch_add(kWriterUnit, std::memory_order_acq_rel);
+    }
+    ~WriteGuard() {
+      stripe_.fetch_add(std::uint64_t{1} - kWriterUnit,
+                        std::memory_order_release);
+    }
+    WriteGuard(const WriteGuard&) = delete;
+    WriteGuard& operator=(const WriteGuard&) = delete;
+
+   private:
+    std::atomic<std::uint64_t>& stripe_;
+  };
+
+  [[nodiscard]] WriteGuard write_guard(PageIndex page) noexcept {
+    return WriteGuard(stripe_of_hash(mix_page(page)));
+  }
+
+  /// Drops every entry in every replica (lazily, by advancing all stripes
+  /// past any recorded stamp). Used on FLUSH/clear_stats so counters and
+  /// contents restart from a known point.
+  void invalidate_all() noexcept;
+
+  /// Zeroes the hit/fill/invalidation counters; entries are kept.
+  void clear_stats() noexcept;
+
+  FrontCacheStats stats() const noexcept;
+
+ private:
+  struct Entry {
+    PageIndex page = 0;
+    std::uint64_t stamp = 0;
+    bool valid = false;
+  };
+
+  // One replica per (expected) serving thread. `busy` is a try-only
+  // gate (never spun on): effectively single-owner when replicas >=
+  // threads, and it keeps oversubscribed thread counts race-free
+  // instead of corrupting the plain arrays. One test_and_set plus one
+  // release store is the entire synchronization cost of a probe — a
+  // mutex would pay two RMWs even uncontended.
+  struct alignas(64) Replica {
+    std::atomic_flag busy;
+    std::vector<Entry> slots;
+    std::vector<std::uint32_t> sketch;
+    std::uint32_t reads_since_aging = 0;  // guarded by busy
+    // Mutated only while holding `busy`, via relaxed load+store (no RMW
+    // on the hot path); atomic so stats() reads race-free from any
+    // thread. clear_stats() zeroes them from outside the flag — it races
+    // an in-flight bump only mid-traffic, same monitoring-grade contract
+    // as ShardedCache's mirrors.
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> fills{0};
+    std::atomic<std::uint64_t> invalidations{0};
+  };
+
+  Replica& caller_replica() noexcept;
+
+  // All index derivations share one splitmix evaluation of the page.
+  std::atomic<std::uint64_t>& stripe_of_hash(std::uint64_t h) noexcept {
+    return stripes_[h & stripe_mask_];
+  }
+  std::size_t entry_slot(std::uint64_t h) const noexcept {
+    // Lemire multiply-shift over the high mixed bits (the low bits pick
+    // the stripe; reusing them would correlate slot and stripe).
+    return static_cast<std::size_t>(
+        (static_cast<__uint128_t>(h >> 16) * cfg_.capacity) >> 48);
+  }
+  std::size_t sketch_slot(std::uint64_t h) const noexcept {
+    return h >> 32 & sketch_mask_;
+  }
+
+  FrontCacheConfig cfg_;
+  std::uint64_t stripe_mask_ = 0;
+  std::uint64_t sketch_mask_ = 0;
+  std::vector<std::atomic<std::uint64_t>> stripes_;
+  std::vector<std::unique_ptr<Replica>> replicas_;
+};
+
+}  // namespace icgmm::runtime

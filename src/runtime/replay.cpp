@@ -90,7 +90,9 @@ ReplayResult replay_trace(Runtime& rt, const trace::Trace& trace,
   }
   const auto t1 = std::chrono::steady_clock::now();
 
-  result.run.stats = rt.cache().merged_stats();
+  // Runtime-level merge: shard counters plus front-cache hits, so a
+  // front-cache-enabled replay reports the same accesses total.
+  result.run.stats = rt.merged_stats();
   for (const sim::LatencyModel& lm : latency) {
     result.run.requests += lm.requests();
     result.run.latency.hit_ns += lm.breakdown().hit_ns;

@@ -10,6 +10,7 @@ Runtime::Runtime(RuntimeConfig cfg, const cache::ReplacementPolicy& prototype)
   sharded_ = std::make_unique<ShardedCache>(
       ShardedCacheConfig{.cache = cfg_.cache, .shards = cfg_.shards},
       prototype);
+  if (cfg_.front.enabled) front_ = std::make_unique<FrontCache>(cfg_.front);
 }
 
 Runtime::Runtime(RuntimeConfig cfg, gmm::GaussianMixture model,
@@ -32,6 +33,7 @@ Runtime::Runtime(RuntimeConfig cfg, gmm::GaussianMixture model,
         batchers_.push_back(std::move(batcher));
         return policy;
       });
+  if (cfg_.front.enabled) front_ = std::make_unique<FrontCache>(cfg_.front);
   if (cfg_.adapt) {
     refresher_ = std::make_unique<ModelRefresher>(*slot_, cfg_.refresher);
   }
@@ -49,8 +51,39 @@ void Runtime::stop() {
 
 cache::AccessResult Runtime::access(PageIndex page, Timestamp ts,
                                     bool is_write) {
-  const cache::AccessResult result = sharded_->access(
-      {.page = page, .timestamp = ts, .is_write = is_write});
+  cache::AccessResult result;
+  if (front_ && !is_write) {
+    const FrontCache::ReadProbe probe = front_->probe_read(page);
+    if (probe.outcome == FrontCache::ReadOutcome::kHit) {
+      // Served by the caller's replica: DRAM-speed hit, no shard mutex,
+      // no policy update. The hit is counted by the front cache and
+      // folded into merged_stats(); the drift sampler still sees the
+      // access so the model's view of the stream stays unbiased.
+      maybe_sample(page, ts);
+      return {.hit = true, .is_write = false};
+    }
+    result = sharded_->access({.page = page, .timestamp = ts,
+                               .is_write = false});
+    if (probe.outcome == FrontCache::ReadOutcome::kMissPromotable &&
+        result.hit) {
+      front_->promote(page, probe.stamp);
+    }
+  } else if (front_) {
+    // Write-invalidate: the stripe is unstable (writer count raised) for
+    // the whole shard write, so no replica can fill or serve this page
+    // across it.
+    const FrontCache::WriteGuard guard = front_->write_guard(page);
+    result = sharded_->access({.page = page, .timestamp = ts,
+                               .is_write = true});
+  } else {
+    result = sharded_->access(
+        {.page = page, .timestamp = ts, .is_write = is_write});
+  }
+  maybe_sample(page, ts);
+  return result;
+}
+
+void Runtime::maybe_sample(PageIndex page, Timestamp ts) {
   if (refresher_ && refresher_->running()) {
     // 1-in-N systematic sampling keeps the adapter fed with an unbiased
     // thinning of the live access stream. The clock is thread-local: a
@@ -66,7 +99,6 @@ cache::AccessResult Runtime::access(PageIndex page, Timestamp ts,
       refresher_->submit({&sample, 1});
     }
   }
-  return result;
 }
 
 void Runtime::apply_batch(std::span<const Access> batch,
@@ -92,9 +124,21 @@ std::uint64_t Runtime::inferences() const {
   return total;
 }
 
+cache::CacheStats Runtime::merged_stats() const noexcept {
+  cache::CacheStats merged = sharded_->merged_stats();
+  if (front_) {
+    // A front hit is an access AND a hit the shards never saw; adding it
+    // to both counters preserves hits + misses == accesses.
+    const std::uint64_t front_hits = front_->stats().hits;
+    merged.accesses += front_hits;
+    merged.hits += front_hits;
+  }
+  return merged;
+}
+
 RuntimeSnapshot Runtime::snapshot() const {
   RuntimeSnapshot snap;
-  snap.merged = sharded_->merged_stats();
+  snap.merged = merged_stats();
   snap.per_shard.reserve(sharded_->shards());
   for (std::uint32_t i = 0; i < sharded_->shards(); ++i) {
     snap.per_shard.push_back(sharded_->shard_stats(i));
@@ -111,9 +155,24 @@ RuntimeSnapshot Runtime::snapshot() const {
     snap.samples_observed = refresher_->observed();
     snap.samples_dropped = refresher_->dropped();
   }
+  if (front_) {
+    const FrontCacheStats fs = front_->stats();
+    snap.front_hits = fs.hits;
+    snap.front_fills = fs.fills;
+    snap.front_invalidations = fs.invalidations;
+  }
   return snap;
 }
 
-void Runtime::clear_stats() { sharded_->clear_stats(); }
+void Runtime::clear_stats() {
+  sharded_->clear_stats();
+  if (front_) {
+    // Epoch-based invalidation on flush: entries promoted before the
+    // clear die, so post-clear counters describe only post-clear serving
+    // and the stats identities stay exact.
+    front_->invalidate_all();
+    front_->clear_stats();
+  }
+}
 
 }  // namespace icgmm::runtime

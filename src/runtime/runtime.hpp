@@ -1,7 +1,10 @@
 // The embeddable serving runtime: the thread-safe facade wrapping the
 // single-threaded ICGMM pieces for concurrent traffic.
 //
-//   requests --> ShardRouter --> per-shard {mutex, SetAssociativeCache,
+//   requests --> FrontCache (optional hot-page read replicas)
+//                    |
+//                    v (front miss / write)
+//                ShardRouter --> per-shard {mutex, SetAssociativeCache,
 //                                           ReplacementPolicy clone,
 //                                           InferenceBatcher}
 //                                   |                       ^
@@ -29,6 +32,7 @@
 #include <vector>
 
 #include "cache/policies/gmm_policy.hpp"
+#include "runtime/front_cache.hpp"
 #include "runtime/inference_batcher.hpp"
 #include "runtime/model_refresher.hpp"
 #include "runtime/sharded_cache.hpp"
@@ -44,6 +48,9 @@ struct RuntimeConfig {
   /// 1-in-N access sampling into the refresher (1 = every request).
   std::uint32_t sample_every = 64;
   ModelRefresherConfig refresher;
+  /// Replicated hot-page read-front (default off = bit-identical serving
+  /// to a runtime without one; see front_cache.hpp).
+  FrontCacheConfig front;
 };
 
 /// One serving request — the unit both the trace replayer and the network
@@ -56,7 +63,11 @@ struct Access {
 
 /// Coherent observability snapshot (merged lock-free; per-shard locked).
 struct RuntimeSnapshot {
+  /// Includes front-cache hits (in both accesses and hits), so the
+  /// hits + misses == accesses identity holds over the whole runtime.
   cache::CacheStats merged;
+  /// Shard-authoritative stats; front hits never reach a shard, so
+  /// sum(per_shard.accesses) + front_hits == merged.accesses.
   std::vector<cache::CacheStats> per_shard;
   std::uint64_t inferences = 0;       ///< GMM scorings across shards
   std::uint64_t score_batches = 0;    ///< batched span scorings
@@ -64,6 +75,9 @@ struct RuntimeSnapshot {
   std::uint64_t models_published = 0; ///< refresher publishes
   std::uint64_t samples_observed = 0;
   std::uint64_t samples_dropped = 0;
+  std::uint64_t front_hits = 0;           ///< reads served by the front cache
+  std::uint64_t front_fills = 0;          ///< front-cache promotions
+  std::uint64_t front_invalidations = 0;  ///< stale front entries dropped
 };
 
 class Runtime {
@@ -114,6 +128,11 @@ class Runtime {
   /// Merged + per-shard statistics and model/refresher counters.
   RuntimeSnapshot snapshot() const;
 
+  /// Merged CacheStats over the whole runtime: the shards' lock-free
+  /// merged counters plus front-cache hits (counted as accesses + hits).
+  /// With the front cache off this is exactly cache().merged_stats().
+  cache::CacheStats merged_stats() const noexcept;
+
   /// Total GMM inferences across shard policies (0 in prototype mode
   /// unless the prototype was a GmmPolicy).
   std::uint64_t inferences() const;
@@ -128,13 +147,18 @@ class Runtime {
   const ModelSlot* model_slot() const noexcept { return slot_.get(); }
   /// Null unless GMM mode with cfg.adapt.
   ModelRefresher* refresher() noexcept { return refresher_.get(); }
+  /// Null unless cfg.front.enabled.
+  const FrontCache* front_cache() const noexcept { return front_.get(); }
 
  private:
+  void maybe_sample(PageIndex page, Timestamp ts);
+
   RuntimeConfig cfg_;
   std::string policy_name_;
   std::unique_ptr<ModelSlot> slot_;                       // GMM mode only
   std::vector<std::unique_ptr<InferenceBatcher>> batchers_;  // one per shard
   std::unique_ptr<ShardedCache> sharded_;
+  std::unique_ptr<FrontCache> front_;                     // cfg.front.enabled
   std::unique_ptr<ModelRefresher> refresher_;
 };
 

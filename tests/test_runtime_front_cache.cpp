@@ -1,0 +1,468 @@
+// The replicated hot-page read-front (runtime/front_cache.hpp).
+//
+// Three contracts under test, mirroring the design doc in
+// docs/ARCHITECTURE.md:
+//  * default-off bit-identity — a runtime with the front cache disabled
+//    serves exactly like a runtime without one (the apply-batch golden
+//    pattern from test_runtime_apply_batch);
+//  * write-invalidation coherence — after a write to a promoted page, no
+//    read is front-served until the page is re-promoted from a shard
+//    read that post-dates the write (seqlock stripe discipline);
+//  * stats identity — front hits + shard hits + shard misses == total
+//    accesses, single- and multi-threaded (the FrontCacheConcurrency
+//    suite runs under TSan in CI).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "cache/policies/classic.hpp"
+#include "common/rng.hpp"
+#include "runtime/front_cache.hpp"
+#include "runtime/replay.hpp"
+#include "runtime/runtime.hpp"
+#include "test_util.hpp"
+#include "trace/timestamp_transform.hpp"
+#include "trace/zipf.hpp"
+
+namespace icgmm {
+namespace {
+
+void expect_stats_eq(const cache::CacheStats& a, const cache::CacheStats& b) {
+  EXPECT_EQ(a.accesses, b.accesses);
+  EXPECT_EQ(a.hits, b.hits);
+  EXPECT_EQ(a.read_misses, b.read_misses);
+  EXPECT_EQ(a.write_misses, b.write_misses);
+  EXPECT_EQ(a.fills, b.fills);
+  EXPECT_EQ(a.bypasses, b.bypasses);
+  EXPECT_EQ(a.evictions, b.evictions);
+  EXPECT_EQ(a.dirty_evictions, b.dirty_evictions);
+}
+
+/// Sum of the shard-authoritative access counters (what the backing
+/// shards actually served, excluding front hits by construction).
+std::uint64_t shard_accesses(const runtime::RuntimeSnapshot& snap) {
+  std::uint64_t total = 0;
+  for (const cache::CacheStats& s : snap.per_shard) total += s.accesses;
+  return total;
+}
+
+void expect_identity(const runtime::RuntimeSnapshot& snap,
+                     std::uint64_t total_accesses) {
+  EXPECT_EQ(snap.merged.accesses, total_accesses);
+  EXPECT_EQ(snap.merged.hits + snap.merged.misses(), snap.merged.accesses);
+  EXPECT_EQ(shard_accesses(snap) + snap.front_hits, snap.merged.accesses);
+}
+
+// ---------------------------------------------------------------------------
+// FrontCacheUnit — the FrontCache class driven directly (single replica, so
+// the calling test thread always maps to it).
+// ---------------------------------------------------------------------------
+
+runtime::FrontCacheConfig one_replica(std::uint32_t promote_after) {
+  return {.enabled = true,
+          .replicas = 1,
+          .capacity = 8,
+          .promote_after = promote_after,
+          .stripes = 64};
+}
+
+using ReadOutcome = runtime::FrontCache::ReadOutcome;
+
+/// One read probe, discarding the stamp: true iff the replica served it.
+bool front_serves(runtime::FrontCache& fc, PageIndex p) {
+  return fc.probe_read(p).outcome == ReadOutcome::kHit;
+}
+
+TEST(FrontCacheUnit, PromotesAtThresholdAndServesReads) {
+  runtime::FrontCache fc(one_replica(3));
+  const PageIndex p = 42;
+  EXPECT_EQ(fc.probe_read(p).outcome, ReadOutcome::kMiss);
+  EXPECT_EQ(fc.probe_read(p).outcome, ReadOutcome::kMiss);
+  const runtime::FrontCache::ReadProbe third = fc.probe_read(p);
+  EXPECT_EQ(third.outcome, ReadOutcome::kMissPromotable);
+  fc.promote(p, third.stamp);  // the shard read found the page resident
+  EXPECT_TRUE(front_serves(fc, p));
+  EXPECT_TRUE(front_serves(fc, p));
+  const runtime::FrontCacheStats s = fc.stats();
+  EXPECT_EQ(s.hits, 2u);
+  EXPECT_EQ(s.fills, 1u);
+}
+
+TEST(FrontCacheUnit, ProbesAloneNeverServe) {
+  // The caller only promotes after a *resident* shard read; a page whose
+  // probes are never followed by promote() (a page that keeps missing in
+  // the backing shards) stays out of the replica.
+  runtime::FrontCache fc(one_replica(1));
+  const PageIndex p = 9;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_NE(fc.probe_read(p).outcome, ReadOutcome::kHit);
+  }
+  EXPECT_EQ(fc.stats().fills, 0u);
+  EXPECT_EQ(fc.stats().hits, 0u);
+}
+
+TEST(FrontCacheUnit, WriteGuardInvalidatesAPromotedEntry) {
+  runtime::FrontCache fc(one_replica(1));
+  const PageIndex p = 7;
+  fc.promote(p, fc.probe_read(p).stamp);
+  EXPECT_TRUE(front_serves(fc, p));
+  {
+    const runtime::FrontCache::WriteGuard guard = fc.write_guard(p);
+    // Mid-write (stripe odd): the entry must not serve.
+    EXPECT_FALSE(front_serves(fc, p));
+  }
+  // Post-write (stripe even but advanced): still must not serve.
+  EXPECT_FALSE(front_serves(fc, p));
+  EXPECT_GE(fc.stats().invalidations, 1u);
+}
+
+TEST(FrontCacheUnit, PromotionIsRejectedWhenAWriteRacedTheStamp) {
+  runtime::FrontCache fc(one_replica(1));
+  const PageIndex p = 3;
+
+  // Stamp taken, then a full write happens before the promotion: refused.
+  const std::uint64_t pre_write_stamp = fc.probe_read(p).stamp;
+  { const runtime::FrontCache::WriteGuard guard = fc.write_guard(p); }
+  fc.promote(p, pre_write_stamp);
+  EXPECT_FALSE(front_serves(fc, p));
+
+  // Stamp taken while a write is in flight (unstable): refused.
+  std::uint64_t mid_write_stamp = 0;
+  {
+    const runtime::FrontCache::WriteGuard guard = fc.write_guard(p);
+    mid_write_stamp = fc.probe_read(p).stamp;
+    EXPECT_FALSE(runtime::FrontCache::stamp_stable(mid_write_stamp));
+  }
+  fc.promote(p, mid_write_stamp);
+  EXPECT_FALSE(front_serves(fc, p));
+  EXPECT_EQ(fc.stats().fills, 0u);
+
+  // A quiescent stamp promotes.
+  fc.promote(p, fc.probe_read(p).stamp);
+  EXPECT_TRUE(front_serves(fc, p));
+  EXPECT_EQ(fc.stats().fills, 1u);
+}
+
+TEST(FrontCacheUnit, OverlappingWritersKeepTheStripeUnstable) {
+  // Regression test: with a single parity bit, a second writer in the
+  // same stripe would flip it back to "stable" mid-write and a stale
+  // fill/serve could slip in. The writer-count field must keep the
+  // stripe unstable until the LAST overlapping writer finishes.
+  // stripes = 1 forces every page onto one stripe.
+  runtime::FrontCache fc(runtime::FrontCacheConfig{.enabled = true,
+                                                   .replicas = 1,
+                                                   .capacity = 8,
+                                                   .promote_after = 1,
+                                                   .stripes = 1});
+  const PageIndex p = 1;
+  const PageIndex q = 2;
+  fc.promote(p, fc.probe_read(p).stamp);
+  EXPECT_TRUE(front_serves(fc, p));
+  {
+    const runtime::FrontCache::WriteGuard w1 = fc.write_guard(p);
+    {
+      const runtime::FrontCache::WriteGuard w2 = fc.write_guard(q);
+    }  // w2 completes while w1 is still in flight
+    EXPECT_FALSE(front_serves(fc, p));
+    const runtime::FrontCache::ReadProbe probe = fc.probe_read(q);
+    EXPECT_FALSE(runtime::FrontCache::stamp_stable(probe.stamp));
+    fc.promote(q, probe.stamp);
+    EXPECT_FALSE(front_serves(fc, q));
+  }
+  // Only once the last writer is done do fresh promotions serve again.
+  fc.promote(q, fc.probe_read(q).stamp);
+  EXPECT_TRUE(front_serves(fc, q));
+}
+
+TEST(FrontCacheUnit, InvalidateAllDropsEveryEntryAndClearStatsZeroes) {
+  runtime::FrontCache fc(one_replica(1));
+  for (const PageIndex p : {11u, 22u, 33u}) {
+    fc.promote(p, fc.probe_read(p).stamp);
+    EXPECT_TRUE(front_serves(fc, p));
+  }
+  fc.invalidate_all();
+  for (const PageIndex p : {11u, 22u, 33u}) {
+    EXPECT_FALSE(front_serves(fc, p));
+  }
+  EXPECT_GT(fc.stats().hits, 0u);
+  fc.clear_stats();
+  const runtime::FrontCacheStats s = fc.stats();
+  EXPECT_EQ(s.hits, 0u);
+  EXPECT_EQ(s.fills, 0u);
+  EXPECT_EQ(s.invalidations, 0u);
+}
+
+TEST(FrontCacheUnit, ConfigValidation) {
+  EXPECT_THROW(
+      runtime::FrontCache(runtime::FrontCacheConfig{.enabled = true,
+                                                    .stripes = 100}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      runtime::FrontCache(runtime::FrontCacheConfig{.enabled = true,
+                                                    .capacity = 0}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      runtime::FrontCache(runtime::FrontCacheConfig{.enabled = true,
+                                                    .promote_after = 0}),
+      std::invalid_argument);
+  // replicas = 0 resolves to >= 1 replica per hardware thread.
+  runtime::FrontCache fc(runtime::FrontCacheConfig{.enabled = true});
+  EXPECT_GE(fc.replicas(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// FrontCacheOff — a disabled front cache must be invisible: bit-identical
+// serving against the PR 4 apply-batch goldens, no front cache object.
+// ---------------------------------------------------------------------------
+
+TEST(FrontCacheOff, DisabledConfigIsBitIdenticalToNoFrontCache) {
+  const trace::Trace t = test_util::zipf_trace(50000, 2048, 0.9, 0xB1);
+  const runtime::RuntimeConfig plain{.cache = test_util::tiny_cache(64, 8),
+                                     .shards = 2};
+  runtime::RuntimeConfig disabled = plain;
+  disabled.front = {.enabled = false,
+                    .replicas = 4,
+                    .capacity = 32,
+                    .promote_after = 2};  // tuned but OFF: must change nothing
+
+  runtime::Runtime replayed(plain, cache::LruPolicy());
+  runtime::ReplayConfig cfg;
+  cfg.threads = 1;
+  cfg.warmup_fraction = 0.2;
+  const runtime::ReplayResult ref = runtime::replay_trace(replayed, t, cfg);
+
+  // The apply-batch golden pattern: same stream, manual chunking at the
+  // warm-up boundary, against the disabled-front runtime.
+  trace::TimestampTransform transform;
+  std::vector<runtime::Access> stream;
+  stream.reserve(t.size());
+  for (const trace::Record& r : t) {
+    stream.push_back({.page = r.page(),
+                      .timestamp = transform.next(),
+                      .is_write = r.is_write()});
+  }
+  runtime::Runtime batched(disabled, cache::LruPolicy());
+  EXPECT_EQ(batched.front_cache(), nullptr);
+  const std::size_t warmup = t.size() / 5;
+  std::size_t i = 0;
+  while (i < stream.size()) {
+    std::size_t n = std::min<std::size_t>(13, stream.size() - i);
+    if (i < warmup) n = std::min(n, warmup - i);
+    batched.apply_batch({stream.data() + i, n});
+    i += n;
+    if (i == warmup) batched.clear_stats();
+  }
+
+  expect_stats_eq(batched.merged_stats(), ref.run.stats);
+  expect_stats_eq(batched.merged_stats(), batched.cache().merged_stats());
+  const runtime::RuntimeSnapshot snap = batched.snapshot();
+  EXPECT_EQ(snap.front_hits, 0u);
+  EXPECT_EQ(snap.front_fills, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// FrontCacheRuntime — the front cache through the Runtime facade, single
+// threaded so every count is exact.
+// ---------------------------------------------------------------------------
+
+runtime::RuntimeConfig front_on_config(std::uint32_t promote_after,
+                                       std::uint32_t shards = 2) {
+  return {.cache = test_util::tiny_cache(64, 8),
+          .shards = shards,
+          .front = {.enabled = true,
+                    .replicas = 1,
+                    .capacity = 8,
+                    .promote_after = promote_after,
+                    .stripes = 64}};
+}
+
+TEST(FrontCacheRuntime, HotPageReadsBypassTheShardAfterPromotion) {
+  runtime::Runtime rt(front_on_config(/*promote_after=*/4),
+                      cache::LruPolicy());
+  ASSERT_NE(rt.front_cache(), nullptr);
+  const PageIndex hot = 7;
+  for (std::uint64_t i = 0; i < 100; ++i) rt.access(hot, i);
+
+  // Read 1 misses (fills), reads 2-4 hit in the shard and bring the
+  // sketch to promote_after, reads 5..100 are front hits.
+  const runtime::RuntimeSnapshot snap = rt.snapshot();
+  EXPECT_EQ(snap.front_hits, 96u);
+  EXPECT_EQ(snap.front_fills, 1u);
+  EXPECT_EQ(shard_accesses(snap), 4u);
+  expect_identity(snap, 100);
+  EXPECT_EQ(snap.merged.hits, 99u);       // everything but the cold miss
+  EXPECT_EQ(snap.merged.misses(), 1u);
+}
+
+TEST(FrontCacheRuntime, WriteInvalidatesUntilRepromotedFromAPostWriteRead) {
+  runtime::Runtime rt(front_on_config(/*promote_after=*/2),
+                      cache::LruPolicy());
+  const PageIndex hot = 7;
+  Timestamp ts = 0;
+  rt.access(hot, ts++);                   // miss, fill, sketch = 1
+  rt.access(hot, ts++);                   // shard hit, sketch = 2 -> promoted
+  rt.access(hot, ts++);                   // front hit
+  const std::uint64_t h0 = rt.snapshot().front_hits;
+  EXPECT_EQ(h0, 1u);
+
+  rt.access(hot, ts++, /*is_write=*/true);  // invalidates the replica entry
+
+  // The first read after the write must be served by the shard (no stale
+  // front hit), and re-promotes the page with a post-write stamp.
+  const std::uint64_t shard_before = shard_accesses(rt.snapshot());
+  rt.access(hot, ts++);
+  runtime::RuntimeSnapshot snap = rt.snapshot();
+  EXPECT_EQ(snap.front_hits, h0) << "stale front hit served after a write";
+  EXPECT_EQ(shard_accesses(snap), shard_before + 1);
+  EXPECT_GE(snap.front_invalidations, 1u);
+
+  rt.access(hot, ts++);                   // re-promoted: front-served again
+  snap = rt.snapshot();
+  EXPECT_EQ(snap.front_hits, h0 + 1);
+  expect_identity(snap, 6);
+}
+
+TEST(FrontCacheRuntime, ClearStatsInvalidatesEntriesAndZeroesCounters) {
+  runtime::Runtime rt(front_on_config(/*promote_after=*/2),
+                      cache::LruPolicy());
+  const PageIndex hot = 7;
+  Timestamp ts = 0;
+  for (int i = 0; i < 10; ++i) rt.access(hot, ts++);
+  EXPECT_GT(rt.snapshot().front_hits, 0u);
+
+  rt.clear_stats();
+  runtime::RuntimeSnapshot snap = rt.snapshot();
+  EXPECT_EQ(snap.front_hits, 0u);
+  EXPECT_EQ(snap.merged.accesses, 0u);
+
+  // Entries were invalidated: the next read goes to the shard (stats
+  // stay exact — no hit from a pre-clear promotion), then re-promotes.
+  rt.access(hot, ts++);
+  snap = rt.snapshot();
+  EXPECT_EQ(snap.front_hits, 0u);
+  EXPECT_EQ(shard_accesses(snap), 1u);
+  rt.access(hot, ts++);
+  snap = rt.snapshot();
+  EXPECT_EQ(snap.front_hits, 1u);
+  expect_identity(snap, 2);
+}
+
+TEST(FrontCacheRuntime, ZipfReplayKeepsIdentityAndProducesFrontHits) {
+  const trace::Trace t = test_util::zipf_trace(60000, 512, 1.2, 0xF5);
+  runtime::RuntimeConfig off{.cache = test_util::tiny_cache(64, 8),
+                             .shards = 2};
+  runtime::RuntimeConfig on = off;
+  on.front = {.enabled = true,
+              .replicas = 1,
+              .capacity = 16,
+              .promote_after = 8,
+              .stripes = 256};
+
+  runtime::ReplayConfig cfg;
+  cfg.threads = 1;
+  cfg.warmup_fraction = 0.0;
+
+  runtime::Runtime rt_off(off, cache::LruPolicy());
+  const runtime::ReplayResult r_off = runtime::replay_trace(rt_off, t, cfg);
+
+  runtime::Runtime rt_on(on, cache::LruPolicy());
+  const runtime::ReplayResult r_on = runtime::replay_trace(rt_on, t, cfg);
+
+  const runtime::RuntimeSnapshot snap = rt_on.snapshot();
+  EXPECT_GT(snap.front_hits, 0u);
+  expect_identity(snap, t.size());
+  EXPECT_EQ(r_on.run.stats.accesses, t.size());
+  EXPECT_EQ(r_off.run.stats.accesses, t.size());
+  // The front cache reorders which tier serves a hit but must not wreck
+  // the hit rate (hot pages are servable by front or shard either way).
+  EXPECT_NEAR(r_on.run.stats.miss_rate(), r_off.run.stats.miss_rate(), 0.1);
+}
+
+// ---------------------------------------------------------------------------
+// FrontCacheConcurrency — hammered from several threads; the suite runs
+// under TSan in CI, so any replica/stripe race fails the build there.
+// ---------------------------------------------------------------------------
+
+TEST(FrontCacheConcurrency, MixedReadersAndWritersKeepStatsIdentity) {
+  constexpr std::uint32_t kThreads = 4;
+  constexpr std::uint64_t kOpsPerThread = 25000;
+  const runtime::RuntimeConfig cfg{
+      .cache = test_util::tiny_cache(64, 8),
+      .shards = 4,
+      .front = {.enabled = true,
+                .replicas = kThreads + 1,  // workers + the main thread
+                .capacity = 16,
+                .promote_after = 2,
+                .stripes = 64}};
+  runtime::Runtime rt(cfg, cache::LruPolicy());
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (std::uint32_t w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&rt, w] {
+      trace::Zipf zipf(64, 1.3);
+      Rng rng(0xC0FFEE + w);
+      for (std::uint64_t i = 0; i < kOpsPerThread; ++i) {
+        rt.access(zipf.sample(rng), i, /*is_write=*/rng.chance(0.1));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  const runtime::RuntimeSnapshot snap = rt.snapshot();
+  expect_identity(snap, kThreads * kOpsPerThread);
+  expect_stats_eq(snap.merged, rt.merged_stats());
+}
+
+TEST(FrontCacheConcurrency, SingleHotPageWithConcurrentWriterStaysCoherent) {
+  constexpr std::uint64_t kReads = 30000;
+  constexpr std::uint64_t kWrites = 3000;
+  const runtime::RuntimeConfig cfg{
+      .cache = test_util::tiny_cache(16, 4),
+      .shards = 2,
+      .front = {.enabled = true,
+                .replicas = 8,
+                .capacity = 4,
+                .promote_after = 1,
+                .stripes = 16}};
+  runtime::Runtime rt(cfg, cache::LruPolicy());
+  const PageIndex hot = 5;
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&rt, hot] {
+      for (std::uint64_t i = 0; i < kReads; ++i) rt.access(hot, i);
+    });
+  }
+  std::thread writer([&rt, hot] {
+    for (std::uint64_t i = 0; i < kWrites; ++i) {
+      rt.access(hot, i, /*is_write=*/true);
+    }
+  });
+  for (std::thread& r : readers) r.join();
+  writer.join();
+
+  runtime::RuntimeSnapshot snap = rt.snapshot();
+  expect_identity(snap, 3 * kReads + kWrites);
+
+  // Deterministic coherence probe after the join (which establishes the
+  // happens-before edge the seqlock argument needs): a fresh write must
+  // suppress front serving until a post-write shard read re-promotes.
+  const std::uint64_t total = 3 * kReads + kWrites;
+  rt.access(hot, 0, /*is_write=*/true);
+  const std::uint64_t h0 = rt.snapshot().front_hits;
+  rt.access(hot, 1);  // must be shard-served (and re-promote)
+  snap = rt.snapshot();
+  EXPECT_EQ(snap.front_hits, h0);
+  rt.access(hot, 2);  // replica serves again
+  snap = rt.snapshot();
+  EXPECT_EQ(snap.front_hits, h0 + 1);
+  expect_identity(snap, total + 3);
+}
+
+}  // namespace
+}  // namespace icgmm

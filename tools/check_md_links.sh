@@ -1,0 +1,48 @@
+#!/bin/sh
+# Dead-link check for the repo's markdown: every relative link target in
+# an inline []() link must exist on disk. External (http/mailto) and
+# pure-anchor links are skipped; anchors on relative links are stripped
+# before the existence check. Prints every dead link and exits non-zero
+# if any were found.
+#
+# Scope: files we author. SNIPPETS.md and PAPERS.md are retrieved
+# reference dumps whose code samples can contain markdown-looking text,
+# so they are excluded.
+#
+# Usage: sh tools/check_md_links.sh   (from anywhere; resolves the repo
+# root relative to this script)
+set -u
+
+root=$(cd "$(dirname "$0")/.." && pwd) || exit 1
+
+dead=$(
+  find "$root" -name '*.md' \
+      -not -path '*/build*/*' \
+      -not -path '*/.claude/*' \
+      -not -name 'SNIPPETS.md' \
+      -not -name 'PAPERS.md' -print |
+  while IFS= read -r f; do
+    dir=$(dirname "$f")
+    # Inline links: every "](target)" occurrence, one per line.
+    grep -oE '\]\([^)]+\)' "$f" 2>/dev/null |
+    sed -e 's/^](//' -e 's/)$//' |
+    while IFS= read -r link; do
+      case "$link" in
+        http://*|https://*|mailto:*|'#'*) continue ;;
+      esac
+      target=${link%%#*}      # strip an anchor suffix
+      target=${target%% *}    # strip an optional "title" part
+      [ -n "$target" ] || continue
+      if [ ! -e "$dir/$target" ]; then
+        echo "dead link in ${f#"$root"/}: $link"
+      fi
+    done
+  done
+)
+
+if [ -n "$dead" ]; then
+  echo "$dead"
+  exit 1
+fi
+echo "markdown links OK"
+exit 0

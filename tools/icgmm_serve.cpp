@@ -8,6 +8,8 @@
 //               [--cache-mb MB] [--assoc WAYS]
 //               [--train-requests N] [--train-benchmark NAME] [--seed S]
 //               [--adapt] [--sample-every N]
+//               [--front-cache] [--front-capacity M] [--front-replicas N]
+//               [--front-promote K]
 //               [--stats-every SECONDS] [--quiet]
 //
 // GMM policies train at startup on a synthetic workload (default: the
@@ -19,6 +21,11 @@
 // thread, the fully deterministic mode). SIGINT/SIGTERM shut down
 // cleanly: stop accepting, drain, print a final stats line, exit 0.
 // --stats-every prints a one-line serving report periodically.
+//
+// --front-cache puts the replicated hot-page read-front in front of the
+// shards (one replica per worker by default; see docs/ARCHITECTURE.md) —
+// the tuning flags imply it. FLUSH invalidates the replicas, so flushed
+// counters stay exact.
 #include <chrono>
 #include <csignal>
 #include <cstring>
@@ -54,6 +61,7 @@ struct Args {
   std::uint64_t seed = 7;
   bool adapt = false;
   std::uint32_t sample_every = 64;
+  runtime::FrontCacheConfig front;  // off unless a --front-* flag is given
   unsigned stats_every = 10;
   bool quiet = false;
 };
@@ -77,6 +85,10 @@ Args parse(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--seed")) args.seed = std::stoull(next());
     else if (!std::strcmp(argv[i], "--adapt")) args.adapt = true;
     else if (!std::strcmp(argv[i], "--sample-every")) args.sample_every = static_cast<std::uint32_t>(std::stoul(next()));
+    else if (!std::strcmp(argv[i], "--front-cache")) args.front.enabled = true;
+    else if (!std::strcmp(argv[i], "--front-capacity")) { args.front.capacity = static_cast<std::uint32_t>(std::stoul(next())); args.front.enabled = true; }
+    else if (!std::strcmp(argv[i], "--front-replicas")) { args.front.replicas = static_cast<std::uint32_t>(std::stoul(next())); args.front.enabled = true; }
+    else if (!std::strcmp(argv[i], "--front-promote")) { args.front.promote_after = static_cast<std::uint32_t>(std::stoul(next())); args.front.enabled = true; }
     else if (!std::strcmp(argv[i], "--stats-every")) args.stats_every = static_cast<unsigned>(std::stoul(next()));
     else if (!std::strcmp(argv[i], "--quiet")) args.quiet = true;
     else throw std::invalid_argument(std::string("unknown flag: ") + argv[i]);
@@ -110,6 +122,11 @@ int main(int argc, char** argv) {
   rcfg.shards = args.shards;
   rcfg.adapt = args.adapt;
   rcfg.sample_every = args.sample_every;
+  rcfg.front = args.front;
+  if (rcfg.front.enabled && rcfg.front.replicas == 0) {
+    // One replica per worker (the I/O thread serves when workers == 0).
+    rcfg.front.replicas = args.workers > 0 ? args.workers : 1;
+  }
 
   std::unique_ptr<runtime::Runtime> rt;
   try {
@@ -161,7 +178,9 @@ int main(int argc, char** argv) {
   std::cout << "icgmm_serve listening on port " << server.port()
             << " (policy " << rt->policy_name() << ", shards " << args.shards
             << ", workers " << args.workers
-            << (args.adapt ? ", adaptive" : "") << ")" << std::endl;
+            << (args.adapt ? ", adaptive" : "")
+            << (rcfg.front.enabled ? ", front-cache" : "") << ")"
+            << std::endl;
 
   std::uint64_t last_requests = 0;
   unsigned since_stats = 0;
@@ -178,7 +197,9 @@ int main(int argc, char** argv) {
               << " (+" << ss.requests_served - last_requests << ")"
               << " hit_rate=" << snap.merged.hit_rate()
               << " inferences=" << snap.inferences
-              << " model_v=" << snap.model_version << std::endl;
+              << " model_v=" << snap.model_version;
+    if (rcfg.front.enabled) std::cout << " front_hits=" << snap.front_hits;
+    std::cout << std::endl;
     last_requests = ss.requests_served;
   }
 
@@ -191,6 +212,8 @@ int main(int argc, char** argv) {
             << ss.frames_served << " frames over "
             << ss.connections_accepted << " connections ("
             << ss.protocol_errors << " protocol errors, hit rate "
-            << snap.merged.hit_rate() << ")" << std::endl;
+            << snap.merged.hit_rate();
+  if (rcfg.front.enabled) std::cout << ", front hits " << snap.front_hits;
+  std::cout << ")" << std::endl;
   return 0;
 }
