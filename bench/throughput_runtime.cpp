@@ -65,7 +65,12 @@ struct Cell {
   std::uint32_t threads = 0;
   double zipf_s = 0.99;
   bool front_cache = false;
+  bool async_miss = false;
   double front_hit_rate = 0.0;
+  /// Fraction of enqueued deferred rescores the bounded ring dropped
+  /// (async cells only) — the honesty metric for the async speedup: a
+  /// starved decision thread drops work instead of blocking serving.
+  double deferred_drop_rate = 0.0;
   double mreq_per_s = 0.0;
   double miss_rate = 0.0;
 };
@@ -121,16 +126,32 @@ int main(int argc, char** argv) {
   const std::uint32_t thread_sweep[] = {1, 2, 4};
   std::vector<Cell> cells;
 
+  // The GMM policy runs twice: synchronous (inference inline on every
+  // miss, under the shard lock) and through the asynchronous miss
+  // pipeline (provisional admission, rescore on the decision thread).
+  // The delta between the two GMM rows at equal geometry is the serving
+  // cost of inline inference; the async rows also report how much
+  // deferred work the bounded ring dropped.
+  struct Variant {
+    const char* name;
+    bool gmm;
+    bool async;
+  };
+  constexpr Variant kVariants[] = {{"LRU", false, false},
+                                   {"GMM-caching-eviction", true, false},
+                                   {"GMM-async-miss", true, true}};
+
   runtime::ReplayConfig serve;
   serve.warmup_fraction = 0.0;  // throughput: measure the whole run
-  for (const char* policy : {"LRU", "GMM-caching-eviction"}) {
+  for (const Variant& v : kVariants) {
     for (const std::uint32_t shards : shard_sweep) {
       for (const std::uint32_t threads : thread_sweep) {
         runtime::RuntimeConfig rcfg;
         rcfg.cache = cache_cfg;
         rcfg.shards = shards;
+        rcfg.async_miss.enabled = v.async;
         std::unique_ptr<runtime::Runtime> rt;
-        if (std::strcmp(policy, "LRU") == 0) {
+        if (!v.gmm) {
           rt = std::make_unique<runtime::Runtime>(rcfg, cache::LruPolicy());
           serve.policy_runs_on_miss = false;
         } else {
@@ -139,14 +160,26 @@ int main(int argc, char** argv) {
               cache::GmmPolicyConfig{
                   .strategy = cache::GmmStrategy::kCachingEviction,
                   .threshold = threshold});
-          serve.policy_runs_on_miss = true;
+          // In async mode inference leaves the serving path entirely.
+          serve.policy_runs_on_miss = !v.async;
         }
         serve.threads = threads;
         const runtime::ReplayResult r =
             runtime::replay_trace(*rt, workload, serve);
-        cells.push_back({.policy = policy,
+        double drop_rate = 0.0;
+        if (v.async) {
+          const runtime::RuntimeSnapshot snap = rt->snapshot();
+          drop_rate = snap.deferred_enqueued == 0
+                          ? 0.0
+                          : static_cast<double>(snap.deferred_dropped) /
+                                static_cast<double>(snap.deferred_enqueued +
+                                                    snap.deferred_dropped);
+        }
+        cells.push_back({.policy = v.name,
                          .shards = shards,
                          .threads = threads,
+                         .async_miss = v.async,
+                         .deferred_drop_rate = drop_rate,
                          .mreq_per_s = r.requests_per_second / 1e6,
                          .miss_rate = r.run.stats.miss_rate()});
       }
@@ -195,13 +228,15 @@ int main(int argc, char** argv) {
   std::cout << "serving throughput, " << workload.size() << " requests, "
             << workload.unique_pages() << " pages, hardware threads: "
             << std::thread::hardware_concurrency() << "\n\n";
-  Table table({"policy", "zipf s", "shards", "threads", "front", "M req/s",
-               "miss rate", "front hits"});
+  Table table({"policy", "zipf s", "shards", "threads", "front", "async",
+               "M req/s", "miss rate", "front hits", "drop rate"});
   for (const Cell& c : cells) {
     table.add_row({c.policy, Table::fmt(c.zipf_s, 2), std::to_string(c.shards),
                    std::to_string(c.threads), c.front_cache ? "on" : "off",
-                   Table::fmt(c.mreq_per_s, 2), Table::fmt_percent(c.miss_rate),
-                   Table::fmt_percent(c.front_hit_rate)});
+                   c.async_miss ? "on" : "off", Table::fmt(c.mreq_per_s, 2),
+                   Table::fmt_percent(c.miss_rate),
+                   Table::fmt_percent(c.front_hit_rate),
+                   Table::fmt_percent(c.deferred_drop_rate)});
   }
   std::cout << table.render();
 
@@ -217,8 +252,10 @@ int main(int argc, char** argv) {
       out << "    {\"policy\": \"" << c.policy << "\", \"shards\": "
           << c.shards << ", \"threads\": " << c.threads
           << ", \"zipf_s\": " << c.zipf_s << ", \"front_cache\": "
-          << (c.front_cache ? "true" : "false")
+          << (c.front_cache ? "true" : "false") << ", \"async_miss\": "
+          << (c.async_miss ? "true" : "false")
           << ", \"front_hit_rate\": " << c.front_hit_rate
+          << ", \"deferred_drop_rate\": " << c.deferred_drop_rate
           << ", \"mreq_per_s\": " << c.mreq_per_s << ", \"miss_rate\": "
           << c.miss_rate << "}" << (i + 1 < cells.size() ? "," : "") << "\n";
     }

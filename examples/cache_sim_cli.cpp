@@ -8,6 +8,7 @@
 //                           gmm-caching|gmm-eviction|gmm-both]
 //                 [--cache-mb MB] [--assoc WAYS] [--seed S]
 //                 [--threads T] [--shards S]
+//                 [--async-miss] [--async-ring CAP]
 //                 [--front-cache] [--front-capacity M] [--front-replicas N]
 //                 [--front-promote K]
 //
@@ -16,7 +17,9 @@
 // single-threaded simulator, higher values exercise the sharded serving
 // path and report aggregate throughput. --front-cache enables the
 // replicated hot-page read-front (docs/ARCHITECTURE.md) — the tuning
-// flags imply it.
+// flags imply it. --async-miss (GMM policies only) runs the asynchronous
+// miss pipeline: GMM decisions drain to a background thread and the
+// replay drains them before reporting, so the stats identities hold.
 //
 // Examples:
 //   cache_sim_cli --benchmark hashmap --policy gmm-both --cache-mb 64
@@ -49,6 +52,7 @@ struct Args {
   std::uint32_t threads = 1;
   std::uint32_t shards = 1;
   runtime::FrontCacheConfig front;  // off unless a --front-* flag is given
+  runtime::AsyncMissConfig async_miss;  // off unless --async-miss
 };
 
 Args parse(int argc, char** argv) {
@@ -67,6 +71,8 @@ Args parse(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--seed")) args.seed = std::stoull(next());
     else if (!std::strcmp(argv[i], "--threads")) args.threads = static_cast<std::uint32_t>(std::stoul(next()));
     else if (!std::strcmp(argv[i], "--shards")) args.shards = static_cast<std::uint32_t>(std::stoul(next()));
+    else if (!std::strcmp(argv[i], "--async-miss")) args.async_miss.enabled = true;
+    else if (!std::strcmp(argv[i], "--async-ring")) { args.async_miss.ring_capacity = static_cast<std::uint32_t>(std::stoul(next())); args.async_miss.enabled = true; }
     else if (!std::strcmp(argv[i], "--front-cache")) args.front.enabled = true;
     else if (!std::strcmp(argv[i], "--front-capacity")) { args.front.capacity = static_cast<std::uint32_t>(std::stoul(next())); args.front.enabled = true; }
     else if (!std::strcmp(argv[i], "--front-replicas")) { args.front.replicas = static_cast<std::uint32_t>(std::stoul(next())); args.front.enabled = true; }
@@ -104,6 +110,11 @@ int main(int argc, char** argv) {
   rcfg.cache = cfg.engine.cache;
   rcfg.shards = args.shards;
   rcfg.front = args.front;
+  rcfg.async_miss = args.async_miss;
+  if (args.async_miss.enabled && args.policy.rfind("gmm", 0) != 0) {
+    std::cerr << "error: --async-miss requires a gmm-* policy\n";
+    return 1;
+  }
   if (rcfg.front.enabled && rcfg.front.replicas == 0) {
     rcfg.front.replicas = args.threads;  // one replica per serving thread
   }
@@ -188,6 +199,13 @@ int main(int argc, char** argv) {
   report.add_row({"bypasses", std::to_string(result.stats.bypasses)});
   report.add_row({"dirty evictions", std::to_string(result.stats.dirty_evictions)});
   report.add_row({"policy inferences", std::to_string(result.policy_inferences)});
+  if (rcfg.async_miss.enabled) {
+    const runtime::RuntimeSnapshot snap = rt->snapshot();
+    report.add_row({"deferred applied", std::to_string(snap.deferred_applied)});
+    report.add_row({"deferred dropped", std::to_string(snap.deferred_dropped)});
+    report.add_row({"deferred demotions",
+                    std::to_string(snap.deferred_demotions)});
+  }
   report.add_row({"SSD read time", Table::fmt(result.latency.fill_read_ns / 1e6, 1) + " ms"});
   report.add_row({"SSD writeback time", Table::fmt(result.latency.writeback_ns / 1e6, 1) + " ms"});
   std::cout << report.render();

@@ -169,22 +169,21 @@ std::vector<std::uint8_t> Client::expect(MsgType type, std::uint32_t seq,
   return bytes;
 }
 
-namespace {
-
-/// Synchronous RPCs interleave with pipelined ACCESS traffic only at a
-/// quiet point — replies are correlated purely by order, so a STATS in the
-/// middle of an ACCESS window would desynchronize the stream.
-void require_quiet(std::uint32_t outstanding, const char* what) {
-  if (outstanding != 0) {
-    throw std::logic_error(std::string("Client: ") + what +
-                           " with ACCESS replies outstanding");
+std::uint32_t Client::drain_outstanding() {
+  const std::uint32_t drained = outstanding_;
+  while (outstanding_ != 0) {
+    // await_access_reply keeps the reply stream in sync even when a
+    // drained request's reply is a server ERROR (the slot is consumed
+    // before expect() throws) — but the exception still propagates, so a
+    // sync RPC over a poisoned pipeline surfaces the server's complaint
+    // rather than silently eating it.
+    (void)await_access_reply();
   }
+  return drained;
 }
 
-}  // namespace
-
 void Client::ping() {
-  require_quiet(outstanding_, "ping");
+  drain_outstanding();
   const std::uint32_t seq = next_seq_++;
   tx_.clear();
   encode_ping(tx_, seq);
@@ -227,7 +226,7 @@ AccessReply Client::access(std::span<const WireAccess> accesses) {
 }
 
 StatsReply Client::stats() {
-  require_quiet(outstanding_, "stats");
+  drain_outstanding();
   const std::uint32_t seq = next_seq_++;
   tx_.clear();
   encode_stats_request(tx_, seq);
@@ -243,7 +242,7 @@ StatsReply Client::stats() {
 }
 
 ModelInfoReply Client::model_info() {
-  require_quiet(outstanding_, "model_info");
+  drain_outstanding();
   const std::uint32_t seq = next_seq_++;
   tx_.clear();
   encode_model_info_request(tx_, seq);
@@ -259,7 +258,7 @@ ModelInfoReply Client::model_info() {
 }
 
 void Client::flush() {
-  require_quiet(outstanding_, "flush");
+  drain_outstanding();
   const std::uint32_t seq = next_seq_++;
   tx_.clear();
   encode_flush_request(tx_, seq);
@@ -270,6 +269,20 @@ void Client::flush() {
 }
 
 // --- replay_stream ----------------------------------------------------------
+
+void precise_sleep_until(std::chrono::steady_clock::time_point deadline) {
+  using Clock = std::chrono::steady_clock;
+  // The hybrid: hand the bulk of the wait to the scheduler, absorb its
+  // wake-up jitter (typically well under a millisecond) by spinning out
+  // the remainder. The spin reads only the clock — no pause instruction
+  // needed at these durations.
+  constexpr auto kSpinWindow = std::chrono::milliseconds(1);
+  if (deadline - Clock::now() > kSpinWindow) {
+    std::this_thread::sleep_until(deadline - kSpinWindow);
+  }
+  while (Clock::now() < deadline) {
+  }
+}
 
 std::uint64_t replay_stream(Client& client,
                             std::span<const WireAccess> stream,
@@ -312,7 +325,7 @@ std::uint64_t replay_stream(Client& client,
       // flush boundary, the stream tail) consumes a full interval slot,
       // shifting later launches by at most one interval per split.
       ref = start + batch_index * opts.batch_interval;
-      std::this_thread::sleep_until(ref);  // no-op when behind schedule
+      precise_sleep_until(ref);  // no-op when behind schedule
     }
     while (window.size() >= pipeline) await_one();
     if (!open_loop) ref = Clock::now();

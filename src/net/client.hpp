@@ -42,6 +42,12 @@ class Client {
   void close() noexcept;
 
   // --- synchronous round trips ---------------------------------------------
+  // Replies are correlated purely by order, so a synchronous RPC issued
+  // with ACCESS replies still outstanding first drains the pipeline
+  // (drain_outstanding) — the RPC's reply is then the next frame on the
+  // wire. Earlier versions threw instead; draining makes mid-pipeline
+  // STATS/FLUSH safe (monitoring pollers, admin tools) at the cost of
+  // discarding the drained ACCESS replies' contents.
 
   /// PING/PONG round trip; throws if the server misbehaves.
   void ping();
@@ -62,6 +68,11 @@ class Client {
   AccessReply await_access_reply();
   std::uint32_t outstanding() const noexcept { return outstanding_; }
 
+  /// Awaits (and discards) every outstanding ACCESS reply; returns how
+  /// many were drained. The sync RPCs call this implicitly; drivers that
+  /// need the replies' contents must await them individually first.
+  std::uint32_t drain_outstanding();
+
  private:
   /// Reads until one complete frame is buffered; returns owned bytes.
   std::vector<std::uint8_t> recv_frame();
@@ -78,6 +89,15 @@ class Client {
   std::vector<std::uint8_t> rx_;  ///< partial inbound stream
   std::vector<std::uint8_t> tx_;  ///< scratch encode buffer
 };
+
+/// Sleeps until `deadline` with sub-interval precision: coarse
+/// sleep_until to ~1ms before the deadline, then a spin on the steady
+/// clock. Raw sleep_until alone wakes at scheduler granularity (often
+/// 50µs–1ms+), which makes open-loop pacing coarse above ~50k QPS — the
+/// achieved rate silently sags below the target. The spin window costs at
+/// most ~1ms of one core per launch, which an open-loop driver is
+/// dedicating to pacing anyway. No-op when the deadline already passed.
+void precise_sleep_until(std::chrono::steady_clock::time_point deadline);
 
 /// How replay_stream paces and windows one connection's request stream.
 struct ReplayOptions {

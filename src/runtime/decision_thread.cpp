@@ -1,0 +1,129 @@
+#include "runtime/decision_thread.hpp"
+
+#include <algorithm>
+
+#include "cache/policies/gmm_policy.hpp"
+
+namespace icgmm::runtime {
+
+DecisionThread::DecisionThread(
+    ShardedCache& cache,
+    const std::vector<std::unique_ptr<InferenceBatcher>>& batchers,
+    DecisionThreadConfig cfg)
+    : cache_(cache), batchers_(batchers), cfg_(cfg) {
+  if (cfg_.drain_batch == 0) cfg_.drain_batch = 1;
+  running_ = true;
+  worker_ = std::thread([this] { run(); });
+}
+
+DecisionThread::~DecisionThread() { stop(); }
+
+void DecisionThread::stop() {
+  stop_.store(true, std::memory_order_release);
+  wake_cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    running_ = false;
+  }
+  sweep_cv_.notify_all();
+}
+
+void DecisionThread::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!running_) return;  // stop-drain already emptied the rings
+  // The sweep in flight at entry (the (S0+1)-th) may have passed a shard
+  // before our caller's last push; the (S0+2)-th starts strictly after,
+  // so its completion covers everything pushed before this call.
+  const std::uint64_t target = sweeps_done_ + 2;
+  wake_cv_.notify_all();
+  sweep_cv_.wait(lock,
+                 [&] { return sweeps_done_ >= target || !running_; });
+}
+
+void DecisionThread::run() {
+  std::vector<MissEntry> batch(cfg_.drain_batch);
+  for (;;) {
+    // Read the stop flag BEFORE sweeping: if it was set, this sweep runs
+    // after every producer went quiet, so an empty result proves the
+    // rings are drained for good.
+    const bool stopping = stop_.load(std::memory_order_acquire);
+    const bool did_work = sweep_once(batch);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++sweeps_done_;
+    }
+    sweep_cv_.notify_all();
+    if (stopping && !did_work) return;
+    if (!did_work && !stopping) {
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_cv_.wait_for(lock, cfg_.idle_wait);
+    }
+  }
+}
+
+bool DecisionThread::sweep_once(std::vector<MissEntry>& batch) {
+  bool did_work = false;
+  for (std::uint32_t shard = 0; shard < cache_.shards(); ++shard) {
+    MissRing* ring = cache_.miss_ring(shard);
+    if (ring == nullptr) continue;
+    // Drain this shard's ring completely before moving on: pop a batch
+    // (lock-free, consumer side), apply it under one shard-lock hold,
+    // repeat. drain_batch bounds each hold so serving threads interleave.
+    for (;;) {
+      const std::size_t n = ring->pop_batch({batch.data(), batch.size()});
+      if (n == 0) break;
+      did_work = true;
+      apply_entries(shard, batch.data(), n);
+    }
+  }
+  return did_work;
+}
+
+void DecisionThread::apply_entries(std::uint32_t shard,
+                                   const MissEntry* entries, std::size_t n) {
+  InferenceBatcher* batcher =
+      shard < batchers_.size() ? batchers_[shard].get() : nullptr;
+  cache_.with_shard_mut(shard, [&](ShardedCache::ShardOps& ops) {
+    auto* policy =
+        dynamic_cast<cache::GmmPolicy*>(&ops.cache().policy());
+    for (std::size_t i = 0; i < n; ++i) {
+      const MissEntry& e = entries[i];
+      applied_.fetch_add(1, std::memory_order_relaxed);
+      if (policy == nullptr || batcher == nullptr) continue;  // defensive
+
+      const std::uint64_t set = ops.cache().set_of(e.page);
+      PageIndex pages[cache::SetAssociativeCache::kMaxWays];
+      std::uint32_t ways[cache::SetAssociativeCache::kMaxWays];
+      double scores[cache::SetAssociativeCache::kMaxWays];
+      const std::uint32_t count = ops.cache().residents(set, pages, ways);
+      if (count == 0) continue;  // the whole set was demoted meanwhile
+
+      // One snapshot pin + one SoA sweep for the whole set, at the
+      // timestamp the miss was enqueued with — the asynchronous stand-in
+      // for the inline eviction-time set rescore.
+      batcher->score_span({pages, count}, e.timestamp, {scores, count});
+      for (std::uint32_t j = 0; j < count; ++j) {
+        policy->apply_deferred_score(set, ways[j], scores[j]);
+      }
+      policy->note_deferred_inferences(count);
+      rescored_.fetch_add(count, std::memory_order_relaxed);
+
+      // Smart caching's deferred half: the admission decision the serving
+      // path skipped. kEvictionOnly admits unconditionally even in sync
+      // mode, so it never demotes.
+      const auto& pcfg = policy->config();
+      if (pcfg.strategy == cache::GmmStrategy::kEvictionOnly) continue;
+      for (std::uint32_t j = 0; j < count; ++j) {
+        if (pages[j] != e.page) continue;
+        if (scores[j] < pcfg.threshold) {
+          ops.demote(e.page);
+          demotions_.fetch_add(1, std::memory_order_relaxed);
+        }
+        break;
+      }
+    }
+  });
+}
+
+}  // namespace icgmm::runtime

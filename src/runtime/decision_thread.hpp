@@ -1,0 +1,113 @@
+// The async miss pipeline's consumer: one background thread that drains
+// every shard's MissRing and applies the GMM's deferred judgement.
+//
+// The serving path (ShardedCache::access with deferred GmmPolicy) admits
+// every miss provisionally and enqueues {page, timestamp}. This thread
+// pops entries in batches, rescores each entry's whole set through the
+// shard's InferenceBatcher (one snapshot pin + one SoA sweep per set —
+// the batch≈8 sweet spot, since a set has `associativity` ways), writes
+// the fresh scores into the policy's score table, and demotes the
+// provisionally admitted page when the model scores it below the
+// admission threshold. All application happens under the owning shard's
+// lock via ShardedCache::with_shard_mut, so the policy/score tables are
+// never touched concurrently with serving.
+//
+// Lifecycle: the worker runs from construction to stop() (or
+// destruction). stop() performs a stop-drain — the worker keeps sweeping
+// until a full sweep over all shards finds nothing, then exits — so no
+// enqueued rescore is silently abandoned, provided producers are
+// quiescent by then (Runtime guarantees this: the decision thread is
+// stopped in ~Runtime, when no access() can be in flight).
+//
+// drain() is the bounded-staleness barrier: it returns once a sweep that
+// STARTED after the call was entered has completed, which means every
+// entry pushed before the call has been applied (or was already counted
+// dropped by its full ring). Waiting for "two sweep completions" gives
+// exactly that: the sweep in progress at entry may predate the pushes,
+// the next one cannot.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/inference_batcher.hpp"
+#include "runtime/sharded_cache.hpp"
+
+namespace icgmm::runtime {
+
+struct DecisionThreadConfig {
+  /// Max entries popped from one ring per with_shard_mut hold. Bounds how
+  /// long the worker keeps a shard lock away from the serving path.
+  std::uint32_t drain_batch = 32;
+  /// How long the worker dozes when every ring came up empty. Producers
+  /// do NOT signal on the hot path (that would put a lock back on it);
+  /// the worker polls at this cadence instead.
+  std::chrono::microseconds idle_wait{100};
+};
+
+class DecisionThread {
+ public:
+  /// `batchers` is indexed by shard (Runtime's per-shard InferenceBatcher
+  /// list); both it and `cache` must outlive this thread. Spawns the
+  /// worker immediately.
+  DecisionThread(ShardedCache& cache,
+                 const std::vector<std::unique_ptr<InferenceBatcher>>& batchers,
+                 DecisionThreadConfig cfg = {});
+  ~DecisionThread();
+
+  DecisionThread(const DecisionThread&) = delete;
+  DecisionThread& operator=(const DecisionThread&) = delete;
+
+  /// Stop-drain: sweeps until the rings are empty, then joins the worker.
+  /// Producers must be quiescent. Idempotent.
+  void stop();
+
+  /// Blocks until every entry enqueued before this call has been applied.
+  /// Returns immediately after stop() (the stop-drain already emptied the
+  /// rings). Safe to call from any thread except the worker itself.
+  void drain();
+
+  /// Ring entries fully processed (rescore + demotion decision).
+  std::uint64_t applied() const noexcept {
+    return applied_.load(std::memory_order_relaxed);
+  }
+  /// Provisional admissions invalidated because the GMM scored them below
+  /// the admission threshold — the async counterpart of a bypass.
+  std::uint64_t demotions() const noexcept {
+    return demotions_.load(std::memory_order_relaxed);
+  }
+  /// Pages scored on behalf of deferred decisions (set residents swept).
+  std::uint64_t rescored() const noexcept {
+    return rescored_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void run();
+  bool sweep_once(std::vector<MissEntry>& batch);
+  void apply_entries(std::uint32_t shard, const MissEntry* entries,
+                     std::size_t n);
+
+  ShardedCache& cache_;
+  const std::vector<std::unique_ptr<InferenceBatcher>>& batchers_;
+  DecisionThreadConfig cfg_;
+
+  std::atomic<std::uint64_t> applied_{0};
+  std::atomic<std::uint64_t> demotions_{0};
+  std::atomic<std::uint64_t> rescored_{0};
+
+  std::mutex mu_;
+  std::condition_variable wake_cv_;   ///< worker wakeup (drain/stop nudge)
+  std::condition_variable sweep_cv_;  ///< drain() waiters
+  std::uint64_t sweeps_done_ = 0;     ///< guarded by mu_
+  bool running_ = false;              ///< guarded by mu_
+  std::atomic<bool> stop_{false};
+  std::thread worker_;
+};
+
+}  // namespace icgmm::runtime

@@ -15,7 +15,13 @@ ModelRefresher::ModelRefresher(ModelSlot& slot, ModelRefresherConfig cfg)
 ModelRefresher::~ModelRefresher() { stop(); }
 
 void ModelRefresher::start() {
-  if (worker_.joinable()) return;  // already started
+  if (worker_.joinable()) return;  // already running
+  // Restart = fresh adaptation anchored at the slot's current model. The
+  // previous run's EM state (sufficient statistics, unpublished partial
+  // steps) is deliberately discarded: its last published model is already
+  // in the slot, and resuming from mid-run statistics would adapt against
+  // a baseline no shard is serving from.
+  em_.emplace(*slot_.load(), cfg_.online);
   {
     std::lock_guard<std::mutex> lock(mu_);
     stop_requested_ = false;

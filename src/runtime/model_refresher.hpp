@@ -43,8 +43,11 @@ class ModelRefresher {
   ModelRefresher(const ModelRefresher&) = delete;
   ModelRefresher& operator=(const ModelRefresher&) = delete;
 
-  /// Spawns the worker thread. One-shot lifecycle: start() once, stop()
-  /// once; restart is not supported (build a new refresher).
+  /// Spawns the worker thread, (re-)seeding the online-EM state from the
+  /// slot's *currently published* model — so a start() after stop()
+  /// resumes adapting from wherever the model actually is (including
+  /// publishes the previous run made), not from stale mid-run EM state.
+  /// Counters are cumulative across runs. No-op while already running.
   void start();
 
   /// Signals the worker, which drains the remaining queue (so every sample

@@ -88,6 +88,11 @@ ReplayResult replay_trace(Runtime& rt, const trace::Trace& trace,
     }
     for (std::thread& w : workers) w.join();
   }
+  // Async mode: settle the deferred pipeline inside the timed window —
+  // the drain is real work the pipeline deferred, so throughput numbers
+  // must pay for it — and so the stats below are barrier-exact. No-op in
+  // synchronous mode.
+  rt.drain_deferred();
   const auto t1 = std::chrono::steady_clock::now();
 
   // Runtime-level merge: shard counters plus front-cache hits, so a

@@ -1,12 +1,18 @@
 #include "runtime/runtime.hpp"
 
 #include <cassert>
+#include <stdexcept>
 #include <utility>
 
 namespace icgmm::runtime {
 
 Runtime::Runtime(RuntimeConfig cfg, const cache::ReplacementPolicy& prototype)
     : cfg_(cfg), policy_name_(prototype.name()) {
+  if (cfg_.async_miss.enabled) {
+    throw std::invalid_argument(
+        "Runtime: async_miss requires the GMM-mode constructor (the "
+        "prototype mode has no scoring plumbing to defer to)");
+  }
   sharded_ = std::make_unique<ShardedCache>(
       ShardedCacheConfig{.cache = cfg_.cache, .shards = cfg_.shards},
       prototype);
@@ -16,11 +22,17 @@ Runtime::Runtime(RuntimeConfig cfg, const cache::ReplacementPolicy& prototype)
 Runtime::Runtime(RuntimeConfig cfg, gmm::GaussianMixture model,
                  cache::GmmPolicyConfig policy_cfg)
     : cfg_(cfg), policy_name_(cache::to_string(policy_cfg.strategy)) {
+  // Async mode flips every shard policy into deferred mode: provisional
+  // admission on the serving path, real decisions on the decision thread.
+  if (cfg_.async_miss.enabled) policy_cfg.deferred = true;
   slot_ = std::make_unique<ModelSlot>(
       std::make_shared<const gmm::GaussianMixture>(std::move(model)));
   batchers_.reserve(cfg_.shards);
   sharded_ = std::make_unique<ShardedCache>(
-      ShardedCacheConfig{.cache = cfg_.cache, .shards = cfg_.shards},
+      ShardedCacheConfig{.cache = cfg_.cache, .shards = cfg_.shards,
+                         .miss_ring_capacity = cfg_.async_miss.enabled
+                                                   ? cfg_.async_miss.ring_capacity
+                                                   : 0},
       [this, &policy_cfg](std::uint32_t) {
         auto batcher = std::make_unique<InferenceBatcher>(*slot_);
         InferenceBatcher* b = batcher.get();  // owned below; shard-lifetime
@@ -37,9 +49,20 @@ Runtime::Runtime(RuntimeConfig cfg, gmm::GaussianMixture model,
   if (cfg_.adapt) {
     refresher_ = std::make_unique<ModelRefresher>(*slot_, cfg_.refresher);
   }
+  if (cfg_.async_miss.enabled) {
+    decision_ = std::make_unique<DecisionThread>(
+        *sharded_, batchers_,
+        DecisionThreadConfig{.drain_batch = cfg_.async_miss.drain_batch});
+  }
 }
 
-Runtime::~Runtime() { stop(); }
+Runtime::~Runtime() {
+  // Stop-drain the decision thread while every member it touches is still
+  // alive (it would also happen via member destruction order; explicit is
+  // clearer and keeps the invariant independent of declaration order).
+  if (decision_) decision_->stop();
+  stop();
+}
 
 void Runtime::start() {
   if (refresher_) refresher_->start();
@@ -161,10 +184,24 @@ RuntimeSnapshot Runtime::snapshot() const {
     snap.front_fills = fs.fills;
     snap.front_invalidations = fs.invalidations;
   }
+  if (decision_) {
+    snap.deferred_enqueued = sharded_->ring_pushed();
+    snap.deferred_dropped = sharded_->ring_dropped();
+    snap.deferred_applied = decision_->applied();
+    snap.deferred_demotions = decision_->demotions();
+  }
   return snap;
 }
 
+void Runtime::drain_deferred() {
+  if (decision_) decision_->drain();
+}
+
 void Runtime::clear_stats() {
+  // Settle the deferred pipeline first: a pre-clear rescore applying
+  // after the clear would demote a block into the post-clear eviction
+  // counters.
+  drain_deferred();
   sharded_->clear_stats();
   if (front_) {
     // Epoch-based invalidation on flush: entries promoted before the

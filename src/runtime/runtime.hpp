@@ -32,12 +32,29 @@
 #include <vector>
 
 #include "cache/policies/gmm_policy.hpp"
+#include "runtime/decision_thread.hpp"
 #include "runtime/front_cache.hpp"
 #include "runtime/inference_batcher.hpp"
 #include "runtime/model_refresher.hpp"
 #include "runtime/sharded_cache.hpp"
 
 namespace icgmm::runtime {
+
+/// The async miss pipeline (GMM mode only): misses return immediately
+/// with a provisional admission and the GMM rescore + eviction decision
+/// drains through per-shard bounded rings to a background decision
+/// thread. Default off = the synchronous mode, which stays the
+/// bit-identity anchor (every golden test pins it); on = eventual-policy
+/// consistency, where the score tables trail the stream by a bounded,
+/// drain()-able amount.
+struct AsyncMissConfig {
+  bool enabled = false;
+  /// Per-shard MissRing capacity (rounded up to a power of two). A full
+  /// ring drops rescores (counted) rather than stalling the serving path.
+  std::uint32_t ring_capacity = 4096;
+  /// Max ring entries the decision thread applies per shard-lock hold.
+  std::uint32_t drain_batch = 32;
+};
 
 struct RuntimeConfig {
   /// TOTAL cache geometry, split evenly across shards.
@@ -51,6 +68,9 @@ struct RuntimeConfig {
   /// Replicated hot-page read-front (default off = bit-identical serving
   /// to a runtime without one; see front_cache.hpp).
   FrontCacheConfig front;
+  /// Asynchronous miss pipeline (GMM-mode constructor only; the prototype
+  /// constructor rejects it — it has no scoring plumbing to defer to).
+  AsyncMissConfig async_miss;
 };
 
 /// One serving request — the unit both the trace replayer and the network
@@ -78,6 +98,13 @@ struct RuntimeSnapshot {
   std::uint64_t front_hits = 0;           ///< reads served by the front cache
   std::uint64_t front_fills = 0;          ///< front-cache promotions
   std::uint64_t front_invalidations = 0;  ///< stale front entries dropped
+  // Async miss pipeline (all 0 when async_miss is off). At a drain
+  // barrier: deferred_enqueued == deferred_applied, and every miss that
+  // offered a rescore is accounted enqueued or dropped.
+  std::uint64_t deferred_enqueued = 0;   ///< misses accepted into the rings
+  std::uint64_t deferred_applied = 0;    ///< entries the decision thread ran
+  std::uint64_t deferred_dropped = 0;    ///< rescores lost to full rings
+  std::uint64_t deferred_demotions = 0;  ///< provisional admissions undone
 };
 
 class Runtime {
@@ -137,7 +164,16 @@ class Runtime {
   /// unless the prototype was a GmmPolicy).
   std::uint64_t inferences() const;
 
-  /// Zeroes all statistics counters (cache contents stay warm).
+  /// Async mode: blocks until every miss enqueued before this call has
+  /// its deferred decision applied (or already counted dropped) — the
+  /// bounded-staleness barrier. No-op in synchronous mode. FLUSH and
+  /// clear_stats() run it implicitly so post-barrier statistics are
+  /// exact.
+  void drain_deferred();
+
+  /// Zeroes all statistics counters (cache contents stay warm). In async
+  /// mode this drains the deferred pipeline first, so the cleared state
+  /// starts from a policy-consistent cache.
   void clear_stats();
 
   ShardedCache& cache() noexcept { return *sharded_; }
@@ -149,6 +185,10 @@ class Runtime {
   ModelRefresher* refresher() noexcept { return refresher_.get(); }
   /// Null unless cfg.front.enabled.
   const FrontCache* front_cache() const noexcept { return front_.get(); }
+  /// Null unless GMM mode with cfg.async_miss.enabled.
+  const DecisionThread* decision_thread() const noexcept {
+    return decision_.get();
+  }
 
  private:
   void maybe_sample(PageIndex page, Timestamp ts);
@@ -160,6 +200,10 @@ class Runtime {
   std::unique_ptr<ShardedCache> sharded_;
   std::unique_ptr<FrontCache> front_;                     // cfg.front.enabled
   std::unique_ptr<ModelRefresher> refresher_;
+  // Declared last (destroyed first): the worker references sharded_ and
+  // batchers_, so it must be gone before they are. ~Runtime also stops it
+  // explicitly for clarity.
+  std::unique_ptr<DecisionThread> decision_;  // cfg.async_miss.enabled
 };
 
 }  // namespace icgmm::runtime

@@ -26,6 +26,9 @@ ShardedCache::ShardedCache(ShardedCacheConfig cfg, const PolicyFactory& factory)
     auto shard = std::make_unique<Shard>();
     shard->cache =
         std::make_unique<cache::SetAssociativeCache>(shard_cfg_, factory(i));
+    if (cfg.miss_ring_capacity > 0) {
+      shard->ring = std::make_unique<MissRing>(cfg.miss_ring_capacity);
+    }
     shards_.push_back(std::move(shard));
   }
 }
@@ -40,6 +43,13 @@ cache::AccessResult ShardedCache::access(const cache::AccessContext& ctx) {
   Shard& shard = *shards_[router_.route(ctx.page)];
   std::lock_guard<std::mutex> lock(shard.mu);
   const cache::AccessResult result = shard.cache->access(ctx);
+  // Async miss pipeline: hand the miss to the decision thread. Pushed
+  // under the shard lock, so all producers are serialized — the ring's
+  // single-producer contract. A full ring drops (and counts) the rescore
+  // rather than stalling the serving path.
+  if (!result.hit && shard.ring) {
+    shard.ring->try_push({ctx.page, ctx.timestamp});
+  }
   // Mirror the outcome into the lock-free-readable counters (same
   // derivation the cache applies internally, see
   // SetAssociativeCache::access). Updated while still holding the shard
@@ -92,6 +102,38 @@ void ShardedCache::with_policy(
   const Shard& s = *shards_.at(shard);
   std::lock_guard<std::mutex> lock(s.mu);
   fn(s.cache->policy());
+}
+
+void ShardedCache::with_shard_mut(
+    std::uint32_t shard, const std::function<void(ShardOps&)>& fn) {
+  Shard& s = *shards_.at(shard);
+  std::lock_guard<std::mutex> lock(s.mu);
+  ShardOps ops(s);
+  fn(ops);
+}
+
+std::uint64_t ShardedCache::ring_pushed() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    if (shard->ring) total += shard->ring->pushed();
+  }
+  return total;
+}
+
+std::uint64_t ShardedCache::ring_popped() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    if (shard->ring) total += shard->ring->popped();
+  }
+  return total;
+}
+
+std::uint64_t ShardedCache::ring_dropped() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    if (shard->ring) total += shard->ring->dropped();
+  }
+  return total;
 }
 
 bool ShardedCache::contains(PageIndex page) const {

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "cache/cache.hpp"
+#include "runtime/miss_ring.hpp"
 #include "runtime/shard_router.hpp"
 
 namespace icgmm::runtime {
@@ -33,6 +34,12 @@ struct ShardedCacheConfig {
   /// a CacheConfig with capacity_bytes / shards). Must divide cleanly.
   cache::CacheConfig cache;
   std::uint32_t shards = 4;
+  /// When non-zero, each shard carries a bounded MissRing of this capacity
+  /// and access() enqueues every miss into the owning shard's ring (under
+  /// that shard's lock, which is what makes the ring's single-producer
+  /// contract hold). Zero = no rings, no per-miss overhead — the default
+  /// synchronous mode. Set by Runtime's async miss pipeline.
+  std::uint32_t miss_ring_capacity = 0;
 };
 
 class ShardedCache {
@@ -77,6 +84,8 @@ class ShardedCache {
   /// and policy state are kept (warm-up discipline, as clear_stats()).
   void clear_stats();
 
+  // --- async miss pipeline hooks -----------------------------------------
+
  private:
   // Padded so two shards' hot state never share a cache line.
   struct alignas(64) Counters {
@@ -94,8 +103,59 @@ class ShardedCache {
     mutable std::mutex mu;
     std::unique_ptr<cache::SetAssociativeCache> cache;
     Counters counters;
+    std::unique_ptr<MissRing> ring;  ///< null unless miss_ring_capacity > 0
   };
 
+ public:
+  /// Shard `i`'s miss ring, or nullptr when miss_ring_capacity was 0.
+  /// The decision thread is the only consumer; producers are access()
+  /// calls serialized by the shard lock.
+  MissRing* miss_ring(std::uint32_t shard) noexcept {
+    return shards_[shard]->ring.get();
+  }
+
+  /// Mutating view of one shard handed to with_shard_mut's callback. Keeps
+  /// the invariant that the lock-free counter mirrors never drift from the
+  /// authoritative CacheStats: demote() updates both under the same lock
+  /// hold, exactly like access() does.
+  class ShardOps {
+   public:
+    cache::SetAssociativeCache& cache() noexcept { return *shard_.cache; }
+
+    /// Drops `page` if resident, mirroring the eviction into the atomic
+    /// counters — the demotion primitive for provisional admissions the
+    /// GMM rejected.
+    cache::InvalidateResult demote(PageIndex page) noexcept {
+      const cache::InvalidateResult r = shard_.cache->invalidate(page);
+      if (r.found) {
+        shard_.counters.evictions.fetch_add(1, std::memory_order_relaxed);
+        if (r.was_dirty) {
+          shard_.counters.dirty_evictions.fetch_add(
+              1, std::memory_order_relaxed);
+        }
+      }
+      return r;
+    }
+
+   private:
+    friend class ShardedCache;
+    explicit ShardOps(Shard& shard) : shard_(shard) {}
+    Shard& shard_;
+  };
+
+  /// Runs `fn` with mutable access to shard `i` under its lock — the
+  /// decision thread's apply path (rescore the set, demote rejects).
+  void with_shard_mut(std::uint32_t shard,
+                      const std::function<void(ShardOps&)>& fn);
+
+  /// Sums of the per-shard ring counters (0 when rings are disabled).
+  /// pushed/dropped are exact once the pushing side is quiescent;
+  /// popped once the decision thread has drained.
+  std::uint64_t ring_pushed() const noexcept;
+  std::uint64_t ring_popped() const noexcept;
+  std::uint64_t ring_dropped() const noexcept;
+
+ private:
   static cache::CacheConfig split_config(const ShardedCacheConfig& cfg);
 
   ShardRouter router_;

@@ -358,5 +358,114 @@ TEST(NetServer, ClientPoolLeasesExclusiveConnections) {
   server.stop();
 }
 
+TEST(NetClient, SyncRpcMidPipelineDrainsOutstandingReplies) {
+  // Regression: replies are correlated purely by order, so a sync RPC
+  // issued with ACCESS replies still in flight used to throw
+  // (require_quiet). It must now drain the pipeline and answer normally
+  // — a monitoring poller calling stats() must not care what the driver
+  // thread has outstanding.
+  runtime::Runtime rt(small_runtime_config(), cache::LruPolicy());
+  net::Server server(rt, {.port = 0, .workers = 2});
+  server.start();
+  net::Client client = net::Client::connect("127.0.0.1", server.port());
+
+  const auto accesses = make_accesses(300, 0x4);
+  std::span<const net::WireAccess> all(accesses);
+  client.send_access(all.subspan(0, 100));
+  client.send_access(all.subspan(100, 100));
+  client.send_access(all.subspan(200, 100));
+  EXPECT_EQ(client.outstanding(), 3u);
+
+  // stats() drains the three ACCESS replies first, then does its own
+  // round trip — so it reflects every request already sent.
+  const net::StatsReply stats = client.stats();
+  EXPECT_EQ(client.outstanding(), 0u);
+  EXPECT_EQ(stats.accesses, 300u);
+  EXPECT_EQ(stats.hits + stats.read_misses + stats.write_misses, 300u);
+
+  // The connection stays healthy: further RPCs and batches round-trip.
+  client.ping();
+  const net::AccessReply r = client.access(all.subspan(0, 100));
+  EXPECT_EQ(r.count, 100u);
+
+  // drain_outstanding() directly: returns how many it consumed, and is a
+  // no-op on a quiet pipeline.
+  client.send_access(all.subspan(0, 50));
+  client.send_access(all.subspan(50, 50));
+  EXPECT_EQ(client.drain_outstanding(), 2u);
+  EXPECT_EQ(client.outstanding(), 0u);
+  EXPECT_EQ(client.drain_outstanding(), 0u);
+  client.flush();  // FLUSH mid-quiet still fine after all of the above
+  EXPECT_EQ(client.stats().accesses, 0u);
+  server.stop();
+}
+
+TEST(NetClient, PreciseSleepNeverWakesBeforeDeadline) {
+  // The hard guarantee of the hybrid pacer: it may overshoot by a little
+  // (scheduler noise on the coarse phase is absorbed by the spin) but it
+  // NEVER returns early. 20 consecutive 2ms ticks also bound the
+  // cumulative overshoot: raw sleep_until at scheduler granularity
+  // drifts; the hybrid pacer re-anchors every tick on the absolute
+  // schedule.
+  using Clock = std::chrono::steady_clock;
+  constexpr int kTicks = 20;
+  constexpr auto kInterval = std::chrono::milliseconds(2);
+  const auto start = Clock::now();
+  for (int i = 1; i <= kTicks; ++i) {
+    const auto deadline = start + i * kInterval;
+    net::precise_sleep_until(deadline);
+    EXPECT_GE(Clock::now(), deadline) << "woke early at tick " << i;
+  }
+  const auto elapsed = Clock::now() - start;
+  EXPECT_GE(elapsed, kTicks * kInterval);
+  // Generous ceiling even for a loaded CI box; mostly guards against a
+  // pathological regression (e.g. sleeping kInterval per call on top of
+  // the absolute deadline).
+  EXPECT_LT(elapsed, std::chrono::milliseconds(500));
+}
+
+TEST(NetClient, OpenLoopReplayHoldsTargetRateAtLowRate) {
+  // Achieved-vs-target throughput through the real open-loop driver.
+  // 40 batches of 16 requests at one batch per 2ms targets 8000 req/s;
+  // loopback service time is far below the interval, so elapsed time is
+  // pacing-dominated and the achieved rate must sit just under target
+  // (the schedule is a floor — the driver can never finish early).
+  runtime::Runtime rt(small_runtime_config(), cache::LruPolicy());
+  net::Server server(rt, {.port = 0, .workers = 1});
+  server.start();
+  net::Client client = net::Client::connect("127.0.0.1", server.port());
+
+  constexpr std::size_t kBatches = 40;
+  constexpr std::size_t kBatch = 16;
+  constexpr auto kInterval = std::chrono::milliseconds(2);
+  const auto accesses = make_accesses(kBatches * kBatch, 0x5);
+  net::ReplayOptions opts;
+  opts.batch = kBatch;
+  opts.pipeline = 4;
+  opts.batch_interval = kInterval;
+
+  using Clock = std::chrono::steady_clock;
+  const auto t0 = Clock::now();
+  const std::uint64_t completed = net::replay_stream(client, accesses, opts);
+  const auto elapsed = Clock::now() - t0;
+  EXPECT_EQ(completed, accesses.size());
+
+  // The last batch launches at (kBatches - 1) * interval: a hard floor.
+  EXPECT_GE(elapsed, (kBatches - 1) * kInterval);
+
+  const double secs = std::chrono::duration<double>(elapsed).count();
+  const double achieved = static_cast<double>(completed) / secs;
+  const double target =
+      static_cast<double>(kBatch) /
+      std::chrono::duration<double>(kInterval).count();
+  // Never above ~target (floor above), and within 2x below it even on a
+  // slow, oversubscribed runner — pre-hybrid pacing sagged much further
+  // at short intervals.
+  EXPECT_LE(achieved, target * 1.05);
+  EXPECT_GE(achieved, target * 0.5)
+      << "achieved " << achieved << " req/s vs target " << target;
+  server.stop();
+}
+
 }  // namespace
 }  // namespace icgmm

@@ -112,6 +112,54 @@ TEST(RuntimeRefresher, AdaptsScoresTowardDriftedTraffic) {
       << "published model did not move toward the drifted hotspot";
 }
 
+TEST(RuntimeRefresher, RestartAdaptsFromCurrentlyPublishedModel) {
+  ModelSlot slot(std::make_shared<const gmm::GaussianMixture>(two_blob_model()));
+  ModelRefresherConfig cfg;
+  cfg.online.batch = 64;
+  ModelRefresher refresher(slot, cfg);
+
+  // First run: consume a batch and stop.
+  const auto first_batch = samples_at(250.0, 250.0, 256);
+  refresher.submit(first_batch);
+  refresher.start();
+  refresher.stop();
+  const std::uint64_t first_observed = refresher.observed();
+  const std::uint64_t first_published = refresher.published();
+  EXPECT_EQ(first_observed, first_batch.size());
+  ASSERT_GE(first_published, 1u);
+
+  // Externally publish a model whose mass sits at normalized (0.9, 0.9)
+  // — far from anything the first run adapted toward. A restarted
+  // refresher must seed from THIS model, not from its stale first-run EM
+  // state.
+  const gmm::Normalizer norm{
+      .p_offset = 0.0, .p_scale = 1e-3, .t_offset = 0.0, .t_scale = 1e-3};
+  std::vector<gmm::Gaussian2D> comps;
+  comps.emplace_back(gmm::Vec2{0.9, 0.9}, gmm::Cov2{0.01, 0.0, 0.01});
+  const gmm::GaussianMixture external({1.0}, std::move(comps), norm);
+  slot.store(std::make_shared<const gmm::GaussianMixture>(external));
+
+  // Second run: a genuine restart — the worker spawns again, consumes,
+  // and publishes; counters accumulate across runs.
+  refresher.start();
+  EXPECT_TRUE(refresher.running());
+  const auto second_batch = samples_at(900.0, 900.0, 256);
+  refresher.submit(second_batch);
+  refresher.stop();
+
+  EXPECT_EQ(refresher.observed(), first_observed + second_batch.size());
+  EXPECT_GE(refresher.published(), first_published + 1);
+
+  // The second run adapted around (0.9, 0.9): its published model must
+  // score the hotspot like the external anchor does, not like the
+  // first run's (0.2–0.3)-centered state would.
+  const auto adapted = slot.load();
+  const double anchored = adapted->log_score(900.0, 900.0);
+  const double stale = two_blob_model().log_score(900.0, 900.0);
+  EXPECT_GT(anchored, stale + 10.0)
+      << "restart did not re-seed from the slot's published model";
+}
+
 TEST(RuntimeRefresher, ConcurrentSubmitAndSnapshotScoringIsRaceFree) {
   ModelSlot slot(std::make_shared<const gmm::GaussianMixture>(two_blob_model()));
   ModelRefresherConfig cfg;

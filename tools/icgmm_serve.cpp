@@ -8,6 +8,7 @@
 //               [--cache-mb MB] [--assoc WAYS]
 //               [--train-requests N] [--train-benchmark NAME] [--seed S]
 //               [--adapt] [--sample-every N]
+//               [--async-miss] [--async-ring CAP]
 //               [--front-cache] [--front-capacity M] [--front-replicas N]
 //               [--front-promote K]
 //               [--stats-every SECONDS] [--quiet]
@@ -26,6 +27,12 @@
 // shards (one replica per worker by default; see docs/ARCHITECTURE.md) —
 // the tuning flags imply it. FLUSH invalidates the replicas, so flushed
 // counters stay exact.
+//
+// --async-miss (GMM policies only) turns on the asynchronous miss
+// pipeline: misses admit provisionally and the GMM rescore + eviction
+// decision runs on a background decision thread — eventual-policy
+// consistency, see docs/ARCHITECTURE.md. FLUSH drains the pipeline first,
+// so flushed counters remain exact.
 #include <chrono>
 #include <csignal>
 #include <cstring>
@@ -61,6 +68,7 @@ struct Args {
   std::uint64_t seed = 7;
   bool adapt = false;
   std::uint32_t sample_every = 64;
+  runtime::AsyncMissConfig async_miss;  // off unless --async-miss
   runtime::FrontCacheConfig front;  // off unless a --front-* flag is given
   unsigned stats_every = 10;
   bool quiet = false;
@@ -85,6 +93,8 @@ Args parse(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--seed")) args.seed = std::stoull(next());
     else if (!std::strcmp(argv[i], "--adapt")) args.adapt = true;
     else if (!std::strcmp(argv[i], "--sample-every")) args.sample_every = static_cast<std::uint32_t>(std::stoul(next()));
+    else if (!std::strcmp(argv[i], "--async-miss")) args.async_miss.enabled = true;
+    else if (!std::strcmp(argv[i], "--async-ring")) { args.async_miss.ring_capacity = static_cast<std::uint32_t>(std::stoul(next())); args.async_miss.enabled = true; }
     else if (!std::strcmp(argv[i], "--front-cache")) args.front.enabled = true;
     else if (!std::strcmp(argv[i], "--front-capacity")) { args.front.capacity = static_cast<std::uint32_t>(std::stoul(next())); args.front.enabled = true; }
     else if (!std::strcmp(argv[i], "--front-replicas")) { args.front.replicas = static_cast<std::uint32_t>(std::stoul(next())); args.front.enabled = true; }
@@ -123,6 +133,12 @@ int main(int argc, char** argv) {
   rcfg.adapt = args.adapt;
   rcfg.sample_every = args.sample_every;
   rcfg.front = args.front;
+  rcfg.async_miss = args.async_miss;
+  if (args.async_miss.enabled && args.policy.rfind("gmm", 0) != 0) {
+    std::cerr << "error: --async-miss requires a GMM policy (the classic "
+                 "policies have no deferred decision to run)\n";
+    return 1;
+  }
   if (rcfg.front.enabled && rcfg.front.replicas == 0) {
     // One replica per worker (the I/O thread serves when workers == 0).
     rcfg.front.replicas = args.workers > 0 ? args.workers : 1;
@@ -179,6 +195,7 @@ int main(int argc, char** argv) {
             << " (policy " << rt->policy_name() << ", shards " << args.shards
             << ", workers " << args.workers
             << (args.adapt ? ", adaptive" : "")
+            << (rcfg.async_miss.enabled ? ", async-miss" : "")
             << (rcfg.front.enabled ? ", front-cache" : "") << ")"
             << std::endl;
 
@@ -199,6 +216,11 @@ int main(int argc, char** argv) {
               << " inferences=" << snap.inferences
               << " model_v=" << snap.model_version;
     if (rcfg.front.enabled) std::cout << " front_hits=" << snap.front_hits;
+    if (rcfg.async_miss.enabled) {
+      std::cout << " deferred=" << snap.deferred_applied << "/"
+                << snap.deferred_enqueued
+                << " demotions=" << snap.deferred_demotions;
+    }
     std::cout << std::endl;
     last_requests = ss.requests_served;
   }
@@ -214,6 +236,11 @@ int main(int argc, char** argv) {
             << ss.protocol_errors << " protocol errors, hit rate "
             << snap.merged.hit_rate();
   if (rcfg.front.enabled) std::cout << ", front hits " << snap.front_hits;
+  if (rcfg.async_miss.enabled) {
+    std::cout << ", deferred " << snap.deferred_applied << " applied / "
+              << snap.deferred_dropped << " dropped, "
+              << snap.deferred_demotions << " demotions";
+  }
   std::cout << ")" << std::endl;
   return 0;
 }
