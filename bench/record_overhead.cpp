@@ -1,0 +1,150 @@
+// Serving cost of the traffic recorder: throughput with recording off,
+// recording the full stream, and recording 1-in-8 sampling windows, plus
+// the drop rate the bounded ring actually incurred — the honesty metric
+// for the never-stall contract (the recorder never blocks serving; what
+// it can't keep up with it drops and counts).
+//
+// LRU policy, Zipf workload, no warm-up discard (throughput, not hit
+// rate). Single- and dual-thread rows: the recorder ring is MPSC, so the
+// two-thread row exercises the CAS producer path. The capture file goes
+// to a temp path and is removed afterwards — only its cost is of
+// interest here.
+//
+// Usage: record_overhead [-n REQUESTS] [--quick] [--json FILE]
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "cache/policies/classic.hpp"
+#include "common/run_env.hpp"
+#include "common/table.hpp"
+#include "runtime/replay.hpp"
+#include "trace/zipf.hpp"
+
+namespace {
+
+using namespace icgmm;
+
+trace::Trace make_workload(std::size_t n, const cache::CacheConfig& cache) {
+  const std::uint64_t pages = cache.blocks() * 4;
+  trace::Zipf zipf(pages, 0.99);
+  Rng rng(0xbe7c4);
+  trace::Trace t("zipf-record-overhead");
+  t.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    t.push_back({.addr = addr_of(zipf.sample(rng)),
+                 .time = i,
+                 .type = rng.chance(0.10) ? AccessType::kWrite
+                                          : AccessType::kRead});
+  }
+  return t;
+}
+
+struct Cell {
+  std::string mode;
+  std::uint32_t threads = 0;
+  double mreq_per_s = 0.0;
+  std::uint64_t records_written = 0;
+  std::uint64_t records_dropped = 0;
+  double drop_rate = 0.0;
+  std::uint64_t bytes_written = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::Options::parse(argc, argv);
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
+  cache::CacheConfig cache_cfg;  // paper geometry: 64 MB / 4 KB / 8-way
+  const trace::Trace workload = make_workload(opt.requests, cache_cfg);
+  const std::string capture_path = "record_overhead_capture.tmp";
+
+  struct Variant {
+    const char* name;
+    bool record;
+    std::uint32_t sample_every;
+  };
+  constexpr Variant kVariants[] = {{"off", false, 1},
+                                   {"record", true, 1},
+                                   {"record-1in8", true, 8}};
+
+  runtime::ReplayConfig serve;
+  serve.warmup_fraction = 0.0;
+  std::vector<Cell> cells;
+  for (const Variant& v : kVariants) {
+    for (const std::uint32_t threads : {1u, 2u}) {
+      runtime::RuntimeConfig rcfg;
+      rcfg.cache = cache_cfg;
+      rcfg.shards = 4;
+      if (v.record) {
+        rcfg.record.path = capture_path;
+        rcfg.record.sample_every = v.sample_every;
+      }
+      runtime::Runtime rt(rcfg, cache::LruPolicy());
+      serve.threads = threads;
+      const runtime::ReplayResult r = runtime::replay_trace(rt, workload, serve);
+      Cell cell{.mode = v.name, .threads = threads,
+                .mreq_per_s = r.requests_per_second / 1e6};
+      if (record::TraceRecorder* rec = rt.recorder()) {
+        rec->stop();  // drain so the written/dropped split is final
+        const record::RecorderStats rs = rec->stats();
+        cell.records_written = rs.records_written;
+        cell.records_dropped = rs.records_dropped;
+        cell.bytes_written = rs.bytes_written;
+        const std::uint64_t offered = rs.records_written + rs.records_dropped;
+        cell.drop_rate = offered == 0 ? 0.0
+                                      : static_cast<double>(rs.records_dropped) /
+                                            static_cast<double>(offered);
+      }
+      cells.push_back(cell);
+    }
+  }
+  std::remove(capture_path.c_str());
+
+  std::cout << "recorder overhead, " << workload.size()
+            << " requests, hardware threads: "
+            << std::thread::hardware_concurrency() << "\n\n";
+  Table table({"mode", "threads", "M req/s", "written", "dropped",
+               "drop rate", "MB on disk"});
+  for (const Cell& c : cells) {
+    table.add_row({c.mode, std::to_string(c.threads),
+                   Table::fmt(c.mreq_per_s, 2),
+                   std::to_string(c.records_written),
+                   std::to_string(c.records_dropped),
+                   Table::fmt_percent(c.drop_rate),
+                   Table::fmt(static_cast<double>(c.bytes_written) / 1e6, 1)});
+  }
+  std::cout << table.render();
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n  " << run_env_json_fields() << ",\n"
+        << "  \"bench\": \"record_overhead\",\n"
+        << "  \"requests\": " << workload.size() << ",\n"
+        << "  \"cells\": [\n";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const Cell& c = cells[i];
+      out << "    {\"mode\": \"" << c.mode << "\", \"threads\": " << c.threads
+          << ", \"mreq_per_s\": " << c.mreq_per_s
+          << ", \"records_written\": " << c.records_written
+          << ", \"records_dropped\": " << c.records_dropped
+          << ", \"drop_rate\": " << c.drop_rate
+          << ", \"bytes_written\": " << c.bytes_written << "}"
+          << (i + 1 < cells.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::cout << "\nwrote " << json_path << "\n";
+  }
+  return 0;
+}

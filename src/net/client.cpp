@@ -295,7 +295,9 @@ std::uint64_t replay_stream(Client& client,
   };
   const std::size_t batch = std::max<std::size_t>(1, opts.batch);
   const std::size_t pipeline = std::max<std::size_t>(1, opts.pipeline);
-  const bool open_loop = opts.batch_interval.count() > 0;
+  const bool recorded_timing = !opts.send_offsets_ns.empty() &&
+                               opts.send_offsets_ns.size() >= stream.size();
+  const bool open_loop = recorded_timing || opts.batch_interval.count() > 0;
   const auto start = Clock::now();
 
   std::deque<InFlight> window;
@@ -320,7 +322,13 @@ std::uint64_t replay_stream(Client& client,
       n = std::min(n, opts.flush_after - sent);  // land exactly on the boundary
     }
     Clock::time_point ref;
-    if (open_loop) {
+    if (recorded_timing) {
+      // Pace by the batch's first request: relative to the capture's
+      // first arrival, so replay spacing mirrors recorded spacing.
+      ref = start + std::chrono::nanoseconds(opts.send_offsets_ns[sent] -
+                                             opts.send_offsets_ns[0]);
+      precise_sleep_until(ref);  // no-op when behind schedule
+    } else if (open_loop) {
       // Scheduled by batches launched, not requests: a split batch (the
       // flush boundary, the stream tail) consumes a full interval slot,
       // shifting later launches by at most one interval per split.

@@ -111,6 +111,14 @@ struct ReplayOptions {
   std::size_t flush_after = 0;
   /// Open-loop pacing: time between batch launches (0 = closed loop).
   std::chrono::nanoseconds batch_interval{0};
+  /// Recorded-timing pacing: per-request send offsets in nanoseconds,
+  /// parallel to the stream (a recorded capture's arrival_ns column).
+  /// When non-empty, each batch launches at start + (offset of its first
+  /// request - offset of the stream's first request) — reproducing the
+  /// captured inter-arrival spacing instead of a fixed interval. Takes
+  /// precedence over batch_interval. The caller keeps the offsets alive
+  /// for the duration of the replay.
+  std::span<const std::uint64_t> send_offsets_ns;
 };
 
 /// Per-batch completion hook: the reply, the batch's reference time (the
@@ -134,14 +142,22 @@ std::uint64_t replay_stream(Client& client,
 
 /// Contiguous chunk `index` of `parts` over a request stream, remainder
 /// spread over the first chunks — the per-connection split every
-/// multi-connection driver uses (loadgen, net bench).
-inline std::span<const WireAccess> stream_chunk(
-    std::span<const WireAccess> stream, std::size_t index,
-    std::size_t parts) {
+/// multi-connection driver uses (loadgen, net bench). Generic so a
+/// side array parallel to the stream (recorded send offsets) splits
+/// identically.
+template <typename T>
+std::span<const T> stream_chunk(std::span<const T> stream, std::size_t index,
+                                std::size_t parts) {
   const std::size_t base = stream.size() / parts;
   const std::size_t extra = stream.size() % parts;
   const std::size_t first = index * base + (index < extra ? index : extra);
   return stream.subspan(first, base + (index < extra ? 1 : 0));
+}
+
+inline std::span<const WireAccess> stream_chunk(
+    std::span<const WireAccess> stream, std::size_t index,
+    std::size_t parts) {
+  return stream_chunk<WireAccess>(stream, index, parts);
 }
 
 /// Fixed-size pool of connections to one server. acquire() hands out an

@@ -138,7 +138,7 @@ void encode_stats_request(std::vector<std::uint8_t>& out, std::uint32_t seq) {
 
 void encode_stats_reply(std::vector<std::uint8_t>& out, std::uint32_t seq,
                         const StatsReply& reply) {
-  put_header(out, MsgType::kStatsReply, seq, 12 * 8);
+  put_header(out, MsgType::kStatsReply, seq, 15 * 8);
   put_u64(out, reply.accesses);
   put_u64(out, reply.hits);
   put_u64(out, reply.read_misses);
@@ -151,6 +151,9 @@ void encode_stats_reply(std::vector<std::uint8_t>& out, std::uint32_t seq,
   put_u64(out, reply.score_batches);
   put_u64(out, reply.model_version);
   put_u64(out, reply.models_published);
+  put_u64(out, reply.records_written);
+  put_u64(out, reply.records_dropped);
+  put_u64(out, reply.record_chunks);
 }
 
 void encode_model_info_request(std::vector<std::uint8_t>& out,
@@ -264,7 +267,7 @@ DecodeStatus decode_access_reply(const Frame& frame,
 
 DecodeStatus decode_stats_reply(const Frame& frame, StatsReply& out) noexcept {
   const std::span<const std::uint8_t> p = frame.payload;
-  if (frame.header.type != MsgType::kStatsReply || p.size() != 12 * 8) {
+  if (frame.header.type != MsgType::kStatsReply || p.size() != 15 * 8) {
     return DecodeStatus::kBadPayload;
   }
   const std::uint8_t* d = p.data();
@@ -280,6 +283,9 @@ DecodeStatus decode_stats_reply(const Frame& frame, StatsReply& out) noexcept {
   out.score_batches = get_u64(d + 72);
   out.model_version = get_u64(d + 80);
   out.models_published = get_u64(d + 88);
+  out.records_written = get_u64(d + 96);
+  out.records_dropped = get_u64(d + 104);
+  out.record_chunks = get_u64(d + 112);
   return DecodeStatus::kOk;
 }
 

@@ -20,7 +20,7 @@
 //   ACCESS_REPLY  u32 count, u32 hits, u32 admitted, u32 evictions,
 //                 u32 dirty_evictions (per-batch aggregate).
 //   STATS         empty request; reply carries the merged RuntimeSnapshot
-//                 counters as 12 x u64 (see StatsReply).
+//                 counters as 15 x u64 (see StatsReply).
 //   MODEL_INFO    empty request; reply: u32 shards, u32 components,
 //                 u64 model_version, u16 name_len, name bytes.
 //   PING          empty request; PONG reply echoes the seq.
@@ -131,6 +131,10 @@ struct StatsReply {
   std::uint64_t score_batches = 0;
   std::uint64_t model_version = 0;
   std::uint64_t models_published = 0;
+  // Traffic recorder counters (all 0 when the server is not recording).
+  std::uint64_t records_written = 0;
+  std::uint64_t records_dropped = 0;
+  std::uint64_t record_chunks = 0;
 };
 
 struct ModelInfoReply {

@@ -452,6 +452,9 @@ void Server::serve_frame(std::span<const std::uint8_t> frame_bytes,
       reply.score_batches = snap.score_batches;
       reply.model_version = snap.model_version;
       reply.models_published = snap.models_published;
+      reply.records_written = snap.records_written;
+      reply.records_dropped = snap.records_dropped;
+      reply.record_chunks = snap.record_chunks;
       encode_stats_reply(out, seq, reply);
       return;
     }

@@ -1,0 +1,229 @@
+#include "record/format.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace icgmm::record {
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("record format: " + what);
+}
+
+// Explicit little-endian primitives so captures move between hosts
+// byte-identically (same discipline as the wire protocol).
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint64_t>(get_u32(p)) |
+         (static_cast<std::uint64_t>(get_u32(p + 4)) << 32);
+}
+
+void write_bytes(std::ostream& os, const std::vector<std::uint8_t>& bytes) {
+  os.write(reinterpret_cast<const char*>(bytes.data()),
+           static_cast<std::streamsize>(bytes.size()));
+  if (!os) fail("write failure");
+}
+
+/// Reads exactly n bytes; returns how many actually arrived (short only
+/// at EOF / stream failure).
+std::size_t read_bytes(std::istream& is, std::uint8_t* out, std::size_t n) {
+  is.read(reinterpret_cast<char*>(out), static_cast<std::streamsize>(n));
+  return static_cast<std::size_t>(is.gcount());
+}
+
+constexpr auto kCrcTable = [] {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}();
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) noexcept {
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const std::uint8_t b : data) {
+    c = kCrcTable[(c ^ b) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void write_file_header(std::ostream& os, const FileHeader& header) {
+  if (header.provenance.size() > kMaxProvenanceBytes) {
+    fail("provenance blob too large");
+  }
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(kFileHeaderBytes + header.provenance.size());
+  bytes.insert(bytes.end(), kFileMagic.begin(), kFileMagic.end());
+  put_u32(bytes, header.version);
+  put_u32(bytes, 0);  // reserved flags
+  put_u32(bytes, header.sample_every);
+  put_u32(bytes, header.sample_window);
+  put_u32(bytes, static_cast<std::uint32_t>(header.provenance.size()));
+  bytes.insert(bytes.end(), header.provenance.begin(),
+               header.provenance.end());
+  write_bytes(os, bytes);
+}
+
+FileHeader read_file_header(std::istream& is) {
+  std::uint8_t buf[kFileHeaderBytes];
+  if (read_bytes(is, buf, sizeof buf) != sizeof buf) {
+    fail("truncated file header");
+  }
+  if (std::memcmp(buf, kFileMagic.data(), kFileMagic.size()) != 0) {
+    fail("bad magic (not a recorded trace)");
+  }
+  FileHeader header;
+  header.version = get_u32(buf + 4);
+  if (header.version != kFormatVersion) {
+    // Reject, never skip: an unknown version means unknown chunk layout.
+    fail("unsupported format version " + std::to_string(header.version) +
+         " (this reader understands only version " +
+         std::to_string(kFormatVersion) + ")");
+  }
+  if (get_u32(buf + 8) != 0) fail("non-zero reserved header flags");
+  header.sample_every = get_u32(buf + 12);
+  header.sample_window = get_u32(buf + 16);
+  const std::uint32_t prov_len = get_u32(buf + 20);
+  if (prov_len > kMaxProvenanceBytes) fail("oversized provenance length");
+  header.provenance.resize(prov_len);
+  if (prov_len > 0 &&
+      read_bytes(is, reinterpret_cast<std::uint8_t*>(header.provenance.data()),
+                 prov_len) != prov_len) {
+    fail("truncated provenance");
+  }
+  return header;
+}
+
+void append_chunk(std::ostream& os, std::span<const RecordedEntry> entries) {
+  if (entries.size() > kMaxChunkRecords) fail("chunk too large");
+  std::vector<std::uint8_t> payload;
+  payload.reserve(entries.size() * kRecordWireBytes);
+  for (const RecordedEntry& e : entries) {
+    put_u64(payload, e.page);
+    put_u64(payload, e.timestamp);
+    put_u64(payload, e.arrival_ns);
+    payload.push_back(e.is_write ? 1 : 0);
+  }
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(kChunkHeaderBytes + payload.size());
+  put_u32(bytes, kChunkMagic);
+  put_u32(bytes, static_cast<std::uint32_t>(ChunkKind::kRecords));
+  put_u32(bytes, static_cast<std::uint32_t>(entries.size()));
+  put_u32(bytes, crc32(payload));
+  bytes.insert(bytes.end(), payload.begin(), payload.end());
+  write_bytes(os, bytes);
+}
+
+void append_flush_marker(std::ostream& os) {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(kChunkHeaderBytes);
+  put_u32(bytes, kChunkMagic);
+  put_u32(bytes, static_cast<std::uint32_t>(ChunkKind::kFlushMarker));
+  put_u32(bytes, 0);
+  put_u32(bytes, crc32({}));  // empty payload
+  write_bytes(os, bytes);
+}
+
+RecordedTrace read_recorded(std::istream& is, std::string name) {
+  RecordedTrace out;
+  out.header = read_file_header(is);  // throws: header damage is fatal
+  out.trace.set_name(std::move(name));
+
+  std::uint8_t head[kChunkHeaderBytes];
+  std::vector<std::uint8_t> payload;
+  while (true) {
+    const std::size_t got = read_bytes(is, head, sizeof head);
+    if (got == 0) break;  // clean EOF on a chunk boundary
+    if (got != sizeof head) {
+      out.tail_truncated = true;  // torn mid-header
+      break;
+    }
+    const std::uint32_t magic = get_u32(head);
+    const std::uint32_t kind = get_u32(head + 4);
+    const std::uint32_t count = get_u32(head + 8);
+    const std::uint32_t crc = get_u32(head + 12);
+    if (magic != kChunkMagic || kind > 1 || count > kMaxChunkRecords ||
+        (kind == static_cast<std::uint32_t>(ChunkKind::kFlushMarker) &&
+         count != 0)) {
+      out.tail_truncated = true;  // corrupt header: drop from here on
+      break;
+    }
+    const std::size_t payload_bytes = count * kRecordWireBytes;
+    payload.resize(payload_bytes);
+    if (read_bytes(is, payload.data(), payload_bytes) != payload_bytes) {
+      out.tail_truncated = true;  // torn mid-payload
+      break;
+    }
+    if (crc32(payload) != crc) {
+      out.tail_truncated = true;  // payload damaged in place
+      break;
+    }
+    if (kind == static_cast<std::uint32_t>(ChunkKind::kFlushMarker)) {
+      out.flush_points.push_back(out.trace.size());
+      continue;
+    }
+    out.arrival_ns.reserve(out.arrival_ns.size() + count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const std::uint8_t* p = payload.data() + i * kRecordWireBytes;
+      const PageIndex page = get_u64(p);
+      out.trace.push_back({.addr = addr_of(page),
+                           .time = get_u64(p + 8),
+                           .type = (p[24] & 1) ? AccessType::kWrite
+                                               : AccessType::kRead});
+      out.arrival_ns.push_back(get_u64(p + 16));
+    }
+    ++out.chunks;
+  }
+  return out;
+}
+
+RecordedTrace read_recorded_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) fail("cannot open for read: " + path);
+  return read_recorded(is, path);
+}
+
+TraceFileKind sniff_trace_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) fail("cannot open for read: " + path);
+  char magic[4] = {0, 0, 0, 0};
+  is.read(magic, sizeof magic);
+  if (is.gcount() == 4) {
+    if (std::memcmp(magic, kFileMagic.data(), 4) == 0) {
+      return TraceFileKind::kRecorded;
+    }
+    if (std::memcmp(magic, "ICGT", 4) == 0) {
+      return TraceFileKind::kBinaryTrace;
+    }
+  }
+  return TraceFileKind::kOther;
+}
+
+}  // namespace icgmm::record

@@ -1,0 +1,141 @@
+// On-disk format of recorded production traffic — the append-only
+// chunked binary trace the TraceRecorder writes at serve time and the
+// replay tooling reads back as a regression artifact.
+//
+// A recorded file is one file header followed by zero or more chunks
+// until EOF (there is no trailer: the writer can crash at any byte and
+// the reader still recovers every fully-written chunk):
+//
+//   FileHeader (all integers little-endian):
+//     char[4]  magic          "ICGR"
+//     u32      version        kFormatVersion — readers MUST reject any
+//                             other value, never skip (a skipped version
+//                             would silently misparse every chunk)
+//     u32      flags          reserved, must be 0
+//     u32      sample_every   1-in-N sampling windows (1 = full stream)
+//     u32      sample_window  requests per sampling window
+//     u32      provenance_len followed by provenance_len bytes of
+//                             free-form capture provenance (the shared
+//                             run_env JSON fields — host, build flags,
+//                             git describe)
+//
+//   Chunk:
+//     u32      chunk_magic    "RCHK"
+//     u32      kind           0 = records, 1 = FLUSH/clear-stats marker
+//     u32      count          records in the payload (0 for a marker)
+//     u32      crc32          CRC-32 (ISO-HDLC) over the payload bytes
+//     payload: count x 25-byte records
+//              {u64 page, u64 timestamp, u64 arrival_ns, u8 flags(bit0=W)}
+//
+// The per-chunk count + CRC is what makes a crash-truncated tail safe:
+// the reader validates each chunk before admitting its records and stops
+// at the first header/size/CRC failure, dropping the torn tail while
+// keeping every prior chunk. FLUSH markers record where the server's
+// statistics were cleared (the warm-up discard), so a replay can
+// reproduce the measured window bit for bit.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace icgmm::record {
+
+inline constexpr std::array<char, 4> kFileMagic = {'I', 'C', 'G', 'R'};
+inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::uint32_t kChunkMagic = 0x4b484352u;  // "RCHK" LE
+inline constexpr std::size_t kFileHeaderBytes = 4 + 5 * 4;
+inline constexpr std::size_t kChunkHeaderBytes = 16;
+inline constexpr std::size_t kRecordWireBytes = 25;
+/// Hard cap on a chunk's declared record count: a corrupt header must
+/// provoke a clean stop, not a multi-gigabyte allocation.
+inline constexpr std::uint32_t kMaxChunkRecords = 1u << 20;
+/// Cap on the provenance blob for the same reason.
+inline constexpr std::uint32_t kMaxProvenanceBytes = 1u << 16;
+
+enum class ChunkKind : std::uint32_t {
+  kRecords = 0,
+  kFlushMarker = 1,  ///< the server's stats were cleared here
+};
+
+/// One recorded access: what the serving path saw, plus the wall-clock
+/// arrival offset (ns since the recorder started) that powers
+/// recorded-timing replay.
+struct RecordedEntry {
+  PageIndex page = 0;
+  Timestamp timestamp = 0;         ///< logical (Algorithm-1) time as served
+  std::uint64_t arrival_ns = 0;    ///< wall-clock offset from capture start
+  bool is_write = false;
+
+  friend constexpr bool operator==(const RecordedEntry&,
+                                   const RecordedEntry&) = default;
+};
+
+/// CRC-32 (ISO-HDLC / zlib polynomial, reflected). crc32("123456789")
+/// == 0xCBF43926.
+std::uint32_t crc32(std::span<const std::uint8_t> data) noexcept;
+
+struct FileHeader {
+  std::uint32_t version = kFormatVersion;
+  std::uint32_t sample_every = 1;
+  std::uint32_t sample_window = 1;
+  std::string provenance;
+};
+
+/// Writes the file header. Throws std::runtime_error on stream failure or
+/// an oversized provenance blob.
+void write_file_header(std::ostream& os, const FileHeader& header);
+
+/// Reads and validates the file header. Throws std::runtime_error on bad
+/// magic, a version other than kFormatVersion (reject, never skip),
+/// non-zero reserved flags, or a truncated/oversized header.
+FileHeader read_file_header(std::istream& is);
+
+/// Appends one records chunk (count + CRC32 + packed payload). Throws on
+/// stream failure or more than kMaxChunkRecords entries.
+void append_chunk(std::ostream& os, std::span<const RecordedEntry> entries);
+
+/// Appends a FLUSH/clear-stats boundary marker chunk.
+void append_flush_marker(std::ostream& os);
+
+/// A fully-parsed recorded file, lowered into the trace container the
+/// rest of the system consumes (record.addr = page << 12, record.time =
+/// the served logical timestamp) plus the recorder-specific side data.
+struct RecordedTrace {
+  FileHeader header;
+  trace::Trace trace;
+  /// Per-record wall-clock arrival offsets, parallel to trace.records().
+  std::vector<std::uint64_t> arrival_ns;
+  /// Record indices at which the server's stats were cleared: a marker
+  /// value of k means "FLUSH landed after the first k records".
+  std::vector<std::size_t> flush_points;
+  std::uint64_t chunks = 0;  ///< valid record chunks admitted
+  /// True when reading stopped at a torn or corrupt chunk (crash
+  /// truncation): everything before it is valid and present, everything
+  /// from it on was dropped.
+  bool tail_truncated = false;
+};
+
+/// Streams a recorded file. Throws std::runtime_error only for header
+/// failures (wrong magic/version); body damage is recovered per the
+/// chunk-CRC contract and reported via tail_truncated.
+RecordedTrace read_recorded(std::istream& is, std::string name = "recorded");
+RecordedTrace read_recorded_file(const std::string& path);
+
+/// What kind of trace file a path holds, by magic sniffing (not file
+/// extension): a recorded capture, the plain "ICGT" binary trace, or
+/// anything else (treated as CSV by the tools).
+enum class TraceFileKind : std::uint8_t {
+  kRecorded,
+  kBinaryTrace,
+  kOther,
+};
+
+TraceFileKind sniff_trace_file(const std::string& path);
+
+}  // namespace icgmm::record

@@ -18,27 +18,42 @@ constexpr std::size_t kReplayBatch = 256;
 /// Replays records [first, last) with a fresh logical clock and private
 /// latency accumulator, staged through Runtime::apply_batch in spans of
 /// kReplayBatch — the same entry point the net server feeds, so both
-/// drivers run one code path. `warmup` > 0 clears the runtime's stats and
-/// this thread's latency after that many requests (single-thread mode
-/// only); batches are split at the warm-up boundary so the clear lands on
-/// exactly the same request it always did.
+/// drivers run one code path. `clear_points` (sorted indices relative to
+/// this chunk's processed count; single-thread mode only) clear the
+/// runtime's stats and this thread's latency at those exact requests;
+/// batches are split at each boundary so every clear lands on exactly
+/// the request it was recorded (or warm-up-computed) at.
 void replay_chunk(Runtime& rt, const trace::Trace& trace, std::size_t first,
-                  std::size_t last, const ReplayConfig& cfg, std::size_t warmup,
+                  std::size_t last, const ReplayConfig& cfg,
+                  std::span<const std::size_t> clear_points,
                   sim::LatencyModel& latency) {
   trace::TimestampTransform transform(cfg.transform);
   Access batch[kReplayBatch];
   cache::AccessResult results[kReplayBatch];
   std::size_t processed = 0;
+  std::size_t next_clear = 0;
+  const auto clear_if_due = [&] {
+    while (next_clear < clear_points.size() &&
+           clear_points[next_clear] == processed) {
+      rt.clear_stats();
+      latency.reset();
+      ++next_clear;
+    }
+  };
   std::size_t i = first;
+  clear_if_due();  // a recorded FLUSH can precede the first access
   while (i < last) {
     std::size_t n = std::min(kReplayBatch, last - i);
-    if (warmup > processed && warmup - processed < n) {
-      n = warmup - processed;  // split so the batch ends at the warm-up point
+    if (next_clear < clear_points.size()) {
+      const std::size_t boundary = clear_points[next_clear];
+      if (boundary > processed && boundary - processed < n) {
+        n = boundary - processed;  // split so the batch ends at the boundary
+      }
     }
     for (std::size_t j = 0; j < n; ++j) {
       const trace::Record& r = trace[i + j];
       batch[j] = {.page = r.page(),
-                  .timestamp = transform.next(),
+                  .timestamp = cfg.raw_timestamps ? r.time : transform.next(),
                   .is_write = r.is_write()};
     }
     rt.apply_batch({batch, n}, {results, n});
@@ -47,10 +62,7 @@ void replay_chunk(Runtime& rt, const trace::Trace& trace, std::size_t first,
     }
     processed += n;
     i += n;
-    if (processed == warmup) {
-      rt.clear_stats();
-      latency.reset();
-    }
+    clear_if_due();
   }
 }
 
@@ -66,10 +78,14 @@ ReplayResult replay_trace(Runtime& rt, const trace::Trace& trace,
   std::vector<sim::LatencyModel> latency(threads,
                                          sim::LatencyModel(cfg.latency));
   if (threads == 1) {
-    const auto warmup = static_cast<std::size_t>(
-        std::clamp(cfg.warmup_fraction, 0.0, 0.9) *
-        static_cast<double>(trace.size()));
-    replay_chunk(rt, trace, 0, trace.size(), cfg, warmup, latency[0]);
+    std::vector<std::size_t> clear_points = cfg.clear_points;
+    if (clear_points.empty()) {
+      const auto warmup = static_cast<std::size_t>(
+          std::clamp(cfg.warmup_fraction, 0.0, 0.9) *
+          static_cast<double>(trace.size()));
+      if (warmup > 0) clear_points.push_back(warmup);
+    }
+    replay_chunk(rt, trace, 0, trace.size(), cfg, clear_points, latency[0]);
   } else {
     // Contiguous chunks, remainder spread over the first chunks.
     const std::size_t base = trace.size() / threads;
@@ -82,7 +98,7 @@ ReplayResult replay_trace(Runtime& rt, const trace::Trace& trace,
       const std::size_t last = first + count;
       workers.emplace_back([&rt, &trace, first, last, &cfg,
                             &lat = latency[t]] {
-        replay_chunk(rt, trace, first, last, cfg, /*warmup=*/0, lat);
+        replay_chunk(rt, trace, first, last, cfg, /*clear_points=*/{}, lat);
       });
       first = last;
     }

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "runtime/runtime.hpp"
 #include "sim/engine.hpp"
@@ -28,6 +29,18 @@ struct ReplayConfig {
   /// Head fraction excluded from measurement; honored only when
   /// threads == 1 (see file comment).
   double warmup_fraction = 0.2;
+  /// Use each record's stored timestamp verbatim instead of regenerating
+  /// logical time through the Algorithm-1 transform. Recorded-capture
+  /// replay needs this: the capture already holds the timestamps the
+  /// server actually served, and re-transforming them would double-apply
+  /// the window mapping.
+  bool raw_timestamps = false;
+  /// Explicit stats-clear boundaries (sorted record indices; value k
+  /// means "clear after the first k records"). Non-empty overrides
+  /// warmup_fraction; honored only when threads == 1. This is how a
+  /// recorded capture's FLUSH markers reproduce the server's measured
+  /// window exactly.
+  std::vector<std::size_t> clear_points;
 };
 
 struct ReplayResult {

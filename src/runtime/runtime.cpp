@@ -17,6 +17,9 @@ Runtime::Runtime(RuntimeConfig cfg, const cache::ReplacementPolicy& prototype)
       ShardedCacheConfig{.cache = cfg_.cache, .shards = cfg_.shards},
       prototype);
   if (cfg_.front.enabled) front_ = std::make_unique<FrontCache>(cfg_.front);
+  if (!cfg_.record.path.empty()) {
+    recorder_ = std::make_unique<record::TraceRecorder>(cfg_.record);
+  }
 }
 
 Runtime::Runtime(RuntimeConfig cfg, gmm::GaussianMixture model,
@@ -46,6 +49,9 @@ Runtime::Runtime(RuntimeConfig cfg, gmm::GaussianMixture model,
         return policy;
       });
   if (cfg_.front.enabled) front_ = std::make_unique<FrontCache>(cfg_.front);
+  if (!cfg_.record.path.empty()) {
+    recorder_ = std::make_unique<record::TraceRecorder>(cfg_.record);
+  }
   if (cfg_.adapt) {
     refresher_ = std::make_unique<ModelRefresher>(*slot_, cfg_.refresher);
   }
@@ -70,10 +76,17 @@ void Runtime::start() {
 
 void Runtime::stop() {
   if (refresher_) refresher_->stop();
+  // Drain the recorder ring and flush the capture file so the on-disk
+  // record is complete when the runtime shuts down.
+  if (recorder_) recorder_->stop();
 }
 
 cache::AccessResult Runtime::access(PageIndex page, Timestamp ts,
                                     bool is_write) {
+  // Capture before serving: the recorder sees exactly the accepted
+  // stream in arrival order (try-push only — a full ring drops and
+  // counts, it never stalls this path).
+  if (recorder_) recorder_->record(page, ts, is_write);
   cache::AccessResult result;
   if (front_ && !is_write) {
     const FrontCache::ReadProbe probe = front_->probe_read(page);
@@ -190,6 +203,12 @@ RuntimeSnapshot Runtime::snapshot() const {
     snap.deferred_applied = decision_->applied();
     snap.deferred_demotions = decision_->demotions();
   }
+  if (recorder_) {
+    const record::RecorderStats rs = recorder_->stats();
+    snap.records_written = rs.records_written;
+    snap.records_dropped = rs.records_dropped;
+    snap.record_chunks = rs.chunks_written;
+  }
   return snap;
 }
 
@@ -198,6 +217,10 @@ void Runtime::drain_deferred() {
 }
 
 void Runtime::clear_stats() {
+  // The marker goes into the record stream first: with the serving
+  // quiesced around a FLUSH (the admin contract), every access recorded
+  // before this point belongs to the pre-clear window.
+  if (recorder_) recorder_->mark_flush();
   // Settle the deferred pipeline first: a pre-clear rescore applying
   // after the clear would demote a block into the post-clear eviction
   // counters.

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "cache/policies/gmm_policy.hpp"
+#include "record/recorder.hpp"
 #include "runtime/decision_thread.hpp"
 #include "runtime/front_cache.hpp"
 #include "runtime/inference_batcher.hpp"
@@ -71,6 +72,12 @@ struct RuntimeConfig {
   /// Asynchronous miss pipeline (GMM-mode constructor only; the prototype
   /// constructor rejects it — it has no scoring plumbing to defer to).
   AsyncMissConfig async_miss;
+  /// Production traffic capture (off while record.path is empty): every
+  /// accepted access is try-pushed into a TraceRecorder ring before
+  /// serving, a clear_stats() lands a FLUSH marker in the stream, and
+  /// the writer thread persists chunks off the critical path. Never
+  /// blocks serving; overflow drops are counted in the snapshot.
+  record::RecorderConfig record;
 };
 
 /// One serving request — the unit both the trace replayer and the network
@@ -105,6 +112,12 @@ struct RuntimeSnapshot {
   std::uint64_t deferred_applied = 0;    ///< entries the decision thread ran
   std::uint64_t deferred_dropped = 0;    ///< rescores lost to full rings
   std::uint64_t deferred_demotions = 0;  ///< provisional admissions undone
+  // Traffic recorder (all 0 when recording is off). records_written
+  // trails the serving path by the writer thread's lag; records_dropped
+  // counts accesses lost to a full recorder ring (the never-stall cost).
+  std::uint64_t records_written = 0;
+  std::uint64_t records_dropped = 0;
+  std::uint64_t record_chunks = 0;
 };
 
 class Runtime {
@@ -189,6 +202,8 @@ class Runtime {
   const DecisionThread* decision_thread() const noexcept {
     return decision_.get();
   }
+  /// Null unless cfg.record.path was set.
+  record::TraceRecorder* recorder() noexcept { return recorder_.get(); }
 
  private:
   void maybe_sample(PageIndex page, Timestamp ts);
@@ -200,6 +215,7 @@ class Runtime {
   std::unique_ptr<ShardedCache> sharded_;
   std::unique_ptr<FrontCache> front_;                     // cfg.front.enabled
   std::unique_ptr<ModelRefresher> refresher_;
+  std::unique_ptr<record::TraceRecorder> recorder_;       // cfg.record.path
   // Declared last (destroyed first): the worker references sharded_ and
   // batchers_, so it must be gone before they are. ~Runtime also stops it
   // explicitly for clarity.

@@ -114,8 +114,35 @@ Trace read_binary(std::istream& is, std::string name) {
   is.read(reinterpret_cast<char*>(&count), sizeof count);
   if (!is) fail("truncated header");
 
+  // A record is addr (8) + time (8) + type (1) bytes. Validate the
+  // declared count against the bytes actually left in the stream before
+  // reserving: a corrupt or truncated header must produce a clear error,
+  // not a multi-gigabyte reservation / bad_alloc.
+  constexpr std::uint64_t kRecordBytes = 8 + 8 + 1;
+  bool validated = false;
+  const std::istream::pos_type cur = is.tellg();
+  if (cur != std::istream::pos_type(-1)) {
+    is.seekg(0, std::ios::end);
+    const std::istream::pos_type end = is.tellg();
+    is.seekg(cur);
+    if (is && end != std::istream::pos_type(-1)) {
+      const auto remaining = static_cast<std::uint64_t>(end - cur);
+      if (count > remaining / kRecordBytes) {
+        fail("declared count " + std::to_string(count) + " exceeds the " +
+             std::to_string(remaining) + " bytes remaining in the stream");
+      }
+      validated = true;
+    } else {
+      is.clear();
+      is.seekg(cur);
+    }
+  }
+
   Trace out(std::move(name));
-  out.reserve(count);
+  // Unseekable stream: cap the up-front reservation and let push_back
+  // grow — the per-record truncation check below still catches lies.
+  out.reserve(validated ? count
+                        : std::min<std::uint64_t>(count, 1u << 20));
   for (std::uint64_t i = 0; i < count; ++i) {
     Record r;
     std::uint8_t type = 0;
@@ -133,6 +160,80 @@ Trace read_binary(std::istream& is, std::string name) {
 Trace read_binary_file(const std::string& path) {
   auto is = open_in(path);
   return read_binary(is, path);
+}
+
+namespace {
+
+/// FNV-1a 64: stable across hosts (the corpus→page mapping must be
+/// reproducible, so std::hash — implementation-defined — is out).
+std::uint64_t fnv1a(std::string_view s) noexcept {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+bool is_read_op(std::string_view op) noexcept {
+  std::string lower(op);
+  for (char& c : lower) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  // get/gets/getrange... are reads; set/put/add/delete/incr/... writes.
+  return starts_with(lower, "get") || lower == "read" || lower == "r";
+}
+
+}  // namespace
+
+Trace read_kv_csv(std::istream& is, const KvCsvFormat& format,
+                  std::string name) {
+  if (format.page_space == 0) fail("kv-csv: page_space must be > 0");
+  std::size_t need = std::max(format.op_col, format.key_col);
+  if (format.time_col != KvCsvFormat::kNoColumn) {
+    need = std::max(need, format.time_col);
+  }
+
+  Trace out(std::move(name));
+  std::string line;
+  std::size_t lineno = 0;
+  std::uint64_t index = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const std::string_view sv = trim(line);
+    if (sv.empty()) continue;
+    const auto fields = split(sv, format.delimiter);
+    if (fields.size() <= need) {
+      if (lineno == 1) continue;  // short header line
+      fail("kv-csv line " + std::to_string(lineno) + ": expected at least " +
+           std::to_string(need + 1) + " fields");
+    }
+    std::uint64_t time = index;
+    if (format.time_col != KvCsvFormat::kNoColumn) {
+      try {
+        time = parse_u64(trim(fields[format.time_col]));
+      } catch (const std::invalid_argument&) {
+        if (lineno == 1) continue;  // header: column names are not numbers
+        fail("kv-csv line " + std::to_string(lineno) + ": bad timestamp");
+      }
+    } else if (lineno == 1 && trim(fields[format.op_col]) == "op") {
+      continue;  // header with no numeric column to trip on
+    }
+    const PageIndex page =
+        fnv1a(trim(fields[format.key_col])) % format.page_space;
+    out.push_back({.addr = addr_of(page),
+                   .time = time,
+                   .type = is_read_op(trim(fields[format.op_col]))
+                               ? AccessType::kRead
+                               : AccessType::kWrite});
+    ++index;
+  }
+  return out;
+}
+
+Trace read_kv_csv_file(const std::string& path, const KvCsvFormat& format) {
+  auto is = open_in(path);
+  return read_kv_csv(is, format, path);
 }
 
 }  // namespace icgmm::trace

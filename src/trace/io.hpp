@@ -23,9 +23,41 @@ Trace read_csv(std::istream& is, std::string name = "csv");
 Trace read_csv_file(const std::string& path);
 
 /// Binary round-trip; throws std::runtime_error on bad magic/version/size.
+/// The reader validates the declared record count against the remaining
+/// stream size (when the stream is seekable) before reserving, so a
+/// corrupt count yields a clear error instead of a huge allocation.
 void write_binary(std::ostream& os, const Trace& trace);
 void write_binary_file(const std::string& path, const Trace& trace);
 Trace read_binary(std::istream& is, std::string name = "bin");
 Trace read_binary_file(const std::string& path);
+
+/// Column layout of a public key-value cache-trace corpus (Twitter /
+/// Meta style): one request per line, fields split on `delimiter`. The
+/// defaults match the `op,key,size,timestamp` shape; presets for other
+/// corpora just remap the column indices (the size column is never
+/// consumed — cache geometry is page-granular here).
+struct KvCsvFormat {
+  char delimiter = ',';
+  std::size_t op_col = 0;
+  std::size_t key_col = 1;
+  /// Column holding a numeric timestamp; kNoColumn derives logical time
+  /// from the record index instead (many corpora are already in arrival
+  /// order).
+  std::size_t time_col = 3;
+  static constexpr std::size_t kNoColumn = static_cast<std::size_t>(-1);
+  /// Keys hash (FNV-1a 64) into [0, page_space) pages, folding an
+  /// unbounded key universe onto the paper's page-index domain.
+  std::uint64_t page_space = 1ull << 22;
+};
+
+/// Ingests a key-value corpus CSV into a Trace: op column get/gets/read
+/// (any case) maps to a read, everything else (set/put/add/delete/...)
+/// to a write; the key hashes to a PageIndex. Tolerates a header line
+/// and blank lines; throws std::runtime_error with the line number on
+/// malformed input.
+Trace read_kv_csv(std::istream& is, const KvCsvFormat& format = {},
+                  std::string name = "kv-csv");
+Trace read_kv_csv_file(const std::string& path,
+                       const KvCsvFormat& format = {});
 
 }  // namespace icgmm::trace

@@ -146,8 +146,13 @@ TEST(NetProtocol, StatsRoundTrip) {
   reply.score_batches = 77;
   reply.model_version = 88;
   reply.models_published = 99;
+  reply.records_written = 111;
+  reply.records_dropped = 222;
+  reply.record_chunks = 333;
   Bytes buf;
   encode_stats_reply(buf, 3, reply);
+  // Layout pin: 15 u64 counters since the recorder fields joined.
+  ASSERT_EQ(buf.size(), kHeaderBytes + 15 * 8);
   StatsReply decoded;
   ASSERT_EQ(decode_stats_reply(must_decode(buf), decoded), DecodeStatus::kOk);
   EXPECT_EQ(decoded.accesses, reply.accesses);
@@ -162,6 +167,9 @@ TEST(NetProtocol, StatsRoundTrip) {
   EXPECT_EQ(decoded.score_batches, reply.score_batches);
   EXPECT_EQ(decoded.model_version, reply.model_version);
   EXPECT_EQ(decoded.models_published, reply.models_published);
+  EXPECT_EQ(decoded.records_written, reply.records_written);
+  EXPECT_EQ(decoded.records_dropped, reply.records_dropped);
+  EXPECT_EQ(decoded.record_chunks, reply.record_chunks);
 }
 
 TEST(NetProtocol, ModelInfoRoundTrip) {

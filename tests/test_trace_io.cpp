@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <fstream>
 #include <sstream>
+#include <string>
 
 namespace icgmm::trace {
 namespace {
@@ -89,6 +92,119 @@ TEST(TraceBinary, EmptyTraceRoundTrips) {
   std::stringstream ss;
   write_binary(ss, Trace("empty"));
   EXPECT_EQ(read_binary(ss).size(), 0u);
+}
+
+TEST(TraceBinary, RejectsCountBeyondTheRemainingStream) {
+  // A corrupt declared count must produce a clear error before any
+  // allocation sized by it. Payload: 3 records; header claims billions.
+  const Trace original = sample_trace();
+  std::stringstream ss;
+  write_binary(ss, original);
+  std::string bytes = ss.str();
+  const std::uint64_t huge = 1ull << 40;
+  for (int i = 0; i < 8; ++i) {
+    bytes[8 + i] = static_cast<char>(huge >> (8 * i));  // count at offset 8
+  }
+  std::stringstream corrupt(bytes);
+  try {
+    read_binary(corrupt);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("exceeds"), std::string::npos);
+  }
+}
+
+TEST(TraceBinary, CountOffByOneRejected) {
+  const Trace original = sample_trace();
+  std::stringstream ss;
+  write_binary(ss, original);
+  std::string bytes = ss.str();
+  bytes[8] = static_cast<char>(original.size() + 1);
+  std::stringstream corrupt(bytes);
+  EXPECT_THROW(read_binary(corrupt), std::runtime_error);
+}
+
+TEST(TraceKvCsv, IngestsOpKeySizeTimestampLines) {
+  std::stringstream ss(
+      "op,key,size,timestamp\n"
+      "get,foo,100,5\n"
+      "set,bar,200,6\n"
+      "GETS,foo,100,9\n");
+  const Trace t = read_kv_csv(ss);
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0].type, AccessType::kRead);
+  EXPECT_EQ(t[1].type, AccessType::kWrite);
+  EXPECT_EQ(t[2].type, AccessType::kRead);  // op match is case-insensitive
+  EXPECT_EQ(t[0].time, 5u);
+  EXPECT_EQ(t[1].time, 6u);
+  // Same key, same page; the hash is FNV-1a 64 so it is stable across
+  // hosts and builds — pin the fold of "foo" into the default page space.
+  EXPECT_EQ(t[0].page(), t[2].page());
+  EXPECT_EQ(t[0].page(), 0xdcb27518fed9d577ull % KvCsvFormat{}.page_space);
+  EXPECT_NE(t[0].page(), t[1].page());
+}
+
+TEST(TraceKvCsv, NoTimeColumnDerivesLogicalTimeFromTheIndex) {
+  KvCsvFormat fmt;
+  fmt.time_col = KvCsvFormat::kNoColumn;
+  std::stringstream ss("get,a,1\nset,b,2\nget,c,3\n");
+  const Trace t = read_kv_csv(ss, fmt);
+  ASSERT_EQ(t.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(t[i].time, i);
+}
+
+TEST(TraceKvCsv, RemappedColumnsAndDelimiter) {
+  // Twitter-style column order: timestamp,key,key_size,value_size,client,op.
+  KvCsvFormat fmt;
+  fmt.time_col = 0;
+  fmt.key_col = 1;
+  fmt.op_col = 5;
+  fmt.delimiter = ' ';
+  std::stringstream ss("100 k1 2 32 7 get\n101 k2 2 32 7 set\n");
+  const Trace t = read_kv_csv(ss, fmt);
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0].type, AccessType::kRead);
+  EXPECT_EQ(t[0].time, 100u);
+  EXPECT_EQ(t[1].type, AccessType::kWrite);
+}
+
+TEST(TraceKvCsv, PageSpaceBoundsEveryHashedKey) {
+  KvCsvFormat fmt;
+  fmt.page_space = 16;
+  fmt.time_col = KvCsvFormat::kNoColumn;
+  std::stringstream ss;
+  for (int i = 0; i < 200; ++i) ss << "get,key-" << i << ",1\n";
+  const Trace t = read_kv_csv(ss, fmt);
+  ASSERT_EQ(t.size(), 200u);
+  for (const Record& r : t) EXPECT_LT(r.page(), 16u);
+}
+
+TEST(TraceKvCsv, MalformedLinesThrowWithTheLineNumber) {
+  {
+    std::stringstream ss("get,foo,1,2\nget,short\n");
+    try {
+      read_kv_csv(ss);
+      FAIL() << "expected throw";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    }
+  }
+  {
+    // Line 1 tolerates a non-numeric timestamp (header); line 2 must not.
+    std::stringstream ss("get,b,1,2\nget,foo,1,not-a-number\n");
+    EXPECT_THROW(read_kv_csv(ss), std::runtime_error);
+  }
+}
+
+TEST(TraceKvCsv, DiskRoundTripThroughFileHelper) {
+  const std::string path = ::testing::TempDir() + "/corpus.csv";
+  {
+    std::ofstream os(path);
+    os << "get,alpha,10,1\nset,beta,20,2\n";
+  }
+  const Trace t = read_kv_csv_file(path);
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[1].type, AccessType::kWrite);
 }
 
 TEST(TraceFileIo, MissingFileThrows) {

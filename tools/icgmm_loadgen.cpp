@@ -14,7 +14,17 @@
 //                 [--flush-at FRAC]     admin FLUSH after this fraction of
 //                                       requests (server-side warm-up
 //                                       discard; exact with 1 connection)
+//                 [--replay-timing [SCALE]]  pace sends from a recorded
+//                                       capture's inter-arrival times
+//                                       (SCALE stretches gaps; default 1)
 //                 [--json FILE] [--quiet]
+//
+// --trace accepts three file kinds, told apart by magic sniffing (not
+// extension): an icgmm_serve capture ("ICGR" — replayed with its served
+// timestamps verbatim, its FLUSH marker reproducing the server's warm-up
+// boundary, and by default the full capture), the plain binary trace
+// ("ICGT"), or CSV. Replaying a capture against an identically-configured
+// server reproduces its hit/miss/inference counts exactly (1 connection).
 //
 // The workload is replayed in trace order, split into contiguous
 // per-connection chunks (1 connection = the exact replay_trace order).
@@ -42,6 +52,7 @@
 #include "common/rng.hpp"
 #include "net/client.hpp"
 #include "net/latency_recorder.hpp"
+#include "record/format.hpp"
 #include "trace/generator.hpp"
 #include "trace/io.hpp"
 #include "trace/timestamp_transform.hpp"
@@ -56,6 +67,7 @@ struct Args {
   std::string host = "127.0.0.1";
   std::uint16_t port = 9090;
   std::size_t requests = 200000;
+  bool requests_set = false;
   std::string trace_file;
   std::string benchmark;
   std::uint64_t pages = 1 << 16;
@@ -68,6 +80,9 @@ struct Args {
   double qps = 0.0;  // 0 = closed loop
   bool transform = true;
   double flush_at = -1.0;
+  /// <= 0: off. Otherwise pace sends from recorded arrival times,
+  /// inter-arrival gaps multiplied by this factor.
+  double replay_timing = 0.0;
   std::string json_path;
   bool quiet = false;
 };
@@ -81,7 +96,7 @@ Args parse(int argc, char** argv) {
     };
     if (!std::strcmp(argv[i], "--host")) args.host = next();
     else if (!std::strcmp(argv[i], "--port")) args.port = static_cast<std::uint16_t>(std::stoul(next()));
-    else if (!std::strcmp(argv[i], "-n")) args.requests = std::stoull(next());
+    else if (!std::strcmp(argv[i], "-n")) { args.requests = std::stoull(next()); args.requests_set = true; }
     else if (!std::strcmp(argv[i], "--trace")) args.trace_file = next();
     else if (!std::strcmp(argv[i], "--benchmark")) args.benchmark = next();
     else if (!std::strcmp(argv[i], "--pages")) args.pages = std::stoull(next());
@@ -94,6 +109,19 @@ Args parse(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--qps")) args.qps = std::stod(next());
     else if (!std::strcmp(argv[i], "--no-transform")) args.transform = false;
     else if (!std::strcmp(argv[i], "--flush-at")) args.flush_at = std::stod(next());
+    else if (!std::strcmp(argv[i], "--replay-timing")) {
+      // Optional value: consume the next token only if it parses as a
+      // positive number (so `--replay-timing --json f` works).
+      args.replay_timing = 1.0;
+      if (i + 1 < argc) {
+        char* end = nullptr;
+        const double scale = std::strtod(argv[i + 1], &end);
+        if (end && *end == '\0' && scale > 0.0) {
+          args.replay_timing = scale;
+          ++i;
+        }
+      }
+    }
     else if (!std::strcmp(argv[i], "--json")) args.json_path = next();
     else if (!std::strcmp(argv[i], "--quiet")) args.quiet = true;
     else throw std::invalid_argument(std::string("unknown flag: ") + argv[i]);
@@ -105,15 +133,62 @@ Args parse(int argc, char** argv) {
   return args;
 }
 
-/// The whole request stream, pre-stamped: page, timestamp, write flag.
-std::vector<net::WireAccess> build_stream(const Args& args) {
+/// The whole request stream, pre-stamped, plus the recorded-capture side
+/// data when --trace named an "ICGR" file.
+struct Workload {
+  std::vector<net::WireAccess> stream;
+  /// Per-request wall-clock send offsets (recorded captures only) —
+  /// parallel to stream, feeds --replay-timing pacing.
+  std::vector<std::uint64_t> arrival_ns;
+  /// Recorded FLUSH positions (request indices into stream).
+  std::vector<std::size_t> flush_points;
+  bool recorded = false;
+};
+
+Workload build_workload(const Args& args) {
+  Workload w;
   trace::Trace t;
   if (!args.trace_file.empty()) {
-    const bool binary = args.trace_file.size() > 4 &&
-                        args.trace_file.rfind(".bin") ==
-                            args.trace_file.size() - 4;
-    t = binary ? trace::read_binary_file(args.trace_file)
-               : trace::read_csv_file(args.trace_file);
+    // Magic sniffing, not extension: captures and binary traces are both
+    // routinely named .bin.
+    switch (record::sniff_trace_file(args.trace_file)) {
+      case record::TraceFileKind::kRecorded: {
+        record::RecordedTrace rec =
+            record::read_recorded_file(args.trace_file);
+        if (rec.tail_truncated) {
+          std::cerr << "note: " << args.trace_file
+                    << " has a torn tail chunk (crash truncation); "
+                       "replaying the "
+                    << rec.trace.size() << " intact records\n";
+        }
+        // Replay what the server served: timestamps verbatim (they are
+        // already logical Algorithm-1 values), full capture unless -n
+        // explicitly trimmed it.
+        const std::size_t n = args.requests_set
+                                  ? std::min(args.requests, rec.trace.size())
+                                  : rec.trace.size();
+        w.recorded = true;
+        w.stream.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          const trace::Record& r = rec.trace[i];
+          w.stream.push_back({.page = r.page(),
+                              .timestamp = r.time,
+                              .is_write = r.is_write()});
+        }
+        w.arrival_ns.assign(rec.arrival_ns.begin(),
+                            rec.arrival_ns.begin() + n);
+        for (const std::size_t p : rec.flush_points) {
+          if (p <= n) w.flush_points.push_back(p);
+        }
+        return w;
+      }
+      case record::TraceFileKind::kBinaryTrace:
+        t = trace::read_binary_file(args.trace_file);
+        break;
+      case record::TraceFileKind::kOther:
+        t = trace::read_csv_file(args.trace_file);
+        break;
+    }
   } else if (!args.benchmark.empty()) {
     t = trace::generate(trace::benchmark_from_string(args.benchmark),
                         args.requests, args.seed);
@@ -130,16 +205,15 @@ std::vector<net::WireAccess> build_stream(const Args& args) {
     }
   }
   const std::size_t n = std::min(args.requests, t.size());
-  std::vector<net::WireAccess> stream;
-  stream.reserve(n);
+  w.stream.reserve(n);
   trace::TimestampTransform transform;  // Algorithm-1 defaults
   for (std::size_t i = 0; i < n; ++i) {
     const trace::Record& r = t[i];
-    stream.push_back({.page = r.page(),
-                      .timestamp = args.transform ? transform.next() : r.time,
-                      .is_write = r.is_write()});
+    w.stream.push_back({.page = r.page(),
+                        .timestamp = args.transform ? transform.next() : r.time,
+                        .is_write = r.is_write()});
   }
-  return stream;
+  return w;
 }
 
 struct ConnResult {
@@ -154,14 +228,15 @@ struct ConnResult {
 /// driver, recording per-batch latency against the driver's reference
 /// time (actual send in closed loop, scheduled send in open loop).
 void run_connection(const Args& args, std::span<const net::WireAccess> chunk,
-                    double conn_qps, std::size_t flush_after,
-                    ConnResult& result) {
+                    std::span<const std::uint64_t> offsets_ns, double conn_qps,
+                    std::size_t flush_after, ConnResult& result) {
   try {
     net::Client client = net::Client::connect(args.host, args.port);
     net::ReplayOptions opts;
     opts.batch = args.batch;
     opts.pipeline = args.pipeline;
     opts.flush_after = flush_after;
+    opts.send_offsets_ns = offsets_ns;
     if (conn_qps > 0.0) {
       opts.batch_interval = std::chrono::nanoseconds(static_cast<std::uint64_t>(
           static_cast<double>(args.batch) * 1e9 / conn_qps));
@@ -198,20 +273,65 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const std::vector<net::WireAccess> stream = build_stream(args);
+  Workload workload;
+  try {
+    workload = build_workload(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  const std::vector<net::WireAccess>& stream = workload.stream;
   if (stream.empty()) {
     std::cerr << "error: empty workload\n";
     return 1;
   }
+
+  // Recorded-timing pacing: pre-scale the capture's arrival offsets so
+  // the driver can pace straight off them.
+  std::vector<std::uint64_t> paced_offsets;
+  if (args.replay_timing > 0.0) {
+    if (workload.arrival_ns.empty()) {
+      std::cerr << "note: --replay-timing needs a recorded capture "
+                   "(--trace on an ICGR file); ignoring\n";
+    } else {
+      paced_offsets.reserve(workload.arrival_ns.size());
+      const std::uint64_t base = workload.arrival_ns.front();
+      for (const std::uint64_t ns : workload.arrival_ns) {
+        paced_offsets.push_back(static_cast<std::uint64_t>(
+            static_cast<double>(ns - base) * args.replay_timing));
+      }
+    }
+  }
+
   if (!args.quiet) {
     std::cout << "replaying " << stream.size() << " requests to " << args.host
               << ":" << args.port << " over " << args.connections
               << " connection(s), batch " << args.batch << ", pipeline "
               << args.pipeline << ", "
-              << (args.qps > 0.0
+              << (!paced_offsets.empty()
+                      ? "recorded timing x" + std::to_string(args.replay_timing)
+                  : args.qps > 0.0
                       ? "open loop @ " + std::to_string(args.qps) + " req/s"
                       : std::string("closed loop"))
-              << "\n";
+              << (workload.recorded ? " [recorded capture]" : "") << "\n";
+  }
+
+  // A capture's FLUSH marker becomes the per-connection warm-up flush;
+  // exact reproduction needs the single-connection stream order.
+  std::size_t recorded_flush = 0;
+  if (!workload.flush_points.empty()) {
+    if (args.connections != 1) {
+      std::cerr << "note: recorded FLUSH markers are only reproduced with "
+                   "--connections 1; ignoring\n";
+    } else {
+      recorded_flush = workload.flush_points.front();
+      if (workload.flush_points.size() > 1) {
+        std::cerr << "note: capture has " << workload.flush_points.size()
+                  << " FLUSH markers; the wire protocol replays only the "
+                     "first (use icgmm_tracectl or in-process replay for "
+                     "multi-window captures)\n";
+      }
+    }
   }
 
   // Contiguous per-connection chunks, remainder spread over the first.
@@ -223,15 +343,23 @@ int main(int argc, char** argv) {
   for (std::uint32_t c = 0; c < conns; ++c) {
     const std::span<const net::WireAccess> chunk =
         net::stream_chunk(stream, c, conns);
-    const std::size_t flush_after =
+    const std::span<const std::uint64_t> offsets =
+        paced_offsets.empty()
+            ? std::span<const std::uint64_t>{}
+            : net::stream_chunk(std::span<const std::uint64_t>(paced_offsets),
+                                c, conns);
+    std::size_t flush_after =
         args.flush_at > 0.0 && args.flush_at < 1.0
             ? static_cast<std::size_t>(args.flush_at *
                                        static_cast<double>(chunk.size()))
             : 0;
+    if (recorded_flush != 0 && args.flush_at < 0.0) {
+      flush_after = recorded_flush;  // conns == 1: chunk == whole stream
+    }
     const double conn_qps =
         args.qps > 0.0 ? args.qps / static_cast<double>(conns) : 0.0;
-    threads.emplace_back(run_connection, std::cref(args), chunk, conn_qps,
-                         flush_after, std::ref(results[c]));
+    threads.emplace_back(run_connection, std::cref(args), chunk, offsets,
+                         conn_qps, flush_after, std::ref(results[c]));
   }
   for (std::thread& th : threads) th.join();
   const double elapsed =
@@ -289,6 +417,13 @@ int main(int argc, char** argv) {
                                      server_stats.write_misses
                 << " inferences=" << server_stats.inferences
                 << " model_v=" << server_stats.model_version << "\n";
+      if (server_stats.records_written > 0 ||
+          server_stats.records_dropped > 0) {
+        std::cout << "server recording: written="
+                  << server_stats.records_written
+                  << " dropped=" << server_stats.records_dropped
+                  << " chunks=" << server_stats.record_chunks << "\n";
+      }
     }
   } catch (const std::exception& e) {
     std::cerr << "stats fetch failed: " << e.what() << "\n";
@@ -311,7 +446,19 @@ int main(int argc, char** argv) {
         << ", \"p95\": " << p95 << ", \"p99\": " << p99 << ", \"p999\": "
         << p999 << ", \"max\": " << pmax << "},\n"
         << "  \"client_hits\": " << hits << ",\n"
-        << "  \"server\": ";
+        << "  \"recorded_trace\": " << (workload.recorded ? "true" : "false")
+        << ",\n"
+        << "  \"replay_timing_scale\": " << args.replay_timing << ",\n";
+    if (have_server_stats) {
+      // Kept out of the "server" object below: the serving counters
+      // must compare equal between a recording run and its replay, and
+      // the recorder counters legitimately differ.
+      out << "  \"server_record\": {\"records_written\": "
+          << server_stats.records_written << ", \"records_dropped\": "
+          << server_stats.records_dropped << ", \"record_chunks\": "
+          << server_stats.record_chunks << "},\n";
+    }
+    out << "  \"server\": ";
     if (have_server_stats) {
       out << "{\"accesses\": " << server_stats.accesses << ", \"hits\": "
           << server_stats.hits << ", \"read_misses\": "

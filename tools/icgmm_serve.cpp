@@ -11,6 +11,8 @@
 //               [--async-miss] [--async-ring CAP]
 //               [--front-cache] [--front-capacity M] [--front-replicas N]
 //               [--front-promote K]
+//               [--record PATH] [--record-sample N] [--record-window W]
+//               [--record-ring CAP] [--record-chunk N]
 //               [--stats-every SECONDS] [--quiet]
 //
 // GMM policies train at startup on a synthetic workload (default: the
@@ -33,6 +35,12 @@
 // decision runs on a background decision thread — eventual-policy
 // consistency, see docs/ARCHITECTURE.md. FLUSH drains the pipeline first,
 // so flushed counters remain exact.
+//
+// --record PATH captures every accepted access (page, timestamp, R/W,
+// arrival time) to an append-only chunked file the loadgen can replay
+// bit-for-bit (see docs/ARCHITECTURE.md). Capture is try-push-only: a
+// full recorder ring drops (counted in STATS), never stalls serving.
+// --record-sample N keeps 1 window in N of --record-window W requests.
 #include <chrono>
 #include <csignal>
 #include <cstring>
@@ -42,6 +50,7 @@
 #include <thread>
 
 #include "cache/policies/classic.hpp"
+#include "common/run_env.hpp"
 #include "core/policy_engine.hpp"
 #include "core/threshold.hpp"
 #include "net/server.hpp"
@@ -70,6 +79,7 @@ struct Args {
   std::uint32_t sample_every = 64;
   runtime::AsyncMissConfig async_miss;  // off unless --async-miss
   runtime::FrontCacheConfig front;  // off unless a --front-* flag is given
+  record::RecorderConfig record;  // off unless --record PATH is given
   unsigned stats_every = 10;
   bool quiet = false;
 };
@@ -99,6 +109,11 @@ Args parse(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--front-capacity")) { args.front.capacity = static_cast<std::uint32_t>(std::stoul(next())); args.front.enabled = true; }
     else if (!std::strcmp(argv[i], "--front-replicas")) { args.front.replicas = static_cast<std::uint32_t>(std::stoul(next())); args.front.enabled = true; }
     else if (!std::strcmp(argv[i], "--front-promote")) { args.front.promote_after = static_cast<std::uint32_t>(std::stoul(next())); args.front.enabled = true; }
+    else if (!std::strcmp(argv[i], "--record")) args.record.path = next();
+    else if (!std::strcmp(argv[i], "--record-sample")) args.record.sample_every = static_cast<std::uint32_t>(std::stoul(next()));
+    else if (!std::strcmp(argv[i], "--record-window")) args.record.sample_window = static_cast<std::uint32_t>(std::stoul(next()));
+    else if (!std::strcmp(argv[i], "--record-ring")) args.record.ring_capacity = std::stoull(next());
+    else if (!std::strcmp(argv[i], "--record-chunk")) args.record.chunk_records = static_cast<std::uint32_t>(std::stoul(next()));
     else if (!std::strcmp(argv[i], "--stats-every")) args.stats_every = static_cast<unsigned>(std::stoul(next()));
     else if (!std::strcmp(argv[i], "--quiet")) args.quiet = true;
     else throw std::invalid_argument(std::string("unknown flag: ") + argv[i]);
@@ -134,6 +149,16 @@ int main(int argc, char** argv) {
   rcfg.sample_every = args.sample_every;
   rcfg.front = args.front;
   rcfg.async_miss = args.async_miss;
+  rcfg.record = args.record;
+  // Stamp the capture with where it came from (host, build, flags) —
+  // the same provenance header every BENCH_*.json carries.
+  if (!rcfg.record.path.empty()) {
+    // Built by append: `"{" + temporary` trips a GCC 12 -Wrestrict false
+    // positive inside basic_string.
+    rcfg.record.provenance = "{";
+    rcfg.record.provenance += run_env_json_fields();
+    rcfg.record.provenance += "}";
+  }
   if (args.async_miss.enabled && args.policy.rfind("gmm", 0) != 0) {
     std::cerr << "error: --async-miss requires a GMM policy (the classic "
                  "policies have no deferred decision to run)\n";
@@ -196,8 +221,10 @@ int main(int argc, char** argv) {
             << ", workers " << args.workers
             << (args.adapt ? ", adaptive" : "")
             << (rcfg.async_miss.enabled ? ", async-miss" : "")
-            << (rcfg.front.enabled ? ", front-cache" : "") << ")"
-            << std::endl;
+            << (rcfg.front.enabled ? ", front-cache" : "")
+            << (rcfg.record.path.empty() ? ""
+                                         : ", recording " + rcfg.record.path)
+            << ")" << std::endl;
 
   std::uint64_t last_requests = 0;
   unsigned since_stats = 0;
@@ -221,13 +248,17 @@ int main(int argc, char** argv) {
                 << snap.deferred_enqueued
                 << " demotions=" << snap.deferred_demotions;
     }
+    if (!rcfg.record.path.empty()) {
+      std::cout << " recorded=" << snap.records_written << "/"
+                << snap.records_dropped << " dropped";
+    }
     std::cout << std::endl;
     last_requests = ss.requests_served;
   }
 
   std::cout << "shutting down..." << std::endl;
   server.stop();
-  rt->stop();
+  rt->stop();  // also drains and finalizes the recording, if any
   const net::ServerStats ss = server.stats();
   const runtime::RuntimeSnapshot snap = rt->snapshot();
   std::cout << "served " << ss.requests_served << " requests in "
@@ -240,6 +271,11 @@ int main(int argc, char** argv) {
     std::cout << ", deferred " << snap.deferred_applied << " applied / "
               << snap.deferred_dropped << " dropped, "
               << snap.deferred_demotions << " demotions";
+  }
+  if (!rcfg.record.path.empty()) {
+    std::cout << ", recorded " << snap.records_written << " in "
+              << snap.record_chunks << " chunks / " << snap.records_dropped
+              << " dropped";
   }
   std::cout << ")" << std::endl;
   return 0;

@@ -1,0 +1,192 @@
+// icgmm_tracectl — inspect and convert trace files: recorded serve-time
+// captures ("ICGR"), plain binary traces ("ICGT"), and CSV, told apart
+// by magic sniffing rather than extension.
+//
+// Usage:
+//   icgmm_tracectl info FILE
+//       Header, record/chunk counts, FLUSH positions, R/W mix, and (for
+//       captures) provenance + truncation state.
+//   icgmm_tracectl head FILE [-n N]
+//       First N records (default 10) as type,addr,time CSV lines; a
+//       capture also shows each record's arrival offset.
+//   icgmm_tracectl to-csv IN OUT
+//       Any trace file to the plain type,addr,time CSV.
+//   icgmm_tracectl from-csv IN OUT [--kv | --twitter] [--pages N]
+//                  [--delim C] [--time-col I | --no-time-col]
+//                  [--key-col I] [--op-col I]
+//       CSV to the compact "ICGT" binary trace. Default input is the
+//       plain type,addr,time shape; --kv ingests a key-value corpus
+//       (op,key,size,timestamp — keys hash into --pages pages); --twitter
+//       is the --kv preset for the Twitter cache-trace column order
+//       (timestamp,key,key_size,value_size,client,op,...).
+//
+// Recorded captures convert losslessly into replayable traces: to-csv /
+// head lower them through the same reader icgmm_loadgen replays with, so
+// what you see is what a replay sends.
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "record/format.hpp"
+#include "trace/io.hpp"
+#include "trace/trace.hpp"
+
+namespace {
+
+using namespace icgmm;
+
+int usage() {
+  std::cerr << "usage: icgmm_tracectl info|head|to-csv|from-csv ... "
+               "(see the header comment of icgmm_tracectl.cpp)\n";
+  return 2;
+}
+
+/// Loads any of the three file kinds into a Trace (captures lose their
+/// arrival/flush side data here — info/head report those separately).
+trace::Trace load_any(const std::string& path) {
+  switch (record::sniff_trace_file(path)) {
+    case record::TraceFileKind::kRecorded:
+      return std::move(record::read_recorded_file(path).trace);
+    case record::TraceFileKind::kBinaryTrace:
+      return trace::read_binary_file(path);
+    case record::TraceFileKind::kOther:
+      return trace::read_csv_file(path);
+  }
+  throw std::logic_error("unreachable");
+}
+
+void print_mix(const trace::Trace& t) {
+  std::uint64_t reads = 0, writes = 0;
+  for (const trace::Record& r : t) {
+    if (r.is_write()) ++writes; else ++reads;
+  }
+  std::cout << "records: " << t.size() << " (" << reads << " reads, "
+            << writes << " writes)\n";
+}
+
+int cmd_info(const std::string& path) {
+  switch (record::sniff_trace_file(path)) {
+    case record::TraceFileKind::kRecorded: {
+      const record::RecordedTrace rec = record::read_recorded_file(path);
+      std::cout << "kind: recorded capture (ICGR v" << rec.header.version
+                << ")\n";
+      if (rec.header.sample_every > 1) {
+        std::cout << "sampling: 1 in " << rec.header.sample_every
+                  << " windows of " << rec.header.sample_window
+                  << " requests\n";
+      } else {
+        std::cout << "sampling: full stream\n";
+      }
+      print_mix(rec.trace);
+      std::cout << "chunks: " << rec.chunks << "\n";
+      std::cout << "flush markers:";
+      if (rec.flush_points.empty()) std::cout << " none";
+      for (const std::size_t p : rec.flush_points) std::cout << " @" << p;
+      std::cout << "\n";
+      if (!rec.arrival_ns.empty()) {
+        std::cout << "capture span: "
+                  << static_cast<double>(rec.arrival_ns.back() -
+                                         rec.arrival_ns.front()) /
+                         1e9
+                  << " s\n";
+      }
+      if (rec.tail_truncated) {
+        std::cout << "tail: TRUNCATED (torn final chunk dropped)\n";
+      }
+      if (!rec.header.provenance.empty()) {
+        std::cout << "provenance: " << rec.header.provenance << "\n";
+      }
+      return 0;
+    }
+    case record::TraceFileKind::kBinaryTrace:
+      std::cout << "kind: binary trace (ICGT)\n";
+      print_mix(trace::read_binary_file(path));
+      return 0;
+    case record::TraceFileKind::kOther:
+      std::cout << "kind: CSV (no recognized magic)\n";
+      print_mix(trace::read_csv_file(path));
+      return 0;
+  }
+  return 1;
+}
+
+int cmd_head(const std::string& path, std::size_t n) {
+  if (record::sniff_trace_file(path) == record::TraceFileKind::kRecorded) {
+    const record::RecordedTrace rec = record::read_recorded_file(path);
+    std::cout << "type,addr,time,arrival_ns\n";
+    for (std::size_t i = 0; i < std::min(n, rec.trace.size()); ++i) {
+      const trace::Record& r = rec.trace[i];
+      std::cout << to_string(r.type) << ',' << r.addr << ',' << r.time << ','
+                << rec.arrival_ns[i] << "\n";
+    }
+    return 0;
+  }
+  const trace::Trace t = load_any(path);
+  std::cout << "type,addr,time\n";
+  for (std::size_t i = 0; i < std::min(n, t.size()); ++i) {
+    const trace::Record& r = t[i];
+    std::cout << to_string(r.type) << ',' << r.addr << ',' << r.time << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "info") return cmd_info(argv[2]);
+
+    if (cmd == "head") {
+      std::size_t n = 10;
+      for (int i = 3; i + 1 < argc; ++i) {
+        if (!std::strcmp(argv[i], "-n")) n = std::stoull(argv[i + 1]);
+      }
+      return cmd_head(argv[2], n);
+    }
+
+    if (cmd == "to-csv") {
+      if (argc < 4) return usage();
+      trace::write_csv_file(argv[3], load_any(argv[2]));
+      std::cout << "wrote " << argv[3] << "\n";
+      return 0;
+    }
+
+    if (cmd == "from-csv") {
+      if (argc < 4) return usage();
+      bool kv = false;
+      trace::KvCsvFormat fmt;
+      for (int i = 4; i < argc; ++i) {
+        auto next = [&]() -> const char* {
+          if (i + 1 >= argc) throw std::invalid_argument("missing value");
+          return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "--kv")) kv = true;
+        else if (!std::strcmp(argv[i], "--twitter")) {
+          // timestamp,key,key_size,value_size,client,op,...
+          kv = true;
+          fmt.time_col = 0;
+          fmt.key_col = 1;
+          fmt.op_col = 5;
+        }
+        else if (!std::strcmp(argv[i], "--pages")) { fmt.page_space = std::stoull(next()); kv = true; }
+        else if (!std::strcmp(argv[i], "--delim")) { fmt.delimiter = next()[0]; kv = true; }
+        else if (!std::strcmp(argv[i], "--time-col")) { fmt.time_col = std::stoull(next()); kv = true; }
+        else if (!std::strcmp(argv[i], "--no-time-col")) { fmt.time_col = trace::KvCsvFormat::kNoColumn; kv = true; }
+        else if (!std::strcmp(argv[i], "--key-col")) { fmt.key_col = std::stoull(next()); kv = true; }
+        else if (!std::strcmp(argv[i], "--op-col")) { fmt.op_col = std::stoull(next()); kv = true; }
+        else throw std::invalid_argument(std::string("unknown flag: ") + argv[i]);
+      }
+      const trace::Trace t = kv ? trace::read_kv_csv_file(argv[2], fmt)
+                                : trace::read_csv_file(argv[2]);
+      trace::write_binary_file(argv[3], t);
+      std::cout << "wrote " << argv[3] << " (" << t.size() << " records)\n";
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
