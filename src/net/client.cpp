@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -23,15 +24,33 @@ namespace {
   throw std::system_error(errno, std::generic_category(), what);
 }
 
+[[noreturn]] void throw_server_error(const Frame& frame) {
+  ErrorReply err;
+  if (decode_error(frame, err) == DecodeStatus::kOk) {
+    throw std::runtime_error("Client: server error " +
+                             std::to_string(static_cast<int>(err.code)) +
+                             ": " + err.message);
+  }
+  throw std::runtime_error("Client: server error (undecodable)");
+}
+
 }  // namespace
 
 Client::~Client() { close(); }
 
 Client::Client(Client&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
+      host_(std::move(other.host_)),
+      port_(other.port_),
+      version_(other.version_),
+      recv_timeout_(other.recv_timeout_),
       next_seq_(other.next_seq_),
       next_reply_seq_(other.next_reply_seq_),
       outstanding_(other.outstanding_),
+      send_order_(std::move(other.send_order_)),
+      pending_access_(std::move(other.pending_access_)),
+      pending_pings_(std::move(other.pending_pings_)),
+      parked_(std::move(other.parked_)),
       rx_(std::move(other.rx_)),
       tx_(std::move(other.tx_)) {}
 
@@ -39,9 +58,17 @@ Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
     close();
     fd_ = std::exchange(other.fd_, -1);
+    host_ = std::move(other.host_);
+    port_ = other.port_;
+    version_ = other.version_;
+    recv_timeout_ = other.recv_timeout_;
     next_seq_ = other.next_seq_;
     next_reply_seq_ = other.next_reply_seq_;
     outstanding_ = other.outstanding_;
+    send_order_ = std::move(other.send_order_);
+    pending_access_ = std::move(other.pending_access_);
+    pending_pings_ = std::move(other.pending_pings_);
+    parked_ = std::move(other.parked_);
     rx_ = std::move(other.rx_);
     tx_ = std::move(other.tx_);
   }
@@ -56,6 +83,13 @@ void Client::close() noexcept {
   rx_.clear();
   outstanding_ = 0;
   next_seq_ = next_reply_seq_ = 1;
+  version_ = kProtocolVersion;
+  send_order_.clear();
+  pending_access_.clear();
+  pending_pings_.clear();
+  parked_.clear();
+  // host_/port_/recv_timeout_ survive: they are endpoint configuration,
+  // not stream state, and negotiate()'s reconnect needs them.
 }
 
 Client Client::connect(const std::string& host, std::uint16_t port) {
@@ -81,14 +115,68 @@ Client Client::connect(const std::string& host, std::uint16_t port) {
 
   Client c;
   c.fd_ = fd;
+  c.host_ = host;
+  c.port_ = port;
   return c;
 }
 
-// Transport-level failures (socket errors, EOF, undecodable or
-// out-of-sequence reply streams) leave the connection unusable: close it
-// before throwing so connected() turns false and ClientPool's lazy
-// reconnect can heal the slot. Server ERROR replies are NOT transport
-// failures — the stream stays in sync and the connection stays open.
+void Client::set_recv_timeout(std::chrono::milliseconds timeout) {
+  recv_timeout_ =
+      timeout.count() > 0 ? timeout : std::chrono::milliseconds{0};
+  apply_recv_timeout();
+}
+
+void Client::apply_recv_timeout() {
+  if (fd_ < 0) return;
+  // SO_RCVTIMEO rather than poll(): every blocking recv() in recv_frame
+  // then carries the deadline with zero extra syscalls on the fast path.
+  // A zeroed timeval restores the default (block forever).
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(recv_timeout_.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((recv_timeout_.count() % 1000) * 1000);
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) < 0) {
+    throw_errno("setsockopt(SO_RCVTIMEO)");
+  }
+}
+
+std::uint8_t Client::negotiate() {
+  if (version_ == kProtocolV2) return version_;
+  drain_outstanding();
+  const std::uint64_t id = next_seq_++;
+  tx_.clear();
+  encode_ping(tx_, id, kProtocolV2);
+  try {
+    send_all(tx_);
+    std::vector<std::uint8_t> bytes = recv_frame();
+    Frame frame;
+    std::size_t consumed = 0;
+    if (decode_frame(bytes, frame, consumed) != DecodeStatus::kOk ||
+        frame.header.version != kProtocolV2 ||
+        frame.header.type != MsgType::kPong || frame.header.seq != id) {
+      // The server answered the probe with something other than a v2
+      // PONG echo — treat it like a v1-only server (fall through to the
+      // reconnect below via the catch).
+      close();
+      throw std::runtime_error("Client: unexpected negotiate reply");
+    }
+    version_ = kProtocolV2;
+  } catch (const std::exception&) {
+    // v1-only server: the v2 frame is stream poison there, so the server
+    // counted a protocol error and dropped the connection. Reconnect to
+    // the same endpoint and stay on v1 — the caller never sees the probe.
+    const std::chrono::milliseconds timeout = recv_timeout_;
+    *this = Client::connect(host_, port_);
+    if (timeout.count() > 0) set_recv_timeout(timeout);
+  }
+  return version_;
+}
+
+// Transport-level failures (socket errors, EOF, receive deadline expiry,
+// undecodable or out-of-sequence reply streams) leave the connection
+// unusable: close it before throwing so connected() turns false and
+// ClientPool's lazy reconnect can heal the slot. Server ERROR replies are
+// NOT transport failures — the stream stays in sync and the connection
+// stays open.
 
 void Client::send_all(const std::vector<std::uint8_t>& bytes) {
   std::size_t off = 0;
@@ -132,13 +220,22 @@ std::vector<std::uint8_t> Client::recv_frame() {
       throw std::runtime_error("Client: connection closed by server");
     }
     if (errno == EINTR) continue;
+    if ((errno == EAGAIN || errno == EWOULDBLOCK) &&
+        recv_timeout_.count() > 0) {
+      // The receive deadline expired mid-wait. The abandoned reply leaves
+      // the stream unusable (its frame would desynchronize the next
+      // correlation), so the connection closes with the throw.
+      close();
+      throw std::system_error(ETIMEDOUT, std::generic_category(),
+                              "Client: receive deadline expired");
+    }
     const int err = errno;
     close();
     throw std::system_error(err, std::generic_category(), "recv");
   }
 }
 
-std::vector<std::uint8_t> Client::expect(MsgType type, std::uint32_t seq,
+std::vector<std::uint8_t> Client::expect(MsgType type, std::uint64_t seq,
                                          Frame& frame) {
   std::vector<std::uint8_t> bytes = recv_frame();
   std::size_t consumed = 0;
@@ -146,13 +243,7 @@ std::vector<std::uint8_t> Client::expect(MsgType type, std::uint32_t seq,
     throw std::runtime_error("Client: reply re-decode failed");
   }
   if (frame.header.type == MsgType::kError) {
-    ErrorReply err;
-    if (decode_error(frame, err) == DecodeStatus::kOk) {
-      throw std::runtime_error("Client: server error " +
-                               std::to_string(static_cast<int>(err.code)) +
-                               ": " + err.message);
-    }
-    throw std::runtime_error("Client: server error (undecodable)");
+    throw_server_error(frame);
   }
   if (frame.header.type != type) {
     close();  // reply stream is desynchronized; unusable
@@ -169,7 +260,171 @@ std::vector<std::uint8_t> Client::expect(MsgType type, std::uint32_t seq,
   return bytes;
 }
 
+// --- v2 correlation machinery -----------------------------------------------
+
+void Client::forget_pending(std::uint64_t id) {
+  pending_access_.erase(id);
+  pending_pings_.erase(id);
+  std::erase(send_order_, id);
+}
+
+Completion Client::classify_v2(const Frame& frame) {
+  if (frame.header.version != kProtocolV2) {
+    close();
+    throw std::runtime_error("Client: v1-framed reply on a v2 connection");
+  }
+  const std::uint64_t id = frame.header.seq;
+  switch (frame.header.type) {
+    case MsgType::kError:
+      // The server rejected this request but the stream stays in sync:
+      // consume the id's pending slot, keep the connection open, and let
+      // the complaint surface to whoever is awaiting.
+      forget_pending(id);
+      throw_server_error(frame);
+    case MsgType::kAccessReply: {
+      if (pending_access_.erase(id) == 0) {
+        close();
+        throw std::runtime_error("Client: ACCESS_REPLY for unknown id " +
+                                 std::to_string(id));
+      }
+      Completion c;
+      c.id = id;
+      c.type = MsgType::kAccessReply;
+      if (decode_access_reply(frame, c.access) != DecodeStatus::kOk) {
+        close();
+        throw std::runtime_error("Client: malformed ACCESS_REPLY payload");
+      }
+      return c;
+    }
+    case MsgType::kPong: {
+      if (pending_pings_.erase(id) == 0) {
+        close();
+        throw std::runtime_error("Client: PONG for unknown id " +
+                                 std::to_string(id));
+      }
+      Completion c;
+      c.id = id;
+      c.type = MsgType::kPong;
+      return c;
+    }
+    default:
+      close();
+      throw std::runtime_error(std::string("Client: unexpected reply ") +
+                               to_string(frame.header.type));
+  }
+}
+
+std::vector<std::uint8_t> Client::await_frame_v2(std::uint64_t want_id,
+                                                 MsgType want_type,
+                                                 Frame& frame) {
+  while (true) {
+    std::vector<std::uint8_t> bytes = recv_frame();
+    std::size_t consumed = 0;
+    if (decode_frame(bytes, frame, consumed) != DecodeStatus::kOk) {
+      close();
+      throw std::runtime_error("Client: reply re-decode failed");
+    }
+    if (frame.header.seq == want_id) {
+      if (frame.header.type == MsgType::kError) {
+        forget_pending(want_id);
+        throw_server_error(frame);
+      }
+      if (frame.header.version != kProtocolV2 ||
+          frame.header.type != want_type) {
+        close();
+        throw std::runtime_error(std::string("Client: expected ") +
+                                 to_string(want_type) + ", got " +
+                                 to_string(frame.header.type));
+      }
+      return bytes;
+    }
+    // Another request's completion arrived first — park it by id for its
+    // own awaiter. This is what makes await(id) out-of-order safe.
+    Completion parked = classify_v2(frame);
+    const std::uint64_t id = parked.id;
+    parked_.insert_or_assign(id, std::move(parked));
+  }
+}
+
+std::uint64_t Client::send_ping() {
+  if (version_ != kProtocolV2) {
+    throw std::logic_error("Client: send_ping requires protocol v2");
+  }
+  const std::uint64_t id = next_seq_++;
+  tx_.clear();
+  encode_ping(tx_, id, kProtocolV2);
+  send_all(tx_);
+  pending_pings_.insert(id);
+  return id;
+}
+
+AccessReply Client::await_access(std::uint64_t id) {
+  if (version_ != kProtocolV2) {
+    throw std::logic_error("Client: await_access requires protocol v2");
+  }
+  if (const auto it = parked_.find(id); it != parked_.end()) {
+    const AccessReply reply = it->second.access;
+    if (it->second.type != MsgType::kAccessReply) {
+      throw std::logic_error("Client: await_access on a non-ACCESS id");
+    }
+    parked_.erase(it);
+    std::erase(send_order_, id);
+    return reply;
+  }
+  if (!pending_access_.contains(id)) {
+    throw std::logic_error("Client: await_access on unknown id " +
+                           std::to_string(id));
+  }
+  // Claim the slot up front (mirrors v1's --outstanding_ before expect):
+  // a server ERROR for this id still consumed it.
+  std::erase(send_order_, id);
+  Frame frame;
+  const auto bytes = await_frame_v2(id, MsgType::kAccessReply, frame);
+  pending_access_.erase(id);
+  AccessReply reply;
+  if (decode_access_reply(frame, reply) != DecodeStatus::kOk) {
+    close();
+    throw std::runtime_error("Client: malformed ACCESS_REPLY payload");
+  }
+  return reply;
+}
+
+Completion Client::poll_any() {
+  if (version_ != kProtocolV2) {
+    throw std::logic_error("Client: poll_any requires protocol v2");
+  }
+  if (!parked_.empty()) {
+    const auto it = parked_.begin();
+    Completion c = std::move(it->second);
+    parked_.erase(it);
+    std::erase(send_order_, c.id);
+    return c;
+  }
+  if (pending_access_.empty() && pending_pings_.empty()) {
+    throw std::logic_error("Client: poll_any with nothing outstanding");
+  }
+  std::vector<std::uint8_t> bytes = recv_frame();
+  Frame frame;
+  std::size_t consumed = 0;
+  if (decode_frame(bytes, frame, consumed) != DecodeStatus::kOk) {
+    close();
+    throw std::runtime_error("Client: reply re-decode failed");
+  }
+  Completion c = classify_v2(frame);
+  std::erase(send_order_, c.id);
+  return c;
+}
+
 std::uint32_t Client::drain_outstanding() {
+  if (version_ == kProtocolV2) {
+    std::uint32_t drained = 0;
+    while (!parked_.empty() || !pending_access_.empty() ||
+           !pending_pings_.empty()) {
+      if (poll_any().type == MsgType::kAccessReply) ++drained;
+    }
+    send_order_.clear();
+    return drained;
+  }
   const std::uint32_t drained = outstanding_;
   while (outstanding_ != 0) {
     // await_access_reply keeps the reply stream in sync even when a
@@ -182,31 +437,48 @@ std::uint32_t Client::drain_outstanding() {
   return drained;
 }
 
+// --- synchronous round trips ------------------------------------------------
+
 void Client::ping() {
   drain_outstanding();
-  const std::uint32_t seq = next_seq_++;
+  const std::uint64_t seq = next_seq_++;
   tx_.clear();
-  encode_ping(tx_, seq);
+  encode_ping(tx_, seq, version_);
   send_all(tx_);
   Frame frame;
-  expect(MsgType::kPong, seq, frame);
-  next_reply_seq_ = seq + 1;
+  if (version_ == kProtocolV2) {
+    await_frame_v2(seq, MsgType::kPong, frame);
+  } else {
+    expect(MsgType::kPong, seq, frame);
+    next_reply_seq_ = seq + 1;
+  }
 }
 
-std::uint32_t Client::send_access(std::span<const WireAccess> accesses) {
-  const std::uint32_t seq = next_seq_++;
+std::uint64_t Client::send_access(std::span<const WireAccess> accesses) {
+  const std::uint64_t seq = next_seq_++;
   tx_.clear();
-  encode_access_batch(tx_, seq, accesses);
+  encode_access_batch(tx_, seq, accesses, version_);
   send_all(tx_);
-  ++outstanding_;
+  if (version_ == kProtocolV2) {
+    send_order_.push_back(seq);
+    pending_access_.insert(seq);
+  } else {
+    ++outstanding_;
+  }
   return seq;
 }
 
 AccessReply Client::await_access_reply() {
+  if (version_ == kProtocolV2) {
+    if (send_order_.empty()) {
+      throw std::logic_error("Client: no outstanding ACCESS_BATCH");
+    }
+    return await_access(send_order_.front());
+  }
   if (outstanding_ == 0) {
     throw std::logic_error("Client: no outstanding ACCESS_BATCH");
   }
-  const std::uint32_t seq = next_reply_seq_++;
+  const std::uint64_t seq = next_reply_seq_++;
   // Count the reply as consumed up front: a server ERROR frame for this
   // request surfaces as an exception from expect(), but it still consumed
   // this request's slot in the reply stream — the connection stays usable.
@@ -227,45 +499,59 @@ AccessReply Client::access(std::span<const WireAccess> accesses) {
 
 StatsReply Client::stats() {
   drain_outstanding();
-  const std::uint32_t seq = next_seq_++;
+  const std::uint64_t seq = next_seq_++;
   tx_.clear();
-  encode_stats_request(tx_, seq);
+  encode_stats_request(tx_, seq, version_);
   send_all(tx_);
   Frame frame;
-  const auto bytes = expect(MsgType::kStatsReply, seq, frame);
+  std::vector<std::uint8_t> bytes;
+  if (version_ == kProtocolV2) {
+    bytes = await_frame_v2(seq, MsgType::kStatsReply, frame);
+  } else {
+    bytes = expect(MsgType::kStatsReply, seq, frame);
+    next_reply_seq_ = seq + 1;
+  }
   StatsReply reply;
   if (decode_stats_reply(frame, reply) != DecodeStatus::kOk) {
     throw std::runtime_error("Client: malformed STATS_REPLY payload");
   }
-  next_reply_seq_ = seq + 1;
   return reply;
 }
 
 ModelInfoReply Client::model_info() {
   drain_outstanding();
-  const std::uint32_t seq = next_seq_++;
+  const std::uint64_t seq = next_seq_++;
   tx_.clear();
-  encode_model_info_request(tx_, seq);
+  encode_model_info_request(tx_, seq, version_);
   send_all(tx_);
   Frame frame;
-  const auto bytes = expect(MsgType::kModelInfoReply, seq, frame);
+  std::vector<std::uint8_t> bytes;
+  if (version_ == kProtocolV2) {
+    bytes = await_frame_v2(seq, MsgType::kModelInfoReply, frame);
+  } else {
+    bytes = expect(MsgType::kModelInfoReply, seq, frame);
+    next_reply_seq_ = seq + 1;
+  }
   ModelInfoReply reply;
   if (decode_model_info_reply(frame, reply) != DecodeStatus::kOk) {
     throw std::runtime_error("Client: malformed MODEL_INFO_REPLY payload");
   }
-  next_reply_seq_ = seq + 1;
   return reply;
 }
 
 void Client::flush() {
   drain_outstanding();
-  const std::uint32_t seq = next_seq_++;
+  const std::uint64_t seq = next_seq_++;
   tx_.clear();
-  encode_flush_request(tx_, seq);
+  encode_flush_request(tx_, seq, version_);
   send_all(tx_);
   Frame frame;
-  expect(MsgType::kFlushReply, seq, frame);
-  next_reply_seq_ = seq + 1;
+  if (version_ == kProtocolV2) {
+    await_frame_v2(seq, MsgType::kFlushReply, frame);
+  } else {
+    expect(MsgType::kFlushReply, seq, frame);
+    next_reply_seq_ = seq + 1;
+  }
 }
 
 // --- replay_stream ----------------------------------------------------------
@@ -298,11 +584,43 @@ std::uint64_t replay_stream(Client& client,
   const bool recorded_timing = !opts.send_offsets_ns.empty() &&
                                opts.send_offsets_ns.size() >= stream.size();
   const bool open_loop = recorded_timing || opts.batch_interval.count() > 0;
+  const bool v2 = client.version() == kProtocolV2;
+
+  // Defensive sanitize of the clear points (documented as sorted
+  // ascending; zeros and duplicates dropped) so a capture's raw marker
+  // positions can be passed straight through.
+  std::vector<std::size_t> points(opts.clear_points);
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  points.erase(points.begin(),
+               std::find_if(points.begin(), points.end(),
+                            [](std::size_t p) { return p != 0; }));
+  std::size_t next_point = 0;
+
   const auto start = Clock::now();
 
+  // v1 completes in send order (FIFO deque); v2 completes in arrival
+  // order (poll_any keyed by id), so a slow batch never head-of-line
+  // blocks the latency measurement of replies that already arrived.
   std::deque<InFlight> window;
+  std::unordered_map<std::uint64_t, InFlight> window_v2;
   std::uint64_t completed = 0;
+  auto in_flight = [&] { return v2 ? window_v2.size() : window.size(); };
   auto await_one = [&] {
+    if (v2) {
+      const Completion c = client.poll_any();
+      // Only ACCESS ids are outstanding here, so every completion maps.
+      const auto it = window_v2.find(c.id);
+      if (c.type != MsgType::kAccessReply || it == window_v2.end()) {
+        throw std::runtime_error("replay_stream: unexpected completion id " +
+                                 std::to_string(c.id));
+      }
+      const InFlight oldest = it->second;
+      window_v2.erase(it);
+      completed += c.access.count;
+      if (on_reply) on_reply(c.access, oldest.ref, oldest.count);
+      return;
+    }
     const AccessReply reply = client.await_access_reply();
     const InFlight oldest = window.front();
     window.pop_front();
@@ -313,13 +631,16 @@ std::uint64_t replay_stream(Client& client,
   std::size_t sent = 0;
   std::uint64_t batch_index = 0;
   while (sent < stream.size()) {
-    if (opts.flush_after != 0 && sent == opts.flush_after) {
-      while (!window.empty()) await_one();
+    while (next_point < points.size() && points[next_point] == sent) {
+      // Drain the window first so the FLUSH is a true barrier: every
+      // request before the point completed, none after it sent.
+      while (in_flight() != 0) await_one();
       client.flush();
+      ++next_point;
     }
     std::size_t n = std::min(batch, stream.size() - sent);
-    if (opts.flush_after != 0 && sent < opts.flush_after) {
-      n = std::min(n, opts.flush_after - sent);  // land exactly on the boundary
+    if (next_point < points.size() && points[next_point] > sent) {
+      n = std::min(n, points[next_point] - sent);  // land exactly on the point
     }
     Clock::time_point ref;
     if (recorded_timing) {
@@ -329,20 +650,30 @@ std::uint64_t replay_stream(Client& client,
                                              opts.send_offsets_ns[0]);
       precise_sleep_until(ref);  // no-op when behind schedule
     } else if (open_loop) {
-      // Scheduled by batches launched, not requests: a split batch (the
-      // flush boundary, the stream tail) consumes a full interval slot,
-      // shifting later launches by at most one interval per split.
+      // Scheduled by batches launched, not requests: a split batch (a
+      // clear-point boundary, the stream tail) consumes a full interval
+      // slot, shifting later launches by at most one interval per split.
       ref = start + batch_index * opts.batch_interval;
       precise_sleep_until(ref);  // no-op when behind schedule
     }
-    while (window.size() >= pipeline) await_one();
+    while (in_flight() >= pipeline) await_one();
     if (!open_loop) ref = Clock::now();
-    client.send_access(stream.subspan(sent, n));
-    window.push_back({ref, static_cast<std::uint32_t>(n)});
+    const std::uint64_t id = client.send_access(stream.subspan(sent, n));
+    if (v2) {
+      window_v2.emplace(id, InFlight{ref, static_cast<std::uint32_t>(n)});
+    } else {
+      window.push_back({ref, static_cast<std::uint32_t>(n)});
+    }
     sent += n;
     ++batch_index;
   }
-  while (!window.empty()) await_one();
+  while (in_flight() != 0) await_one();
+  // Points landing exactly at the end of the stream still fire (a capture
+  // that ends on a FLUSH marker), mirroring runtime replay's semantics.
+  while (next_point < points.size() && points[next_point] == sent) {
+    client.flush();
+    ++next_point;
+  }
   return completed;
 }
 

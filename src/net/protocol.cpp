@@ -74,35 +74,44 @@ std::uint64_t get_u64(const std::uint8_t* p) noexcept {
 
 namespace {
 
-void put_header(std::vector<std::uint8_t>& out, MsgType type, std::uint32_t seq,
-                std::uint32_t payload_len) {
+void put_header(std::vector<std::uint8_t>& out, MsgType type, std::uint64_t seq,
+                std::uint32_t payload_len, std::uint8_t version) {
   put_u32(out, kMagic);
-  out.push_back(kProtocolVersion);
+  out.push_back(version);
   out.push_back(static_cast<std::uint8_t>(type));
   put_u16(out, 0);  // flags, reserved
-  put_u32(out, seq);
-  put_u32(out, payload_len);
+  if (version == kProtocolV2) {
+    put_u64(out, seq);
+    put_u32(out, payload_len);
+    put_u32(out, 0);  // reserved, must be 0
+  } else {
+    put_u32(out, static_cast<std::uint32_t>(seq));
+    put_u32(out, payload_len);
+  }
 }
 
 void put_empty_frame(std::vector<std::uint8_t>& out, MsgType type,
-                     std::uint32_t seq) {
-  put_header(out, type, seq, 0);
+                     std::uint64_t seq, std::uint8_t version) {
+  put_header(out, type, seq, 0, version);
 }
 
 }  // namespace
 
 // --- encoders --------------------------------------------------------------
 
-void encode_ping(std::vector<std::uint8_t>& out, std::uint32_t seq) {
-  put_empty_frame(out, MsgType::kPing, seq);
+void encode_ping(std::vector<std::uint8_t>& out, std::uint64_t seq,
+                 std::uint8_t version) {
+  put_empty_frame(out, MsgType::kPing, seq, version);
 }
 
-void encode_pong(std::vector<std::uint8_t>& out, std::uint32_t seq) {
-  put_empty_frame(out, MsgType::kPong, seq);
+void encode_pong(std::vector<std::uint8_t>& out, std::uint64_t seq,
+                 std::uint8_t version) {
+  put_empty_frame(out, MsgType::kPong, seq, version);
 }
 
-void encode_access_batch(std::vector<std::uint8_t>& out, std::uint32_t seq,
-                         std::span<const WireAccess> accesses) {
+void encode_access_batch(std::vector<std::uint8_t>& out, std::uint64_t seq,
+                         std::span<const WireAccess> accesses,
+                         std::uint8_t version) {
   if (accesses.size() > kMaxBatch) {
     // Fail loudly at the sender: a frame over the protocol caps would be
     // silently treated as stream poison by the receiving server.
@@ -113,7 +122,7 @@ void encode_access_batch(std::vector<std::uint8_t>& out, std::uint32_t seq,
   const std::uint32_t count = static_cast<std::uint32_t>(accesses.size());
   const std::uint32_t payload =
       4 + count * static_cast<std::uint32_t>(kAccessWireBytes);
-  put_header(out, MsgType::kAccessBatch, seq, payload);
+  put_header(out, MsgType::kAccessBatch, seq, payload, version);
   put_u32(out, count);
   for (const WireAccess& a : accesses) {
     put_u64(out, a.page);
@@ -122,9 +131,9 @@ void encode_access_batch(std::vector<std::uint8_t>& out, std::uint32_t seq,
   }
 }
 
-void encode_access_reply(std::vector<std::uint8_t>& out, std::uint32_t seq,
-                         const AccessReply& reply) {
-  put_header(out, MsgType::kAccessReply, seq, 20);
+void encode_access_reply(std::vector<std::uint8_t>& out, std::uint64_t seq,
+                         const AccessReply& reply, std::uint8_t version) {
+  put_header(out, MsgType::kAccessReply, seq, 20, version);
   put_u32(out, reply.count);
   put_u32(out, reply.hits);
   put_u32(out, reply.admitted);
@@ -132,13 +141,14 @@ void encode_access_reply(std::vector<std::uint8_t>& out, std::uint32_t seq,
   put_u32(out, reply.dirty_evictions);
 }
 
-void encode_stats_request(std::vector<std::uint8_t>& out, std::uint32_t seq) {
-  put_empty_frame(out, MsgType::kStats, seq);
+void encode_stats_request(std::vector<std::uint8_t>& out, std::uint64_t seq,
+                          std::uint8_t version) {
+  put_empty_frame(out, MsgType::kStats, seq, version);
 }
 
-void encode_stats_reply(std::vector<std::uint8_t>& out, std::uint32_t seq,
-                        const StatsReply& reply) {
-  put_header(out, MsgType::kStatsReply, seq, 15 * 8);
+void encode_stats_reply(std::vector<std::uint8_t>& out, std::uint64_t seq,
+                        const StatsReply& reply, std::uint8_t version) {
+  put_header(out, MsgType::kStatsReply, seq, 15 * 8, version);
   put_u64(out, reply.accesses);
   put_u64(out, reply.hits);
   put_u64(out, reply.read_misses);
@@ -157,15 +167,17 @@ void encode_stats_reply(std::vector<std::uint8_t>& out, std::uint32_t seq,
 }
 
 void encode_model_info_request(std::vector<std::uint8_t>& out,
-                               std::uint32_t seq) {
-  put_empty_frame(out, MsgType::kModelInfo, seq);
+                               std::uint64_t seq, std::uint8_t version) {
+  put_empty_frame(out, MsgType::kModelInfo, seq, version);
 }
 
-void encode_model_info_reply(std::vector<std::uint8_t>& out, std::uint32_t seq,
-                             const ModelInfoReply& reply) {
+void encode_model_info_reply(std::vector<std::uint8_t>& out, std::uint64_t seq,
+                             const ModelInfoReply& reply,
+                             std::uint8_t version) {
   const std::uint16_t name_len =
       static_cast<std::uint16_t>(reply.policy_name.size());
-  put_header(out, MsgType::kModelInfoReply, seq, 4 + 4 + 8 + 2 + name_len);
+  put_header(out, MsgType::kModelInfoReply, seq, 4 + 4 + 8 + 2 + name_len,
+             version);
   put_u32(out, reply.shards);
   put_u32(out, reply.components);
   put_u64(out, reply.model_version);
@@ -173,19 +185,21 @@ void encode_model_info_reply(std::vector<std::uint8_t>& out, std::uint32_t seq,
   out.insert(out.end(), reply.policy_name.begin(), reply.policy_name.end());
 }
 
-void encode_flush_request(std::vector<std::uint8_t>& out, std::uint32_t seq) {
-  put_empty_frame(out, MsgType::kFlush, seq);
+void encode_flush_request(std::vector<std::uint8_t>& out, std::uint64_t seq,
+                          std::uint8_t version) {
+  put_empty_frame(out, MsgType::kFlush, seq, version);
 }
 
-void encode_flush_reply(std::vector<std::uint8_t>& out, std::uint32_t seq) {
-  put_empty_frame(out, MsgType::kFlushReply, seq);
+void encode_flush_reply(std::vector<std::uint8_t>& out, std::uint64_t seq,
+                        std::uint8_t version) {
+  put_empty_frame(out, MsgType::kFlushReply, seq, version);
 }
 
-void encode_error(std::vector<std::uint8_t>& out, std::uint32_t seq,
-                  const ErrorReply& reply) {
+void encode_error(std::vector<std::uint8_t>& out, std::uint64_t seq,
+                  const ErrorReply& reply, std::uint8_t version) {
   const std::uint16_t msg_len =
       static_cast<std::uint16_t>(reply.message.size());
-  put_header(out, MsgType::kError, seq, 2 + 2 + msg_len);
+  put_header(out, MsgType::kError, seq, 2 + 2 + msg_len, version);
   put_u16(out, static_cast<std::uint16_t>(reply.code));
   put_u16(out, msg_len);
   out.insert(out.end(), reply.message.begin(), reply.message.end());
@@ -199,7 +213,9 @@ DecodeStatus decode_header(std::span<const std::uint8_t> buf,
   const std::uint8_t* p = buf.data();
   if (get_u32(p) != kMagic) return DecodeStatus::kBadMagic;
   out.version = p[4];
-  if (out.version != kProtocolVersion) return DecodeStatus::kBadVersion;
+  if (out.version != kProtocolVersion && out.version != kProtocolV2) {
+    return DecodeStatus::kBadVersion;
+  }
   const std::uint8_t raw_type = p[5];
   if (raw_type < static_cast<std::uint8_t>(MsgType::kPing) ||
       raw_type > static_cast<std::uint8_t>(MsgType::kError)) {
@@ -210,8 +226,17 @@ DecodeStatus decode_header(std::span<const std::uint8_t> buf,
   out.type = static_cast<MsgType>(raw_type);
   out.flags = get_u16(p + 6);
   if (out.flags != 0) return DecodeStatus::kBadPayload;
-  out.seq = get_u32(p + 8);
-  out.payload_len = get_u32(p + 12);
+  if (out.version == kProtocolV2) {
+    // The common 16-byte prefix is in; the v2 tail (id high half,
+    // payload_len, reserved) may still be in flight.
+    if (buf.size() < kHeaderBytesV2) return DecodeStatus::kNeedMore;
+    out.seq = get_u64(p + 8);
+    out.payload_len = get_u32(p + 16);
+    if (get_u32(p + 20) != 0) return DecodeStatus::kBadPayload;  // reserved
+  } else {
+    out.seq = get_u32(p + 8);
+    out.payload_len = get_u32(p + 12);
+  }
   if (out.payload_len > kMaxPayload) return DecodeStatus::kBadLength;
   return DecodeStatus::kOk;
 }
@@ -220,9 +245,10 @@ DecodeStatus decode_frame(std::span<const std::uint8_t> buf, Frame& frame,
                           std::size_t& consumed) noexcept {
   const DecodeStatus hs = decode_header(buf, frame.header);
   if (hs != DecodeStatus::kOk) return hs;
-  const std::size_t total = kHeaderBytes + frame.header.payload_len;
+  const std::size_t header = header_bytes(frame.header.version);
+  const std::size_t total = header + frame.header.payload_len;
   if (buf.size() < total) return DecodeStatus::kNeedMore;
-  frame.payload = buf.subspan(kHeaderBytes, frame.header.payload_len);
+  frame.payload = buf.subspan(header, frame.header.payload_len);
   consumed = total;
   return DecodeStatus::kOk;
 }

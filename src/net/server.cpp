@@ -1,11 +1,13 @@
 #include "net/server.hpp"
 
 #include <fcntl.h>
+#include <limits.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cassert>
@@ -29,6 +31,12 @@ void set_nodelay(int fd) noexcept {
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
+/// Framed replies coalesced per writev syscall. IOV_MAX (1024 on Linux)
+/// is the kernel's hard cap; 64 keeps the iovec array a small stack
+/// object and already covers every pipeline depth the drivers use — the
+/// flush loop just issues another writev for deeper backlogs.
+constexpr std::size_t kIovBatch = IOV_MAX < 64 ? IOV_MAX : 64;
+
 }  // namespace
 
 /// Per-connection state. The I/O thread owns `in` (the partial byte
@@ -49,16 +57,24 @@ struct Server::Connection {
 
   std::mutex mu;
   // --- guarded by mu ---
-  std::deque<std::vector<std::uint8_t>> inbox;  ///< complete frames, owned
-  std::vector<std::uint8_t> out;                ///< pending reply bytes
+  std::deque<std::vector<std::uint8_t>> inbox;  ///< v1 frames, arrival order
+  std::vector<std::uint8_t> out;                ///< v1 pending reply bytes
   std::size_t out_off = 0;
-  bool scheduled = false;   ///< queued or being drained by a worker
+  /// v2 framed replies in completion order, drained by vectored writev.
+  std::deque<std::vector<std::uint8_t>> outbox;
+  std::size_t outbox_off = 0;  ///< bytes of outbox.front() already sent
+  /// v2 requests dispatched to the pool and not yet completed. The worker
+  /// that takes this to zero flushes the outbox — so concurrent
+  /// completions coalesce into one writev instead of racing the socket.
+  std::uint32_t v2_pending = 0;
+  bool scheduled = false;   ///< v1 inbox queued or being drained by a worker
   bool want_write = false;  ///< EPOLLOUT armed
   bool eof = false;         ///< peer FIN seen; close once drained
   bool dead = false;        ///< deregistered; drop work, never write
 
   bool drained() const {  // call with mu held
-    return inbox.empty() && !scheduled && out_off >= out.size();
+    return inbox.empty() && !scheduled && v2_pending == 0 && outbox.empty() &&
+           out_off >= out.size();
   }
 };
 
@@ -139,7 +155,7 @@ void Server::stop() {
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     for (std::size_t i = 0; i < workers_.size(); ++i) {
-      queue_.push_back(nullptr);  // stop tokens
+      queue_.push_back(Work{});  // stop tokens (null conn)
     }
   }
   queue_cv_.notify_all();
@@ -166,7 +182,9 @@ ServerStats Server::stats() const noexcept {
           .frames_served = frames_.load(std::memory_order_relaxed),
           .requests_served = requests_.load(std::memory_order_relaxed),
           .protocol_errors = protocol_errors_.load(std::memory_order_relaxed),
-          .error_replies = error_replies_.load(std::memory_order_relaxed)};
+          .error_replies = error_replies_.load(std::memory_order_relaxed),
+          .writev_calls = writev_calls_.load(std::memory_order_relaxed),
+          .writev_replies = writev_replies_.load(std::memory_order_relaxed)};
 }
 
 void Server::io_loop() {
@@ -251,7 +269,7 @@ void Server::read_ready(const ConnPtr& conn) {
     const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
     if (n > 0) {
       conn->in.insert(conn->in.end(), buf, buf + n);
-      if (conn->in.size() > kHeaderBytes + kMaxPayload + sizeof(buf)) {
+      if (conn->in.size() > kHeaderBytesV2 + kMaxPayload + sizeof(buf)) {
         break;  // stop reading; frame the backlog first
       }
       continue;
@@ -266,10 +284,14 @@ void Server::read_ready(const ConnPtr& conn) {
     break;
   }
 
-  // Slice complete frames off the stream front.
+  // Slice complete frames off the stream front, dispatching each by the
+  // version it arrived with: v1 into the order-preserving inbox, v2 as
+  // an individual work item any worker may complete.
   std::size_t off = 0;
   bool poisoned = false;
-  bool got_frame = false;
+  bool got_v1 = false;
+  bool got_v2_inline = false;
+  std::size_t v2_dispatched = 0;
   while (true) {
     Frame frame;
     std::size_t consumed = 0;
@@ -280,28 +302,58 @@ void Server::read_ready(const ConnPtr& conn) {
       poisoned = true;
       break;
     }
-    {
+    const auto frame_bytes =
+        std::span<const std::uint8_t>(conn->in).subspan(off, consumed);
+    if (frame.header.version == kProtocolV2 && !workers_.empty()) {
+      {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        ++conn->v2_pending;
+      }
+      {
+        std::lock_guard<std::mutex> lock(queue_mu_);
+        queue_.push_back(Work{
+            conn,
+            std::vector<std::uint8_t>(frame_bytes.begin(), frame_bytes.end())});
+      }
+      ++v2_dispatched;
+    } else if (frame.header.version == kProtocolV2) {
+      // Inline mode: complete in arrival order on the I/O thread; the
+      // replies still coalesce into one writev after the slice loop.
+      std::vector<std::uint8_t> reply;
+      serve_frame(frame_bytes, reply);
+      frames_.fetch_add(1, std::memory_order_relaxed);
+      if (!reply.empty()) {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        conn->outbox.push_back(std::move(reply));
+      }
+      got_v2_inline = true;
+    } else {
       std::lock_guard<std::mutex> lock(conn->mu);
-      conn->inbox.emplace_back(conn->in.begin() + off,
-                               conn->in.begin() + off + consumed);
+      conn->inbox.emplace_back(frame_bytes.begin(), frame_bytes.end());
+      got_v1 = true;
     }
-    got_frame = true;
     off += consumed;
   }
   if (off > 0) conn->in.erase(conn->in.begin(), conn->in.begin() + off);
 
+  if (v2_dispatched == 1) {
+    queue_cv_.notify_one();
+  } else if (v2_dispatched > 1) {
+    queue_cv_.notify_all();
+  }
   if (poisoned) {
     protocol_errors_.fetch_add(1, std::memory_order_relaxed);
     close_connection(conn);
     return;
   }
-  if (got_frame) {
+  if (got_v1) {
     if (workers_.empty()) {
       serve_connection(conn);  // inline mode
     } else {
       enqueue_ready(conn);
     }
   }
+  if (got_v2_inline) flush_writes(conn);
   if (eof) {
     // A client that pipelines requests and then half-closes (FIN) is
     // still owed its replies. Close immediately only if nothing is
@@ -333,7 +385,7 @@ void Server::enqueue_ready(const ConnPtr& conn) {
   }
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
-    queue_.push_back(conn);
+    queue_.push_back(Work{conn, {}});
   }
   queue_cv_.notify_one();
 }
@@ -356,16 +408,47 @@ void Server::close_connection(const ConnPtr& conn) {
 
 void Server::worker_loop() {
   while (true) {
-    ConnPtr conn;
+    Work work;
     {
       std::unique_lock<std::mutex> lock(queue_mu_);
       queue_cv_.wait(lock, [this] { return !queue_.empty(); });
-      conn = std::move(queue_.front());
+      work = std::move(queue_.front());
       queue_.pop_front();
     }
-    if (!conn) return;  // stop token
-    serve_connection(conn);
+    if (!work.conn) return;  // stop token
+    if (work.frame.empty()) {
+      serve_connection(work.conn);  // v1: drain the inbox in order
+    } else {
+      serve_v2_frame(work.conn, work.frame);  // v2: one request, any order
+    }
   }
+}
+
+void Server::serve_v2_frame(const ConnPtr& conn,
+                            std::span<const std::uint8_t> frame_bytes) {
+  bool dead;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    dead = conn->dead;
+  }
+  std::vector<std::uint8_t> reply;
+  if (!dead) {
+    serve_frame(frame_bytes, reply);
+    frames_.fetch_add(1, std::memory_order_relaxed);
+  }
+  bool last_completer;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (!reply.empty() && !conn->dead) {
+      conn->outbox.push_back(std::move(reply));
+    }
+    --conn->v2_pending;
+    // Only the completion that empties the in-flight set flushes: every
+    // sibling reply finished in the meantime rides the same writev, and
+    // two workers never contend on send() for one socket.
+    last_completer = conn->v2_pending == 0;
+  }
+  if (last_completer) flush_writes(conn);
 }
 
 void Server::serve_connection(const ConnPtr& conn) {
@@ -399,20 +482,23 @@ void Server::serve_frame(std::span<const std::uint8_t> frame_bytes,
   const DecodeStatus st = decode_frame(frame_bytes, frame, consumed);
   assert(st == DecodeStatus::kOk);  // read_ready only enqueues whole frames
   if (st != DecodeStatus::kOk) return;
-  const std::uint32_t seq = frame.header.seq;
+  // Replies go back in the version (and with the id) the request carried.
+  const std::uint64_t seq = frame.header.seq;
+  const std::uint8_t version = frame.header.version;
 
   switch (frame.header.type) {
     case MsgType::kPing:
       if (decode_empty(frame) != DecodeStatus::kOk) break;
-      encode_pong(out, seq);
+      encode_pong(out, seq, version);
       return;
 
     case MsgType::kAccessBatch: {
       // Thread-local staging keeps the hot path allocation-free after
-      // warm-up; one wire batch becomes one apply_batch span.
+      // warm-up; one wire batch becomes one apply_batch span, and the
+      // aggregating overload folds the reply counters into the serve
+      // loop — no per-request results array on the wire path.
       thread_local std::vector<WireAccess> wire;
       thread_local std::vector<runtime::Access> batch;
-      thread_local std::vector<cache::AccessResult> results;
       if (decode_access_batch(frame, wire) != DecodeStatus::kOk) break;
       batch.clear();
       batch.reserve(wire.size());
@@ -421,18 +507,16 @@ void Server::serve_frame(std::span<const std::uint8_t> frame_bytes,
                          .timestamp = a.timestamp,
                          .is_write = a.is_write});
       }
-      results.resize(batch.size());
-      rt_.apply_batch(batch, results);
-      AccessReply reply;
-      reply.count = static_cast<std::uint32_t>(batch.size());
-      for (const cache::AccessResult& r : results) {
-        reply.hits += r.hit ? 1 : 0;
-        reply.admitted += r.admitted ? 1 : 0;
-        reply.evictions += r.evicted ? 1 : 0;
-        reply.dirty_evictions += r.evicted_dirty ? 1 : 0;
-      }
+      runtime::BatchOutcome outcome;
+      rt_.apply_batch(batch, outcome);
       requests_.fetch_add(batch.size(), std::memory_order_relaxed);
-      encode_access_reply(out, seq, reply);
+      encode_access_reply(out, seq,
+                          {.count = outcome.count,
+                           .hits = outcome.hits,
+                           .admitted = outcome.admitted,
+                           .evictions = outcome.evictions,
+                           .dirty_evictions = outcome.dirty_evictions},
+                          version);
       return;
     }
 
@@ -455,7 +539,7 @@ void Server::serve_frame(std::span<const std::uint8_t> frame_bytes,
       reply.records_written = snap.records_written;
       reply.records_dropped = snap.records_dropped;
       reply.record_chunks = snap.record_chunks;
-      encode_stats_reply(out, seq, reply);
+      encode_stats_reply(out, seq, reply, version);
       return;
     }
 
@@ -468,14 +552,14 @@ void Server::serve_frame(std::span<const std::uint8_t> frame_bytes,
         reply.components = static_cast<std::uint32_t>(slot->load()->size());
         reply.model_version = slot->version();
       }
-      encode_model_info_reply(out, seq, reply);
+      encode_model_info_reply(out, seq, reply, version);
       return;
     }
 
     case MsgType::kFlush:
       if (decode_empty(frame) != DecodeStatus::kOk) break;
       rt_.clear_stats();
-      encode_flush_reply(out, seq);
+      encode_flush_reply(out, seq, version);
       return;
 
     default:
@@ -483,7 +567,8 @@ void Server::serve_frame(std::span<const std::uint8_t> frame_bytes,
       encode_error(out, seq,
                    {.code = ErrorCode::kUnknownType,
                     .message = std::string("not a request: ") +
-                               to_string(frame.header.type)});
+                               to_string(frame.header.type)},
+                   version);
       return;
   }
   // A known request type whose payload failed validation.
@@ -491,7 +576,8 @@ void Server::serve_frame(std::span<const std::uint8_t> frame_bytes,
   encode_error(out, seq,
                {.code = ErrorCode::kBadRequest,
                 .message = std::string("malformed ") +
-                           to_string(frame.header.type) + " payload"});
+                           to_string(frame.header.type) + " payload"},
+               version);
 }
 
 void Server::flush_writes(const ConnPtr& conn) {
@@ -524,11 +610,58 @@ void Server::flush_writes(const ConnPtr& conn) {
   }
   conn->out.clear();
   conn->out_off = 0;
+  // v2 outbox: one vectored writev per syscall, coalescing up to
+  // kIovBatch framed replies (IOV_MAX-capped). The front entry may be
+  // partially sent from an earlier backpressured flush (outbox_off).
+  while (!conn->outbox.empty()) {
+    iovec iov[kIovBatch];
+    std::size_t cnt = 0;
+    for (const std::vector<std::uint8_t>& reply : conn->outbox) {
+      const std::size_t skip = cnt == 0 ? conn->outbox_off : 0;
+      iov[cnt].iov_base = const_cast<std::uint8_t*>(reply.data()) + skip;
+      iov[cnt].iov_len = reply.size() - skip;
+      if (++cnt == kIovBatch) break;
+    }
+    const ssize_t n = ::writev(conn->fd, iov, static_cast<int>(cnt));
+    if (n > 0) {
+      writev_calls_.fetch_add(1, std::memory_order_relaxed);
+      std::size_t advanced = static_cast<std::size_t>(n);
+      while (advanced > 0) {
+        const std::size_t left =
+            conn->outbox.front().size() - conn->outbox_off;
+        if (advanced < left) {
+          conn->outbox_off += advanced;
+          break;
+        }
+        advanced -= left;
+        conn->outbox.pop_front();
+        conn->outbox_off = 0;
+        writev_replies_.fetch_add(1, std::memory_order_relaxed);
+      }
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!conn->want_write) {
+        epoll_event ev{};
+        ev.events = (conn->eof ? 0u : static_cast<std::uint32_t>(EPOLLIN)) |
+                    EPOLLOUT;
+        ev.data.fd = conn->fd;
+        if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev) == 0) {
+          conn->want_write = true;
+        }
+      }
+      return;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return;  // peer went away; epoll reports ERR/HUP and the I/O thread closes
+  }
   if (conn->eof) {
     // The peer already FIN'd and its last reply byte is out: hand the
     // connection to the I/O thread for closing (never re-arm EPOLLIN on
     // a half-closed socket — that is the busy-spin this path avoids).
-    if (conn->inbox.empty() && !conn->scheduled) request_close_locked(conn);
+    if (conn->inbox.empty() && !conn->scheduled && conn->v2_pending == 0) {
+      request_close_locked(conn);
+    }
     return;
   }
   if (conn->want_write) {

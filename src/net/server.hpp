@@ -12,15 +12,35 @@
 //                  per-connection write buffer --> epoll EPOLLOUT flush
 //
 // One I/O thread owns the epoll set: it accepts, reads, frames, and
-// flushes backpressured writes. Complete frames are appended to the
-// owning connection's inbox; a connection is scheduled onto the worker
-// queue only when its inbox goes non-empty and it is not already
-// scheduled, so frames from one connection are always processed in
-// arrival order by exactly one worker at a time (replies stay in request
-// order — the pipelining contract), while different connections spread
-// across the pool. `workers = 0` processes frames inline on the I/O
-// thread (zero cross-thread handoff — the deterministic mode the
-// loopback equivalence tests use).
+// flushes backpressured writes. What happens to a complete frame depends
+// on the protocol version it arrived with:
+//
+//  * v1 frames keep the order-preserving path byte for byte: they are
+//    appended to the owning connection's inbox; a connection is
+//    scheduled onto the worker queue only when its inbox goes non-empty
+//    and it is not already scheduled, so v1 frames from one connection
+//    are always processed in arrival order by exactly one worker at a
+//    time (replies stay in request order — the v1 pipelining contract),
+//    while different connections spread across the pool.
+//
+//  * v2 frames are dispatched individually: each becomes its own work
+//    item, ANY worker may complete ANY request of a connection
+//    concurrently, and each finished reply is pushed onto the
+//    connection's outbox in completion order (replies correlate by the
+//    echoed u64 request id, so order does not matter). The outbox is
+//    drained with a single vectored `writev` per syscall — up to
+//    IOV_MAX framed replies coalesced — by whichever thread completes
+//    the connection's last in-flight request (or by the I/O thread on
+//    EPOLLOUT backpressure), so a burst of pipelined requests costs one
+//    write syscall, not one per reply. Consequence worth restating:
+//    the server does NOT serialize a v2 connection's requests — two
+//    pipelined ACCESS batches may interleave at the cache. Clients that
+//    need a happens-before (e.g. a FLUSH barrier) must drain their own
+//    outstanding ids first, which Client's sync RPCs do.
+//
+// `workers = 0` processes frames inline on the I/O thread (zero
+// cross-thread handoff — the deterministic mode the loopback equivalence
+// tests use; v2 frames then complete in arrival order by construction).
 //
 // Framing errors (bad magic/version, oversized declared length,
 // unparseable payload) poison the byte stream: the server counts a
@@ -65,6 +85,11 @@ struct ServerStats {
   std::uint64_t requests_served = 0;  ///< individual accesses
   std::uint64_t protocol_errors = 0;  ///< stream-poison closes
   std::uint64_t error_replies = 0;    ///< well-framed ERROR replies
+  // Vectored reply batching (v2 connections only; both 0 on pure-v1
+  // traffic). writev_replies / writev_calls = average replies coalesced
+  // per flush syscall.
+  std::uint64_t writev_calls = 0;    ///< outbox flush syscalls issued
+  std::uint64_t writev_replies = 0;  ///< framed replies fully written by them
 };
 
 class Server {
@@ -109,13 +134,21 @@ class Server {
   /// held.
   void request_close_locked(const ConnPtr& conn);
   /// Drains conn's inbox (exclusively — the scheduled flag), serving each
-  /// frame against the runtime and flushing replies.
+  /// frame against the runtime and flushing replies. v1 path.
   void serve_connection(const ConnPtr& conn);
-  /// Serves one complete frame, appending the reply to `out`.
+  /// Completes one v2 work item: serves the frame, pushes the reply onto
+  /// the connection's outbox, and flushes when it was the last in-flight
+  /// request (the "last completer flushes" rule — one writev covers every
+  /// reply that piled up while siblings were still being served).
+  void serve_v2_frame(const ConnPtr& conn,
+                      std::span<const std::uint8_t> frame_bytes);
+  /// Serves one complete frame, appending the reply to `out` (framed in
+  /// the version the request arrived with).
   void serve_frame(std::span<const std::uint8_t> frame_bytes,
                    std::vector<std::uint8_t>& out);
-  /// Sends as much buffered output as the socket accepts; arms EPOLLOUT
-  /// for the remainder. Call with conn->mu NOT held.
+  /// Sends as much buffered output as the socket accepts — the v1
+  /// contiguous buffer first, then the v2 outbox via vectored writev —
+  /// and arms EPOLLOUT for the remainder. Call with conn->mu NOT held.
   void flush_writes(const ConnPtr& conn);
   void enqueue_ready(const ConnPtr& conn);
 
@@ -132,10 +165,18 @@ class Server {
   std::thread io_thread_;
   std::vector<std::thread> workers_;
 
-  // Work queue: connections with non-empty inboxes. nullptr = stop token.
+  // Work queue. A v1 item carries an empty `frame`: "drain conn's inbox"
+  // (at most one queued per connection — the scheduled flag). A v2 item
+  // carries one owned frame: "complete this request on conn", and any
+  // number may be in flight per connection at once. conn == nullptr is a
+  // worker stop token.
+  struct Work {
+    ConnPtr conn;
+    std::vector<std::uint8_t> frame;
+  };
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;
-  std::deque<ConnPtr> queue_;
+  std::deque<Work> queue_;
 
   // Live connections, keyed by fd. I/O thread only (no lock needed).
   std::unordered_map<int, ConnPtr> conns_;
@@ -153,6 +194,8 @@ class Server {
   mutable std::atomic<std::uint64_t> requests_{0};
   mutable std::atomic<std::uint64_t> protocol_errors_{0};
   mutable std::atomic<std::uint64_t> error_replies_{0};
+  mutable std::atomic<std::uint64_t> writev_calls_{0};
+  mutable std::atomic<std::uint64_t> writev_replies_{0};
 };
 
 }  // namespace icgmm::net

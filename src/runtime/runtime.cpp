@@ -148,6 +148,19 @@ void Runtime::apply_batch(std::span<const Access> batch,
   }
 }
 
+void Runtime::apply_batch(std::span<const Access> batch,
+                          BatchOutcome& outcome) {
+  outcome = {};
+  outcome.count = static_cast<std::uint32_t>(batch.size());
+  for (const Access& a : batch) {
+    const cache::AccessResult r = access(a.page, a.timestamp, a.is_write);
+    outcome.hits += r.hit ? 1 : 0;
+    outcome.admitted += r.admitted ? 1 : 0;
+    outcome.evictions += r.evicted ? 1 : 0;
+    outcome.dirty_evictions += r.evicted_dirty ? 1 : 0;
+  }
+}
+
 std::uint64_t Runtime::inferences() const {
   std::uint64_t total = 0;
   for (std::uint32_t i = 0; i < sharded_->shards(); ++i) {

@@ -88,6 +88,17 @@ struct Access {
   bool is_write = false;
 };
 
+/// Per-batch completion aggregate — the shape of a wire ACCESS_REPLY.
+/// Produced by the aggregating apply_batch overload so a frontend that
+/// only reports totals never stages per-request results.
+struct BatchOutcome {
+  std::uint32_t count = 0;
+  std::uint32_t hits = 0;
+  std::uint32_t admitted = 0;
+  std::uint32_t evictions = 0;
+  std::uint32_t dirty_evictions = 0;
+};
+
 /// Coherent observability snapshot (merged lock-free; per-shard locked).
 struct RuntimeSnapshot {
   /// Includes front-cache hits (in both accesses and hits), so the
@@ -164,6 +175,13 @@ class Runtime {
   /// asserted bit-identical by the apply-batch tests.
   void apply_batch(std::span<const Access> batch,
                    std::span<cache::AccessResult> results = {});
+
+  /// Same serving semantics (access() per element, in order), but folds
+  /// the per-request outcomes into `outcome` as they complete instead of
+  /// staging a results array — the net server's completion path, where
+  /// any worker may run any batch and only the aggregate goes back on
+  /// the wire. `outcome` is overwritten, not accumulated into.
+  void apply_batch(std::span<const Access> batch, BatchOutcome& outcome);
 
   /// Merged + per-shard statistics and model/refresher counters.
   RuntimeSnapshot snapshot() const;

@@ -4,7 +4,9 @@
 // hit/miss/inference counts to the in-process replay_trace driver, for a
 // classic policy and for the trained GMM policy, including the warm-up
 // discard (client-side FLUSH at the same request index replay clears
-// stats at). Suite name starts with "Net" for the CI TSan job.
+// stats at). The V2 tests hold the same bar over the negotiated
+// multiplexed protocol, with multi-worker servers completing requests
+// out of order. Suite name starts with "Net" for the CI TSan job.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -39,15 +41,23 @@ std::vector<net::WireAccess> wire_stream(const trace::Trace& t,
 }
 
 /// Replays `stream` over one connection through the shared driver the
-/// loadgen and net bench use, FLUSHing the server at exactly
-/// `flush_after` requests (0 = never), then returns STATS.
+/// loadgen and net bench use, FLUSHing the server at exactly the given
+/// clear points ({} = never), then returns STATS. `v2` negotiates the
+/// multiplexed protocol first (and asserts the server granted it).
 net::StatsReply serve_stream(std::uint16_t port,
                              const std::vector<net::WireAccess>& stream,
-                             std::size_t flush_after, std::size_t batch) {
+                             std::vector<std::size_t> clear_points,
+                             std::size_t batch, bool v2 = false,
+                             std::size_t pipeline = 2) {
   net::Client client = net::Client::connect("127.0.0.1", port);
-  const std::uint64_t completed = net::replay_stream(
-      client, stream,
-      {.batch = batch, .pipeline = 2, .flush_after = flush_after});
+  if (v2) {
+    EXPECT_EQ(client.negotiate(), net::kProtocolV2);
+  }
+  net::ReplayOptions opts;
+  opts.batch = batch;
+  opts.pipeline = pipeline;
+  opts.clear_points = std::move(clear_points);
+  const std::uint64_t completed = net::replay_stream(client, stream, opts);
   EXPECT_EQ(completed, stream.size());
   return client.stats();
 }
@@ -84,7 +94,7 @@ TEST(NetE2E, ServedLruTraceMatchesInProcessReplayExactly) {
   net::Server server(served_rt, {.port = 0, .workers = 1});
   server.start();
   const net::StatsReply net_stats = serve_stream(
-      server.port(), wire_stream(t, serve_cfg.transform), warmup, 64);
+      server.port(), wire_stream(t, serve_cfg.transform), {warmup}, 64);
   server.stop();
 
   expect_counts_match(net_stats, replayed.run);
@@ -117,7 +127,7 @@ TEST(NetE2E, ServedGmmTraceMatchesInProcessReplayExactly) {
   net::Server server(*served_rt, {.port = 0, .workers = 1});
   server.start();
   const net::StatsReply net_stats = serve_stream(
-      server.port(), wire_stream(t, serve_cfg.transform), warmup, 64);
+      server.port(), wire_stream(t, serve_cfg.transform), {warmup}, 64);
   server.stop();
 
   expect_counts_match(net_stats, replayed.run);
@@ -140,7 +150,7 @@ TEST(NetE2E, BatchSizeDoesNotChangeServedCounts) {
     net::Server server(rt, {.port = 0, .workers = 1});
     server.start();
     const net::StatsReply s =
-        serve_stream(server.port(), wire_stream(t, tcfg), 0, batch);
+        serve_stream(server.port(), wire_stream(t, tcfg), {}, batch);
     server.stop();
     if (!have_first) {
       first = s;
@@ -154,6 +164,93 @@ TEST(NetE2E, BatchSizeDoesNotChangeServedCounts) {
     EXPECT_EQ(s.write_misses, first.write_misses);
     EXPECT_EQ(s.evictions, first.evictions);
   }
+}
+
+TEST(NetE2E, V2MultipleClearPointsMatchInProcessReplayExactly) {
+  // A capture with several FLUSH markers replays exactly on one
+  // connection: every clear point lands on its recorded request index,
+  // over v1 and over the negotiated v2 protocol alike. Mirrors
+  // runtime::ReplayConfig::clear_points semantics.
+  const trace::Trace t = test_util::zipf_trace(30000, 1024, 0.9, 0xB7);
+  const runtime::RuntimeConfig rcfg{.cache = test_util::tiny_cache(32, 4),
+                                    .shards = 1};
+  const std::vector<std::size_t> points = {5000, 12000, 21000};
+  runtime::ReplayConfig serve_cfg;
+  serve_cfg.threads = 1;
+  serve_cfg.clear_points = points;
+
+  runtime::Runtime reference(rcfg, cache::LruPolicy());
+  const runtime::ReplayResult replayed =
+      runtime::replay_trace(reference, t, serve_cfg);
+
+  for (const bool v2 : {false, true}) {
+    runtime::Runtime rt(rcfg, cache::LruPolicy());
+    // Two workers on the v2 pass: the multiplexed dispatch path, with
+    // pipeline 1 keeping the ACCESS stream itself in deterministic order.
+    net::Server server(rt, {.port = 0, .workers = v2 ? 2u : 1u});
+    server.start();
+    const net::StatsReply s =
+        serve_stream(server.port(), wire_stream(t, serve_cfg.transform),
+                     points, 64, v2, /*pipeline=*/v2 ? 1 : 2);
+    server.stop();
+    expect_counts_match(s, replayed.run);
+  }
+}
+
+TEST(NetE2E, V2OutOfOrderCompletionsMatchInProcessReplayExactly) {
+  // The PR 4 trace-equivalence bar carried onto protocol v2 with a
+  // 2-worker server genuinely completing requests out of order: each
+  // ACCESS batch travels with a concurrent PING, so two requests from
+  // this connection are in flight at once and the PONG may overtake or
+  // trail the ACCESS reply — poll_any() absorbs either order. The ACCESS
+  // stream itself stays at window 1 (awaited before the next send), so
+  // the cache sees the exact replay_trace request order and the final
+  // counts must be exactly equal.
+  const trace::Trace t = test_util::zipf_trace(40000, 2048, 0.9, 0x7A);
+  const runtime::RuntimeConfig rcfg{.cache = test_util::tiny_cache(64, 8),
+                                    .shards = 1};
+  runtime::ReplayConfig serve_cfg;
+  serve_cfg.threads = 1;
+  serve_cfg.warmup_fraction = 0.0;  // no clear point: pure count identity
+
+  runtime::Runtime reference(rcfg, cache::LruPolicy());
+  const runtime::ReplayResult replayed =
+      runtime::replay_trace(reference, t, serve_cfg);
+
+  runtime::Runtime served_rt(rcfg, cache::LruPolicy());
+  net::Server server(served_rt, {.port = 0, .workers = 2});
+  server.start();
+  net::Client client = net::Client::connect("127.0.0.1", server.port());
+  ASSERT_EQ(client.negotiate(), net::kProtocolV2);
+
+  const auto stream = wire_stream(t, serve_cfg.transform);
+  std::uint64_t completed = 0;
+  std::uint64_t pongs = 0;
+  for (std::size_t sent = 0; sent < stream.size();) {
+    const std::size_t n = std::min<std::size_t>(64, stream.size() - sent);
+    const std::uint64_t id = client.send_access({stream.data() + sent, n});
+    const std::uint64_t ping_id = client.send_ping();
+    const net::Completion first = client.poll_any();
+    const net::Completion second = client.poll_any();
+    const net::Completion& access =
+        first.type == net::MsgType::kAccessReply ? first : second;
+    const net::Completion& pong =
+        first.type == net::MsgType::kPong ? first : second;
+    ASSERT_EQ(access.type, net::MsgType::kAccessReply);
+    ASSERT_EQ(access.id, id);
+    ASSERT_EQ(pong.type, net::MsgType::kPong);
+    ASSERT_EQ(pong.id, ping_id);
+    completed += access.access.count;
+    pongs += 1;
+    sent += n;
+  }
+  EXPECT_EQ(completed, stream.size());
+  EXPECT_EQ(pongs, (stream.size() + 63) / 64);
+  EXPECT_EQ(client.outstanding(), 0u);
+
+  const net::StatsReply s = client.stats();
+  server.stop();
+  expect_counts_match(s, replayed.run);
 }
 
 TEST(NetE2E, AdaptiveServingPublishesModelsOverTheWire) {

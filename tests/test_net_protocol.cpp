@@ -257,12 +257,164 @@ TEST(NetProtocol, BadMagicRejected) {
 }
 
 TEST(NetProtocol, BadVersionRejected) {
+  // Version 2 is now a valid prefix (the v2 header), so the unknown
+  // versions are 0, 3, and up — all stream poison at the header stage.
+  // This rejection rule IS the negotiation story: an old server answers
+  // a v2 probe by dropping the connection, so the client falls back.
+  for (const std::uint8_t bad : {std::uint8_t{0}, std::uint8_t{3},
+                                 std::uint8_t{0x7F}, std::uint8_t{0xFF}}) {
+    Bytes buf;
+    encode_ping(buf, 1);
+    buf[4] = bad;
+    Frame f;
+    std::size_t consumed = 0;
+    EXPECT_EQ(decode_frame(buf, f, consumed), DecodeStatus::kBadVersion)
+        << "version " << static_cast<int>(bad);
+  }
+}
+
+// --- protocol v2 ------------------------------------------------------------
+
+TEST(NetProtocol, V2HeaderWireLayoutIsLittleEndianAndPinned) {
   Bytes buf;
-  encode_ping(buf, 1);
-  buf[4] = kProtocolVersion + 1;
+  encode_ping(buf, 0x1122334455667788ull, kProtocolV2);
+  ASSERT_EQ(buf.size(), kHeaderBytesV2);
+  EXPECT_EQ(buf[0], 'I');
+  EXPECT_EQ(buf[1], 'C');
+  EXPECT_EQ(buf[2], 'G');
+  EXPECT_EQ(buf[3], 'M');
+  EXPECT_EQ(buf[4], kProtocolV2);
+  EXPECT_EQ(buf[5], static_cast<std::uint8_t>(MsgType::kPing));
+  EXPECT_EQ(buf[6], 0);  // flags lo
+  EXPECT_EQ(buf[7], 0);  // flags hi
+  // request_id, full u64 little-endian at offset 8.
+  EXPECT_EQ(get_u64(buf.data() + 8), 0x1122334455667788ull);
+  EXPECT_EQ(buf[8], 0x88);
+  EXPECT_EQ(buf[15], 0x11);
+  // payload_len at 16, reserved u32 (must be zero) at 20.
+  EXPECT_EQ(get_u32(buf.data() + 16), 0u);
+  EXPECT_EQ(get_u32(buf.data() + 20), 0u);
+}
+
+TEST(NetProtocol, V2RoundTripsEveryMessageType) {
+  // Same payload formats as v1, 24-byte header, u64 ids beyond u32 range.
+  const std::uint64_t id = 0xDEADBEEF00000001ull;
+
+  Bytes ping;
+  encode_ping(ping, id, kProtocolV2);
+  Frame f = must_decode(ping);
+  EXPECT_EQ(f.header.version, kProtocolV2);
+  EXPECT_EQ(f.header.seq, id);
+  EXPECT_EQ(decode_empty(f), DecodeStatus::kOk);
+
+  Bytes batch;
+  encode_access_batch(batch, id + 1,
+                      std::vector<WireAccess>{{.page = 9, .timestamp = 3}},
+                      kProtocolV2);
+  ASSERT_EQ(batch.size(), kHeaderBytesV2 + 4 + kAccessWireBytes);
+  f = must_decode(batch);
+  EXPECT_EQ(f.header.seq, id + 1);
+  std::vector<WireAccess> accesses;
+  ASSERT_EQ(decode_access_batch(f, accesses), DecodeStatus::kOk);
+  ASSERT_EQ(accesses.size(), 1u);
+  EXPECT_EQ(accesses[0].page, 9u);
+
+  Bytes reply;
+  encode_access_reply(reply, id + 2, AccessReply{.count = 3, .hits = 2},
+                      kProtocolV2);
+  f = must_decode(reply);
+  AccessReply r;
+  ASSERT_EQ(decode_access_reply(f, r), DecodeStatus::kOk);
+  EXPECT_EQ(r.count, 3u);
+  EXPECT_EQ(r.hits, 2u);
+
+  Bytes stats_req;
+  encode_stats_request(stats_req, id + 3, kProtocolV2);
+  EXPECT_EQ(must_decode(stats_req).header.type, MsgType::kStats);
+  Bytes stats_rep;
+  encode_stats_reply(stats_rep, id + 3, StatsReply{.accesses = 77},
+                     kProtocolV2);
+  StatsReply sr;
+  ASSERT_EQ(decode_stats_reply(must_decode(stats_rep), sr), DecodeStatus::kOk);
+  EXPECT_EQ(sr.accesses, 77u);
+
+  Bytes info;
+  encode_model_info_reply(info, id + 4,
+                          ModelInfoReply{.shards = 2, .policy_name = "lru"},
+                          kProtocolV2);
+  ModelInfoReply mi;
+  ASSERT_EQ(decode_model_info_reply(must_decode(info), mi), DecodeStatus::kOk);
+  EXPECT_EQ(mi.policy_name, "lru");
+
+  Bytes flush_req;
+  encode_flush_request(flush_req, id + 5, kProtocolV2);
+  EXPECT_EQ(must_decode(flush_req).header.type, MsgType::kFlush);
+  Bytes flush_rep;
+  encode_flush_reply(flush_rep, id + 5, kProtocolV2);
+  EXPECT_EQ(decode_empty(must_decode(flush_rep)), DecodeStatus::kOk);
+
+  Bytes err;
+  encode_error(err, id + 6,
+               {.code = ErrorCode::kBadRequest, .message = "nope"},
+               kProtocolV2);
+  ErrorReply er;
+  ASSERT_EQ(decode_error(must_decode(err), er), DecodeStatus::kOk);
+  EXPECT_EQ(er.message, "nope");
+}
+
+TEST(NetProtocol, V2ReservedHeaderTailMustBeZero) {
+  // The reserved u32 at offset 20 pads the payload to 8-byte alignment;
+  // a nonzero value is a framing error, reserved for future meaning.
+  for (const std::size_t byte : {20u, 21u, 22u, 23u}) {
+    Bytes buf;
+    encode_ping(buf, 1, kProtocolV2);
+    buf[byte] = 0x01;
+    Frame f;
+    std::size_t consumed = 0;
+    EXPECT_EQ(decode_frame(buf, f, consumed), DecodeStatus::kBadPayload)
+        << "reserved byte " << byte;
+  }
+}
+
+TEST(NetProtocol, V2TruncatedHeaderNeedsMoreAtEveryPrefixLength) {
+  // A v2 header prefix — including lengths 16..23, which would be a
+  // complete v1 header — must wait for all 24 bytes, never misparse.
+  Bytes full;
+  encode_access_batch(full, 42, std::vector<WireAccess>{{.page = 1}},
+                      kProtocolV2);
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    Frame f;
+    std::size_t consumed = 0;
+    EXPECT_EQ(decode_frame(std::span(full.data(), len), f, consumed),
+              DecodeStatus::kNeedMore)
+        << "prefix length " << len;
+  }
+}
+
+TEST(NetProtocol, MixedVersionStreamSlicesFrameByFrame) {
+  // The server decodes each frame in the version it arrived with; a
+  // connection may interleave versions mid-stream (the negotiate probe
+  // does exactly this: v1 traffic, then a v2 PING).
+  Bytes stream;
+  encode_ping(stream, 1);
+  encode_ping(stream, 0x100000000ull, kProtocolV2);
+  encode_stats_request(stream, 2);
+
+  std::span<const std::uint8_t> rest(stream);
   Frame f;
   std::size_t consumed = 0;
-  EXPECT_EQ(decode_frame(buf, f, consumed), DecodeStatus::kBadVersion);
+  ASSERT_EQ(decode_frame(rest, f, consumed), DecodeStatus::kOk);
+  EXPECT_EQ(f.header.version, kProtocolVersion);
+  EXPECT_EQ(f.header.seq, 1u);
+  rest = rest.subspan(consumed);
+  ASSERT_EQ(decode_frame(rest, f, consumed), DecodeStatus::kOk);
+  EXPECT_EQ(f.header.version, kProtocolV2);
+  EXPECT_EQ(f.header.seq, 0x100000000ull);
+  rest = rest.subspan(consumed);
+  ASSERT_EQ(decode_frame(rest, f, consumed), DecodeStatus::kOk);
+  EXPECT_EQ(f.header.type, MsgType::kStats);
+  rest = rest.subspan(consumed);
+  EXPECT_TRUE(rest.empty());
 }
 
 TEST(NetProtocol, UnknownTypeAndReservedFlagsRejected) {

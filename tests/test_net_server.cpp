@@ -11,7 +11,9 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
+#include <system_error>
 #include <thread>
 #include <vector>
 
@@ -222,10 +224,11 @@ TEST(NetServer, GarbageStreamClosesConnectionAndCountsProtocolError) {
   }
   EXPECT_TRUE(raw_send_expect_close(server.port(), oversized));
 
-  // Wrong protocol version.
+  // Unknown protocol version (2 is now the valid v2 header, so the first
+  // unknown version is 3).
   std::vector<std::uint8_t> bad_version;
   net::encode_ping(bad_version, 3);
-  bad_version[4] = net::kProtocolVersion + 1;
+  bad_version[4] = net::kProtocolV2 + 1;
   EXPECT_TRUE(raw_send_expect_close(server.port(), bad_version));
 
   // The poisoned connections died; the healthy one still works.
@@ -356,6 +359,249 @@ TEST(NetServer, ClientPoolLeasesExclusiveConnections) {
   EXPECT_LE(server.stats().connections_accepted, 2u);
   EXPECT_GE(server.stats().connections_accepted, 1u);
   server.stop();
+}
+
+// --- protocol v2 over real sockets ------------------------------------------
+
+TEST(NetServer, V2NegotiateAndEveryRpcRoundTrips) {
+  runtime::Runtime rt(small_runtime_config(4), cache::LruPolicy());
+  net::Server server(rt, {.port = 0, .workers = 2});
+  server.start();
+  net::Client client = net::Client::connect("127.0.0.1", server.port());
+
+  EXPECT_EQ(client.version(), net::kProtocolVersion);
+  EXPECT_EQ(client.negotiate(), net::kProtocolV2);
+  EXPECT_EQ(client.version(), net::kProtocolV2);
+  EXPECT_EQ(client.negotiate(), net::kProtocolV2);  // idempotent
+
+  client.ping();
+  const auto accesses = make_accesses(500, 0x21);
+  const net::AccessReply reply = client.access(accesses);
+  EXPECT_EQ(reply.count, 500u);
+
+  // Pipeline a burst so the outbox actually coalesces replies.
+  std::span<const net::WireAccess> all(accesses);
+  for (std::size_t off = 0; off < 500; off += 50) {
+    client.send_access(all.subspan(off, 50));
+  }
+  EXPECT_EQ(client.outstanding(), 10u);
+  std::uint64_t total = 0;
+  while (client.outstanding() > 0) total += client.await_access_reply().count;
+  EXPECT_EQ(total, 500u);
+
+  const net::StatsReply stats = client.stats();
+  EXPECT_EQ(stats.accesses, 1000u);
+  const net::ModelInfoReply info = client.model_info();
+  EXPECT_EQ(info.shards, 4u);
+  client.flush();
+  EXPECT_EQ(client.stats().accesses, 0u);
+
+  const net::ServerStats ss = server.stats();
+  EXPECT_EQ(ss.protocol_errors, 0u);
+  // The v2 path flushes via vectored writev; every reply above went
+  // through the outbox.
+  EXPECT_GT(ss.writev_calls, 0u);
+  EXPECT_GE(ss.writev_replies, ss.writev_calls);
+  server.stop();
+}
+
+TEST(NetServer, V2RepliesCompleteOutOfOrderAcrossWorkers) {
+  // The tentpole behavior, forced deterministically: a kMaxBatch ACCESS
+  // and a PING dispatched back to back on a 2-worker server. The PING's
+  // worker finishes in microseconds while the batch grinds through the
+  // cache, so the PONG should overtake the ACCESS reply — impossible on
+  // v1, where one worker serializes the connection's inbox in order.
+  runtime::Runtime rt(small_runtime_config(), cache::LruPolicy());
+  net::Server server(rt, {.port = 0, .workers = 2});
+  server.start();
+  net::Client client = net::Client::connect("127.0.0.1", server.port());
+  ASSERT_EQ(client.negotiate(), net::kProtocolV2);
+
+  const auto accesses = make_accesses(net::kMaxBatch, 0x22);
+  bool reordered = false;
+  for (int attempt = 0; attempt < 20 && !reordered; ++attempt) {
+    const std::uint64_t batch_id = client.send_access(accesses);
+    const std::uint64_t ping_id = client.send_ping();
+    const net::Completion first = client.poll_any();
+    const net::Completion second = client.poll_any();
+    // Both completions always arrive, whatever the order.
+    EXPECT_TRUE(first.id == batch_id || first.id == ping_id);
+    EXPECT_TRUE(second.id == batch_id || second.id == ping_id);
+    EXPECT_NE(first.id, second.id);
+    if (first.id == ping_id) reordered = true;  // PONG overtook the batch
+  }
+  EXPECT_TRUE(reordered)
+      << "PONG never overtook a kMaxBatch ACCESS reply in 20 attempts";
+  EXPECT_EQ(client.outstanding(), 0u);
+  server.stop();
+}
+
+TEST(NetServer, V1ClientBytesAreByteIdenticalAgainstTheV2Server) {
+  // The compatibility contract: a v1 client against the new server gets
+  // byte-for-byte the replies the old server produced. Checked at the raw
+  // byte level — same header layout, same 32-bit seq echo, same payload —
+  // with the expected ACCESS reply computed from a twin runtime.
+  const runtime::RuntimeConfig rcfg = small_runtime_config();
+  runtime::Runtime rt(rcfg, cache::LruPolicy());
+  net::Server server(rt, {.port = 0, .workers = 1});
+  server.start();
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  timeval tv{.tv_sec = 5, .tv_usec = 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  const auto recv_exactly = [&](std::size_t n) {
+    std::vector<std::uint8_t> got(n);
+    std::size_t off = 0;
+    while (off < n) {
+      const ssize_t r = ::recv(fd, got.data() + off, n - off, 0);
+      if (r <= 0) break;
+      off += static_cast<std::size_t>(r);
+    }
+    EXPECT_EQ(off, n);
+    return got;
+  };
+
+  // PING -> PONG, byte-identical.
+  std::vector<std::uint8_t> wire;
+  net::encode_ping(wire, 1);
+  ASSERT_EQ(::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(wire.size()));
+  std::vector<std::uint8_t> expected;
+  net::encode_pong(expected, 1);
+  EXPECT_EQ(recv_exactly(expected.size()), expected);
+
+  // ACCESS_BATCH -> the exact reply bytes a twin runtime predicts.
+  const auto accesses = make_accesses(200, 0x23);
+  wire.clear();
+  net::encode_access_batch(wire, 2, accesses);
+  ASSERT_EQ(::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(wire.size()));
+  runtime::Runtime twin(rcfg, cache::LruPolicy());
+  std::vector<runtime::Access> batch;
+  batch.reserve(accesses.size());
+  for (const net::WireAccess& a : accesses) {
+    batch.push_back({.page = a.page,
+                     .timestamp = a.timestamp,
+                     .is_write = a.is_write});
+  }
+  runtime::BatchOutcome outcome;
+  twin.apply_batch(batch, outcome);
+  expected.clear();
+  net::encode_access_reply(expected, 2,
+                           {.count = outcome.count,
+                            .hits = outcome.hits,
+                            .admitted = outcome.admitted,
+                            .evictions = outcome.evictions,
+                            .dirty_evictions = outcome.dirty_evictions});
+  EXPECT_EQ(recv_exactly(expected.size()), expected);
+
+  ::close(fd);
+  server.stop();
+}
+
+TEST(NetClient, NegotiateFallsBackToV1WhenTheServerDropsTheProbe) {
+  // Simulated v1-only server: drops the first connection on receiving the
+  // v2 probe (exactly what the old server's kBadVersion poison does),
+  // then answers a v1 PING on the reconnect. negotiate() must hide all
+  // of this and leave a working v1 connection.
+  const int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(lfd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(::listen(lfd, 4), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  const std::uint16_t port = ntohs(addr.sin_port);
+
+  std::thread responder([lfd] {
+    // First connection: swallow the probe bytes, close without replying.
+    const int c1 = ::accept(lfd, nullptr, nullptr);
+    if (c1 >= 0) {
+      char buf[64];
+      (void)::recv(c1, buf, sizeof(buf), 0);
+      ::close(c1);
+    }
+    // Second connection (the transparent reconnect): serve one v1 PING.
+    const int c2 = ::accept(lfd, nullptr, nullptr);
+    if (c2 >= 0) {
+      std::vector<std::uint8_t> rx(net::kHeaderBytes);
+      std::size_t off = 0;
+      while (off < rx.size()) {
+        const ssize_t n = ::recv(c2, rx.data() + off, rx.size() - off, 0);
+        if (n <= 0) break;
+        off += static_cast<std::size_t>(n);
+      }
+      net::Frame frame;
+      std::size_t consumed = 0;
+      if (net::decode_frame(rx, frame, consumed) == net::DecodeStatus::kOk &&
+          frame.header.type == net::MsgType::kPing) {
+        std::vector<std::uint8_t> pong;
+        net::encode_pong(pong, frame.header.seq);
+        (void)::send(c2, pong.data(), pong.size(), MSG_NOSIGNAL);
+      }
+      ::close(c2);
+    }
+  });
+
+  net::Client client = net::Client::connect("127.0.0.1", port);
+  EXPECT_EQ(client.negotiate(), net::kProtocolVersion);
+  EXPECT_EQ(client.version(), net::kProtocolVersion);
+  EXPECT_TRUE(client.connected());
+  client.ping();  // the fallback connection actually works
+  responder.join();
+  ::close(lfd);
+}
+
+TEST(NetClient, RecvTimeoutSurfacesAsTimedOutAndClosesTheConnection) {
+  // A socket that accept()s (the kernel completes the handshake from the
+  // listen backlog) but never replies: without a deadline ping() would
+  // block forever; with one it must surface ETIMEDOUT and close.
+  const int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(lfd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(::listen(lfd, 1), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+
+  net::Client client = net::Client::connect("127.0.0.1", ntohs(addr.sin_port));
+  client.set_recv_timeout(std::chrono::milliseconds(100));
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    client.ping();
+    FAIL() << "ping() should have timed out";
+  } catch (const std::system_error& e) {
+    EXPECT_EQ(e.code().value(), ETIMEDOUT);
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(100));
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+  EXPECT_FALSE(client.connected());
+
+  // Zero disables: set, then clear, against a real server round-trips.
+  runtime::Runtime rt(small_runtime_config(), cache::LruPolicy());
+  net::Server server(rt, {.port = 0, .workers = 1});
+  server.start();
+  net::Client ok = net::Client::connect("127.0.0.1", server.port());
+  ok.set_recv_timeout(std::chrono::milliseconds(2000));
+  ok.ping();
+  ok.set_recv_timeout(std::chrono::milliseconds(0));  // off again
+  ok.ping();
+  server.stop();
+  ::close(lfd);
 }
 
 TEST(NetClient, SyncRpcMidPipelineDrainsOutstandingReplies) {

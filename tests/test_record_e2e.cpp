@@ -38,11 +38,13 @@ std::vector<net::WireAccess> wire_stream(const trace::Trace& t,
 
 net::StatsReply serve_stream(std::uint16_t port,
                              const std::vector<net::WireAccess>& stream,
-                             std::size_t flush_after) {
+                             std::vector<std::size_t> clear_points) {
   net::Client client = net::Client::connect("127.0.0.1", port);
-  const std::uint64_t completed = net::replay_stream(
-      client, stream,
-      {.batch = 64, .pipeline = 2, .flush_after = flush_after});
+  net::ReplayOptions opts;
+  opts.batch = 64;
+  opts.pipeline = 2;
+  opts.clear_points = std::move(clear_points);
+  const std::uint64_t completed = net::replay_stream(client, stream, opts);
   EXPECT_EQ(completed, stream.size());
   return client.stats();
 }
@@ -95,7 +97,7 @@ TEST(RecordE2E, RecordedLruServeReplaysToIdenticalCounts) {
   net::Server server(served_rt, {.port = 0, .workers = 1});
   server.start();
   const net::StatsReply served = serve_stream(
-      server.port(), wire_stream(t, trace::TransformConfig{}), warmup);
+      server.port(), wire_stream(t, trace::TransformConfig{}), {warmup});
   server.stop();
   served_rt.stop();  // finalizes the capture file
 
@@ -133,7 +135,7 @@ TEST(RecordE2E, RecordedGmmServeReplaysToIdenticalCounts) {
   net::Server server(*served_rt, {.port = 0, .workers = 1});
   server.start();
   const net::StatsReply served = serve_stream(
-      server.port(), wire_stream(t, cfg.engine.transform), warmup);
+      server.port(), wire_stream(t, cfg.engine.transform), {warmup});
   server.stop();
   served_rt->stop();
 
@@ -150,6 +152,56 @@ TEST(RecordE2E, RecordedGmmServeReplaysToIdenticalCounts) {
   EXPECT_GT(served.inferences, 0u);
 }
 
+TEST(RecordE2E, MultiFlushCaptureReplaysOverTheWireExactly) {
+  // A capture holding SEVERAL flush markers round-trips through the wire
+  // replayer: record a serve with two clear points, then drive the
+  // capture back through a fresh server passing every marker as a clear
+  // point — final counters match the in-process replay of the same
+  // capture exactly. (Before clear_points, the wire driver could only
+  // reproduce the first marker.)
+  const trace::Trace t = test_util::zipf_trace(30000, 1024, 0.9, 0xFA11);
+  const std::vector<std::size_t> points = {7000, 19000};
+  const record::RecorderConfig rec_cfg = capture_config("e2e_multi.icgr");
+  runtime::RuntimeConfig rcfg{.cache = test_util::tiny_cache(32, 4),
+                              .shards = 1};
+  rcfg.record = rec_cfg;
+
+  runtime::Runtime served_rt(rcfg, cache::LruPolicy());
+  net::Server server(served_rt, {.port = 0, .workers = 1});
+  server.start();
+  serve_stream(server.port(), wire_stream(t, trace::TransformConfig{}),
+               points);
+  server.stop();
+  served_rt.stop();
+
+  const record::RecordedTrace capture =
+      record::read_recorded_file(rec_cfg.path);
+  ASSERT_EQ(capture.trace.size(), t.size());
+  ASSERT_EQ(capture.flush_points.size(), points.size());
+  EXPECT_EQ(capture.flush_points[0], points[0]);
+  EXPECT_EQ(capture.flush_points[1], points[1]);
+
+  // Reference: in-process replay of the capture (both markers honored).
+  runtime::RuntimeConfig replay_cfg{.cache = rcfg.cache, .shards = 1};
+  runtime::Runtime replay_rt(replay_cfg, cache::LruPolicy());
+  const runtime::ReplayResult replayed = replay_capture(replay_rt, capture);
+
+  // Wire replay of the capture with every recorded marker.
+  std::vector<net::WireAccess> capture_stream;
+  capture_stream.reserve(capture.trace.size());
+  for (const trace::Record& r : capture.trace) {
+    capture_stream.push_back(
+        {.page = r.page(), .timestamp = r.time, .is_write = r.is_write()});
+  }
+  runtime::Runtime rewire_rt(replay_cfg, cache::LruPolicy());
+  net::Server rewire_server(rewire_rt, {.port = 0, .workers = 1});
+  rewire_server.start();
+  const net::StatsReply rewired = serve_stream(
+      rewire_server.port(), capture_stream, capture.flush_points);
+  rewire_server.stop();
+  expect_counts_match(rewired, replayed.run);
+}
+
 TEST(RecordE2E, WireStatsCarryRecorderCounters) {
   const trace::Trace t = test_util::zipf_trace(5000, 512, 0.9, 0xB0B);
   const record::RecorderConfig rec_cfg = capture_config("e2e_stats.icgr");
@@ -161,7 +213,7 @@ TEST(RecordE2E, WireStatsCarryRecorderCounters) {
   net::Server server(rt, {.port = 0, .workers = 1});
   server.start();
   const net::StatsReply mid = serve_stream(
-      server.port(), wire_stream(t, trace::TransformConfig{}), 0);
+      server.port(), wire_stream(t, trace::TransformConfig{}), {});
   // Sized-to-fit ring: nothing may drop; the written count can trail the
   // serving path by the writer thread's lag but never exceed it.
   EXPECT_EQ(mid.records_dropped, 0u);
@@ -183,7 +235,7 @@ TEST(RecordE2E, StatsReportZeroRecorderCountersWhenRecordingIsOff) {
   net::Server server(rt, {.port = 0, .workers = 1});
   server.start();
   const net::StatsReply s = serve_stream(
-      server.port(), wire_stream(t, trace::TransformConfig{}), 0);
+      server.port(), wire_stream(t, trace::TransformConfig{}), {});
   server.stop();
   EXPECT_EQ(s.records_written, 0u);
   EXPECT_EQ(s.records_dropped, 0u);

@@ -14,6 +14,11 @@
 //                 [--flush-at FRAC]     admin FLUSH after this fraction of
 //                                       requests (server-side warm-up
 //                                       discard; exact with 1 connection)
+//                 [--protocol auto|1|2] wire protocol: auto (default)
+//                                       negotiates v2 and falls back to
+//                                       v1; 1 forces the v1 ordered
+//                                       stream; 2 fails unless the
+//                                       server speaks v2
 //                 [--replay-timing [SCALE]]  pace sends from a recorded
 //                                       capture's inter-arrival times
 //                                       (SCALE stretches gaps; default 1)
@@ -21,10 +26,11 @@
 //
 // --trace accepts three file kinds, told apart by magic sniffing (not
 // extension): an icgmm_serve capture ("ICGR" — replayed with its served
-// timestamps verbatim, its FLUSH marker reproducing the server's warm-up
-// boundary, and by default the full capture), the plain binary trace
-// ("ICGT"), or CSV. Replaying a capture against an identically-configured
-// server reproduces its hit/miss/inference counts exactly (1 connection).
+// timestamps verbatim, every FLUSH marker reproduced at its exact
+// request index, and by default the full capture), the plain binary
+// trace ("ICGT"), or CSV. Replaying a capture against an
+// identically-configured server reproduces its hit/miss/inference
+// counts exactly (1 connection).
 //
 // The workload is replayed in trace order, split into contiguous
 // per-connection chunks (1 connection = the exact replay_trace order).
@@ -80,6 +86,8 @@ struct Args {
   double qps = 0.0;  // 0 = closed loop
   bool transform = true;
   double flush_at = -1.0;
+  /// 0 = auto (negotiate v2, fall back to v1), 1 = force v1, 2 = require v2.
+  int protocol = 0;
   /// <= 0: off. Otherwise pace sends from recorded arrival times,
   /// inter-arrival gaps multiplied by this factor.
   double replay_timing = 0.0;
@@ -109,6 +117,13 @@ Args parse(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--qps")) args.qps = std::stod(next());
     else if (!std::strcmp(argv[i], "--no-transform")) args.transform = false;
     else if (!std::strcmp(argv[i], "--flush-at")) args.flush_at = std::stod(next());
+    else if (!std::strcmp(argv[i], "--protocol")) {
+      const std::string v = next();
+      if (v == "auto") args.protocol = 0;
+      else if (v == "1") args.protocol = 1;
+      else if (v == "2") args.protocol = 2;
+      else throw std::invalid_argument("--protocol takes auto, 1, or 2");
+    }
     else if (!std::strcmp(argv[i], "--replay-timing")) {
       // Optional value: consume the next token only if it parses as a
       // positive number (so `--replay-timing --json f` works).
@@ -221,6 +236,7 @@ struct ConnResult {
   std::uint64_t requests = 0;
   std::uint64_t batches = 0;
   std::uint64_t hits = 0;
+  std::uint8_t protocol = 0;  ///< wire version this connection spoke
   std::string error;
 };
 
@@ -229,13 +245,21 @@ struct ConnResult {
 /// time (actual send in closed loop, scheduled send in open loop).
 void run_connection(const Args& args, std::span<const net::WireAccess> chunk,
                     std::span<const std::uint64_t> offsets_ns, double conn_qps,
-                    std::size_t flush_after, ConnResult& result) {
+                    std::vector<std::size_t> clear_points, ConnResult& result) {
   try {
     net::Client client = net::Client::connect(args.host, args.port);
+    if (args.protocol != 1) {
+      const std::uint8_t negotiated = client.negotiate();
+      if (args.protocol == 2 && negotiated != net::kProtocolV2) {
+        throw std::runtime_error(
+            "--protocol 2 requested but the server only speaks v1");
+      }
+    }
+    result.protocol = client.version();
     net::ReplayOptions opts;
     opts.batch = args.batch;
     opts.pipeline = args.pipeline;
-    opts.flush_after = flush_after;
+    opts.clear_points = std::move(clear_points);
     opts.send_offsets_ns = offsets_ns;
     if (conn_qps > 0.0) {
       opts.batch_interval = std::chrono::nanoseconds(static_cast<std::uint64_t>(
@@ -316,21 +340,17 @@ int main(int argc, char** argv) {
               << (workload.recorded ? " [recorded capture]" : "") << "\n";
   }
 
-  // A capture's FLUSH marker becomes the per-connection warm-up flush;
-  // exact reproduction needs the single-connection stream order.
-  std::size_t recorded_flush = 0;
+  // A capture's FLUSH markers replay as clear points at their exact
+  // request indices; exact reproduction needs the single-connection
+  // stream order (with several connections the markers' positions are
+  // meaningless in any one chunk).
+  std::vector<std::size_t> recorded_clear_points;
   if (!workload.flush_points.empty()) {
     if (args.connections != 1) {
       std::cerr << "note: recorded FLUSH markers are only reproduced with "
                    "--connections 1; ignoring\n";
     } else {
-      recorded_flush = workload.flush_points.front();
-      if (workload.flush_points.size() > 1) {
-        std::cerr << "note: capture has " << workload.flush_points.size()
-                  << " FLUSH markers; the wire protocol replays only the "
-                     "first (use icgmm_tracectl or in-process replay for "
-                     "multi-window captures)\n";
-      }
+      recorded_clear_points = workload.flush_points;
     }
   }
 
@@ -348,18 +368,18 @@ int main(int argc, char** argv) {
             ? std::span<const std::uint64_t>{}
             : net::stream_chunk(std::span<const std::uint64_t>(paced_offsets),
                                 c, conns);
-    std::size_t flush_after =
-        args.flush_at > 0.0 && args.flush_at < 1.0
-            ? static_cast<std::size_t>(args.flush_at *
-                                       static_cast<double>(chunk.size()))
-            : 0;
-    if (recorded_flush != 0 && args.flush_at < 0.0) {
-      flush_after = recorded_flush;  // conns == 1: chunk == whole stream
+    std::vector<std::size_t> clear_points;
+    if (args.flush_at > 0.0 && args.flush_at < 1.0) {
+      clear_points.push_back(static_cast<std::size_t>(
+          args.flush_at * static_cast<double>(chunk.size())));
+    } else if (!recorded_clear_points.empty() && args.flush_at < 0.0) {
+      clear_points = recorded_clear_points;  // conns == 1: chunk == stream
     }
     const double conn_qps =
         args.qps > 0.0 ? args.qps / static_cast<double>(conns) : 0.0;
     threads.emplace_back(run_connection, std::cref(args), chunk, offsets,
-                         conn_qps, flush_after, std::ref(results[c]));
+                         conn_qps, std::move(clear_points),
+                         std::ref(results[c]));
   }
   for (std::thread& th : threads) th.join();
   const double elapsed =
@@ -368,11 +388,13 @@ int main(int argc, char** argv) {
   net::LatencyRecorder latency;
   std::uint64_t completed = 0, batches = 0, hits = 0;
   int failed = 0;
+  int protocol = 0;  // all connections negotiate against one server
   for (const ConnResult& r : results) {
     latency.merge(r.latency);
     completed += r.requests;
     batches += r.batches;
     hits += r.hits;
+    protocol = std::max(protocol, static_cast<int>(r.protocol));
     if (!r.error.empty()) {
       ++failed;
       std::cerr << "connection error: " << r.error << "\n";
@@ -392,7 +414,7 @@ int main(int argc, char** argv) {
   if (!args.quiet) {
     std::cout << "completed " << completed << " requests in " << elapsed
               << " s (" << achieved_qps / 1e6 << " M req/s, " << batches
-              << " batches)\n"
+              << " batches, protocol v" << protocol << ")\n"
               << "client hit fraction: "
               << (completed ? static_cast<double>(hits) /
                                   static_cast<double>(completed)
@@ -438,6 +460,7 @@ int main(int argc, char** argv) {
         << "  \"connections\": " << conns << ",\n"
         << "  \"batch\": " << args.batch << ",\n"
         << "  \"pipeline\": " << args.pipeline << ",\n"
+        << "  \"protocol\": " << protocol << ",\n"
         << "  \"mode\": \"" << (args.qps > 0.0 ? "open" : "closed") << "\",\n"
         << "  \"target_qps\": " << args.qps << ",\n"
         << "  \"achieved_qps\": " << achieved_qps << ",\n"

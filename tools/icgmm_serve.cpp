@@ -217,8 +217,8 @@ int main(int argc, char** argv) {
 
   // Announce the resolved port on a parseable line (CI greps for it).
   std::cout << "icgmm_serve listening on port " << server.port()
-            << " (policy " << rt->policy_name() << ", shards " << args.shards
-            << ", workers " << args.workers
+            << " (protocols v1+v2, policy " << rt->policy_name()
+            << ", shards " << args.shards << ", workers " << args.workers
             << (args.adapt ? ", adaptive" : "")
             << (rcfg.async_miss.enabled ? ", async-miss" : "")
             << (rcfg.front.enabled ? ", front-cache" : "")
