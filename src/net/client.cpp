@@ -518,6 +518,27 @@ StatsReply Client::stats() {
   return reply;
 }
 
+MetricsReply Client::metrics() {
+  drain_outstanding();
+  const std::uint64_t seq = next_seq_++;
+  tx_.clear();
+  encode_metrics_request(tx_, seq, version_);
+  send_all(tx_);
+  Frame frame;
+  std::vector<std::uint8_t> bytes;
+  if (version_ == kProtocolV2) {
+    bytes = await_frame_v2(seq, MsgType::kMetricsReply, frame);
+  } else {
+    bytes = expect(MsgType::kMetricsReply, seq, frame);
+    next_reply_seq_ = seq + 1;
+  }
+  MetricsReply reply;
+  if (decode_metrics_reply(frame, reply) != DecodeStatus::kOk) {
+    throw std::runtime_error("Client: malformed METRICS_REPLY payload");
+  }
+  return reply;
+}
+
 ModelInfoReply Client::model_info() {
   drain_outstanding();
   const std::uint64_t seq = next_seq_++;

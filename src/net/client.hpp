@@ -98,6 +98,10 @@ class Client {
   AccessReply access(std::span<const WireAccess> accesses);
   StatsReply stats();
   ModelInfoReply model_info();
+  /// Scrape the server's metrics registry (name/value pairs). Servers
+  /// without a registry reply with an empty set. Match entries by name,
+  /// never by position.
+  MetricsReply metrics();
   /// Admin: zero the server's statistics counters.
   void flush();
 

@@ -18,6 +18,8 @@ const char* to_string(MsgType t) noexcept {
     case MsgType::kFlush: return "FLUSH";
     case MsgType::kFlushReply: return "FLUSH_REPLY";
     case MsgType::kError: return "ERROR";
+    case MsgType::kMetrics: return "METRICS";
+    case MsgType::kMetricsReply: return "METRICS_REPLY";
   }
   return "UNKNOWN";
 }
@@ -205,6 +207,42 @@ void encode_error(std::vector<std::uint8_t>& out, std::uint64_t seq,
   out.insert(out.end(), reply.message.begin(), reply.message.end());
 }
 
+void encode_metrics_request(std::vector<std::uint8_t>& out, std::uint64_t seq,
+                            std::uint8_t version) {
+  put_empty_frame(out, MsgType::kMetrics, seq, version);
+}
+
+void encode_metrics_reply(std::vector<std::uint8_t>& out, std::uint64_t seq,
+                          const MetricsReply& reply, std::uint8_t version) {
+  if (reply.entries.size() > kMaxMetricsEntries) {
+    throw std::length_error("encode_metrics_reply: " +
+                            std::to_string(reply.entries.size()) +
+                            " entries > " +
+                            std::to_string(kMaxMetricsEntries));
+  }
+  std::size_t payload = 4;
+  for (const MetricsEntry& e : reply.entries) {
+    if (e.name.size() > 0xFFFF) {
+      throw std::length_error("encode_metrics_reply: name over u16: " +
+                              e.name.substr(0, 64));
+    }
+    payload += 2 + e.name.size() + 8;
+  }
+  if (payload > kMaxPayload) {
+    throw std::length_error("encode_metrics_reply: payload " +
+                            std::to_string(payload) + " > " +
+                            std::to_string(kMaxPayload));
+  }
+  put_header(out, MsgType::kMetricsReply, seq,
+             static_cast<std::uint32_t>(payload), version);
+  put_u32(out, static_cast<std::uint32_t>(reply.entries.size()));
+  for (const MetricsEntry& e : reply.entries) {
+    put_u16(out, static_cast<std::uint16_t>(e.name.size()));
+    out.insert(out.end(), e.name.begin(), e.name.end());
+    put_u64(out, e.value);
+  }
+}
+
 // --- decoders --------------------------------------------------------------
 
 DecodeStatus decode_header(std::span<const std::uint8_t> buf,
@@ -218,7 +256,7 @@ DecodeStatus decode_header(std::span<const std::uint8_t> buf,
   }
   const std::uint8_t raw_type = p[5];
   if (raw_type < static_cast<std::uint8_t>(MsgType::kPing) ||
-      raw_type > static_cast<std::uint8_t>(MsgType::kError)) {
+      raw_type > static_cast<std::uint8_t>(MsgType::kMetricsReply)) {
     // An unknown type means we cannot know the peer's framing intent was
     // sane; treat as stream poison rather than guessing.
     return DecodeStatus::kBadPayload;
@@ -339,6 +377,34 @@ DecodeStatus decode_error(const Frame& frame, ErrorReply& out) {
   const std::uint16_t msg_len = get_u16(p.data() + 2);
   if (p.size() != 4u + msg_len) return DecodeStatus::kBadPayload;
   out.message.assign(reinterpret_cast<const char*>(p.data() + 4), msg_len);
+  return DecodeStatus::kOk;
+}
+
+DecodeStatus decode_metrics_reply(const Frame& frame, MetricsReply& out) {
+  const std::span<const std::uint8_t> p = frame.payload;
+  if (frame.header.type != MsgType::kMetricsReply || p.size() < 4) {
+    return DecodeStatus::kBadPayload;
+  }
+  const std::uint32_t count = get_u32(p.data());
+  if (count > kMaxMetricsEntries) return DecodeStatus::kBadPayload;
+  out.entries.clear();
+  out.entries.reserve(count);
+  std::size_t off = 4;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (p.size() - off < 2) return DecodeStatus::kBadPayload;
+    const std::uint16_t name_len = get_u16(p.data() + off);
+    off += 2;
+    if (p.size() - off < static_cast<std::size_t>(name_len) + 8) {
+      return DecodeStatus::kBadPayload;
+    }
+    MetricsEntry entry;
+    entry.name.assign(reinterpret_cast<const char*>(p.data() + off), name_len);
+    off += name_len;
+    entry.value = get_u64(p.data() + off);
+    off += 8;
+    out.entries.push_back(std::move(entry));
+  }
+  if (off != p.size()) return DecodeStatus::kBadPayload;  // trailing bytes
   return DecodeStatus::kOk;
 }
 

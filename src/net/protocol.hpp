@@ -54,6 +54,13 @@
 //   PING          empty request; PONG reply echoes the seq.
 //   FLUSH         admin: zeroes the runtime's statistics counters
 //                 (cache contents stay warm); empty reply.
+//   METRICS       empty request; reply: u32 count, then count x
+//                 {u16 name_len, name bytes, u64 value} — the server's
+//                 whole metrics registry as length-prefixed name/value
+//                 pairs (empty set when the server runs without a
+//                 registry). Unlike the fixed 15-field STATS pin, the
+//                 entry set is open-ended: clients match names, never
+//                 positions.
 //   ERROR         u16 code (ErrorCode), u16 msg_len, msg bytes — sent by
 //                 the server for well-framed but unserviceable requests.
 //
@@ -109,6 +116,8 @@ enum class MsgType : std::uint8_t {
   kFlush = 9,
   kFlushReply = 10,
   kError = 11,
+  kMetrics = 12,
+  kMetricsReply = 13,
 };
 
 const char* to_string(MsgType t) noexcept;
@@ -186,6 +195,20 @@ struct ErrorReply {
   std::string message;
 };
 
+/// One registry sample on the wire.
+struct MetricsEntry {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct MetricsReply {
+  std::vector<MetricsEntry> entries;
+};
+
+/// Largest METRICS reply entry count (kMaxPayload still binds first for
+/// long names; a sane registry is a few dozen entries).
+inline constexpr std::uint32_t kMaxMetricsEntries = 4096;
+
 // --- low-level little-endian primitives (exposed for tests) ---------------
 
 void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v);
@@ -229,6 +252,12 @@ void encode_flush_reply(std::vector<std::uint8_t>& out, std::uint64_t seq,
 void encode_error(std::vector<std::uint8_t>& out, std::uint64_t seq,
                   const ErrorReply& reply,
                   std::uint8_t version = kProtocolVersion);
+void encode_metrics_request(std::vector<std::uint8_t>& out, std::uint64_t seq,
+                            std::uint8_t version = kProtocolVersion);
+/// Throws std::length_error past kMaxMetricsEntries or a name over u16.
+void encode_metrics_reply(std::vector<std::uint8_t>& out, std::uint64_t seq,
+                          const MetricsReply& reply,
+                          std::uint8_t version = kProtocolVersion);
 
 // --- frame decoding --------------------------------------------------------
 
@@ -264,8 +293,9 @@ DecodeStatus decode_access_reply(const Frame& frame, AccessReply& out) noexcept;
 DecodeStatus decode_stats_reply(const Frame& frame, StatsReply& out) noexcept;
 DecodeStatus decode_model_info_reply(const Frame& frame, ModelInfoReply& out);
 DecodeStatus decode_error(const Frame& frame, ErrorReply& out);
-/// PING/PONG/STATS/MODEL_INFO/FLUSH requests and the FLUSH reply carry no
-/// payload; this enforces that.
+DecodeStatus decode_metrics_reply(const Frame& frame, MetricsReply& out);
+/// PING/PONG/STATS/MODEL_INFO/FLUSH/METRICS requests and the FLUSH reply
+/// carry no payload; this enforces that.
 DecodeStatus decode_empty(const Frame& frame) noexcept;
 
 }  // namespace icgmm::net

@@ -37,6 +37,13 @@ void set_nodelay(int fd) noexcept {
 /// flush loop just issues another writev for deeper backlogs.
 constexpr std::size_t kIovBatch = IOV_MAX < 64 ? IOV_MAX : 64;
 
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 }  // namespace
 
 /// Per-connection state. The I/O thread owns `in` (the partial byte
@@ -79,9 +86,45 @@ struct Server::Connection {
 };
 
 Server::Server(runtime::Runtime& rt, ServerConfig cfg)
-    : rt_(rt), cfg_(cfg) {}
+    : rt_(rt), cfg_(cfg) {
+  if (cfg_.metrics != nullptr) {
+    if (cfg_.trace_sample != 0) {
+      stage_decode_ =
+          &cfg_.metrics->histogram("icgmm_server_stage_decode_ns");
+      stage_queue_ = &cfg_.metrics->histogram("icgmm_server_stage_queue_ns");
+      stage_apply_ = &cfg_.metrics->histogram("icgmm_server_stage_apply_ns");
+      stage_flush_ = &cfg_.metrics->histogram("icgmm_server_stage_flush_ns");
+    }
+    provider_id_ = cfg_.metrics->add_provider(
+        [this](std::vector<obs::MetricsRegistry::Sample>& out) {
+          const ServerStats s = stats();
+          out.push_back(
+              {"icgmm_server_connections_accepted", s.connections_accepted});
+          out.push_back(
+              {"icgmm_server_connections_closed", s.connections_closed});
+          out.push_back({"icgmm_server_frames_served", s.frames_served});
+          out.push_back({"icgmm_server_requests_served", s.requests_served});
+          out.push_back({"icgmm_server_protocol_errors", s.protocol_errors});
+          out.push_back({"icgmm_server_error_replies", s.error_replies});
+          out.push_back({"icgmm_server_writev_calls", s.writev_calls});
+          out.push_back({"icgmm_server_writev_replies", s.writev_replies});
+        });
+  }
+}
 
-Server::~Server() { stop(); }
+Server::~Server() {
+  // Drop the provider before any member goes away: a concurrent scrape
+  // holds the registry mutex while calling it, so after remove_provider
+  // returns no scrape can touch this object again.
+  if (provider_id_ != 0) cfg_.metrics->remove_provider(provider_id_);
+  stop();
+}
+
+bool Server::should_trace() noexcept {
+  const std::uint32_t n = cfg_.trace_sample;
+  if (n <= 1) return n == 1;
+  return trace_tick_.fetch_add(1, std::memory_order_relaxed) % n == 0;
+}
 
 void Server::start() {
   if (started_) throw std::logic_error("Server::start: already started");
@@ -257,6 +300,10 @@ void Server::accept_ready() {
     }
     conns_.emplace(fd, std::move(conn));
     accepted_.fetch_add(1, std::memory_order_relaxed);
+    if (cfg_.events != nullptr) {
+      cfg_.events->emit(obs::EventType::kConnOpen,
+                        static_cast<std::uint64_t>(fd));
+    }
   }
 }
 
@@ -287,6 +334,8 @@ void Server::read_ready(const ConnPtr& conn) {
   // Slice complete frames off the stream front, dispatching each by the
   // version it arrived with: v1 into the order-preserving inbox, v2 as
   // an individual work item any worker may complete.
+  const bool trace_decode = stage_decode_ != nullptr && should_trace();
+  const std::uint64_t decode_start = trace_decode ? now_ns() : 0;
   std::size_t off = 0;
   bool poisoned = false;
   bool got_v1 = false;
@@ -313,7 +362,8 @@ void Server::read_ready(const ConnPtr& conn) {
         std::lock_guard<std::mutex> lock(queue_mu_);
         queue_.push_back(Work{
             conn,
-            std::vector<std::uint8_t>(frame_bytes.begin(), frame_bytes.end())});
+            std::vector<std::uint8_t>(frame_bytes.begin(), frame_bytes.end()),
+            stage_queue_ != nullptr && should_trace() ? now_ns() : 0});
       }
       ++v2_dispatched;
     } else if (frame.header.version == kProtocolV2) {
@@ -336,6 +386,11 @@ void Server::read_ready(const ConnPtr& conn) {
   }
   if (off > 0) conn->in.erase(conn->in.begin(), conn->in.begin() + off);
 
+  // One decode sample covers the whole slice loop of this read batch —
+  // framing cost per socket drain, not per frame.
+  if (trace_decode && (got_v1 || got_v2_inline || v2_dispatched > 0)) {
+    stage_decode_->record(now_ns() - decode_start);
+  }
   if (v2_dispatched == 1) {
     queue_cv_.notify_one();
   } else if (v2_dispatched > 1) {
@@ -343,6 +398,10 @@ void Server::read_ready(const ConnPtr& conn) {
   }
   if (poisoned) {
     protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    if (cfg_.events != nullptr) {
+      cfg_.events->emit(obs::EventType::kProtocolError,
+                        static_cast<std::uint64_t>(conn->fd));
+    }
     close_connection(conn);
     return;
   }
@@ -385,7 +444,8 @@ void Server::enqueue_ready(const ConnPtr& conn) {
   }
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
-    queue_.push_back(Work{conn, {}});
+    queue_.push_back(Work{
+        conn, {}, stage_queue_ != nullptr && should_trace() ? now_ns() : 0});
   }
   queue_cv_.notify_one();
 }
@@ -401,6 +461,10 @@ void Server::close_connection(const ConnPtr& conn) {
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
   conns_.erase(conn->fd);
   closed_.fetch_add(1, std::memory_order_relaxed);
+  if (cfg_.events != nullptr) {
+    cfg_.events->emit(obs::EventType::kConnClose,
+                      static_cast<std::uint64_t>(conn->fd));
+  }
   // The socket itself closes when the last reference (possibly a worker
   // mid-drain) drops — never before, so the fd number cannot be reused
   // while a worker might still write to it.
@@ -416,6 +480,9 @@ void Server::worker_loop() {
       queue_.pop_front();
     }
     if (!work.conn) return;  // stop token
+    if (work.enqueue_ns != 0 && stage_queue_ != nullptr) {
+      stage_queue_->record(now_ns() - work.enqueue_ns);
+    }
     if (work.frame.empty()) {
       serve_connection(work.conn);  // v1: drain the inbox in order
     } else {
@@ -508,7 +575,10 @@ void Server::serve_frame(std::span<const std::uint8_t> frame_bytes,
                          .is_write = a.is_write});
       }
       runtime::BatchOutcome outcome;
+      const bool trace_apply = stage_apply_ != nullptr && should_trace();
+      const std::uint64_t apply_start = trace_apply ? now_ns() : 0;
       rt_.apply_batch(batch, outcome);
+      if (trace_apply) stage_apply_->record(now_ns() - apply_start);
       requests_.fetch_add(batch.size(), std::memory_order_relaxed);
       encode_access_reply(out, seq,
                           {.count = outcome.count,
@@ -562,6 +632,23 @@ void Server::serve_frame(std::span<const std::uint8_t> frame_bytes,
       encode_flush_reply(out, seq, version);
       return;
 
+    case MsgType::kMetrics: {
+      if (decode_empty(frame) != DecodeStatus::kOk) break;
+      MetricsReply reply;
+      if (cfg_.metrics != nullptr) {
+        for (obs::MetricsRegistry::Sample& s : cfg_.metrics->collect()) {
+          reply.entries.push_back({std::move(s.name), s.value});
+        }
+        // The wire caps entries; a registry past it loses the tail
+        // (collect() is name-sorted, so truncation is deterministic).
+        if (reply.entries.size() > kMaxMetricsEntries) {
+          reply.entries.resize(kMaxMetricsEntries);
+        }
+      }
+      encode_metrics_reply(out, seq, reply, version);
+      return;
+    }
+
     default:
       error_replies_.fetch_add(1, std::memory_order_relaxed);
       encode_error(out, seq,
@@ -581,6 +668,17 @@ void Server::serve_frame(std::span<const std::uint8_t> frame_bytes,
 }
 
 void Server::flush_writes(const ConnPtr& conn) {
+  const bool trace = stage_flush_ != nullptr && should_trace();
+  if (!trace) {
+    flush_writes_impl(conn);
+    return;
+  }
+  const std::uint64_t start = now_ns();
+  flush_writes_impl(conn);
+  stage_flush_->record(now_ns() - start);
+}
+
+void Server::flush_writes_impl(const ConnPtr& conn) {
   std::lock_guard<std::mutex> lock(conn->mu);
   if (conn->dead) return;
   while (conn->out_off < conn->out.size()) {

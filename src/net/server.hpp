@@ -61,6 +61,9 @@
 #include <vector>
 
 #include "net/protocol.hpp"
+#include "obs/event_ring.hpp"
+#include "obs/histogram.hpp"
+#include "obs/registry.hpp"
 #include "runtime/runtime.hpp"
 
 namespace icgmm::net {
@@ -75,6 +78,18 @@ struct ServerConfig {
   std::uint32_t workers = 1;
   std::uint32_t max_connections = 256;
   int listen_backlog = 64;
+  /// Optional observability sinks (not owned; must outlive the server).
+  /// With `metrics` set the server exports its ServerStats counters as a
+  /// provider, records per-stage latency histograms
+  /// (icgmm_server_stage_{decode,queue,apply,flush}_ns), and answers the
+  /// METRICS verb with the full registry; without it the verb returns an
+  /// empty set and tracing is off.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::EventRing* events = nullptr;
+  /// Per-stage tracing sample rate: record 1 in N stage timings (1 =
+  /// every one, 0 = tracing off). Counters are always exact; sampling
+  /// only thins the histogram clock reads.
+  std::uint32_t trace_sample = 1;
 };
 
 /// Monitoring counters (relaxed atomics; exact at quiescence).
@@ -149,8 +164,13 @@ class Server {
   /// Sends as much buffered output as the socket accepts — the v1
   /// contiguous buffer first, then the v2 outbox via vectored writev —
   /// and arms EPOLLOUT for the remainder. Call with conn->mu NOT held.
+  /// flush_writes is the traced wrapper; _impl does the work.
   void flush_writes(const ConnPtr& conn);
+  void flush_writes_impl(const ConnPtr& conn);
   void enqueue_ready(const ConnPtr& conn);
+  /// 1-in-N sampling gate shared by every traced stage; one relaxed
+  /// fetch_add when N > 1, branch-only when N == 1.
+  bool should_trace() noexcept;
 
   runtime::Runtime& rt_;
   ServerConfig cfg_;
@@ -173,6 +193,9 @@ class Server {
   struct Work {
     ConnPtr conn;
     std::vector<std::uint8_t> frame;
+    /// steady_clock nanos at enqueue when this item was sampled for
+    /// queue-wait tracing; 0 = not sampled.
+    std::uint64_t enqueue_ns = 0;
   };
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;
@@ -196,6 +219,15 @@ class Server {
   mutable std::atomic<std::uint64_t> error_replies_{0};
   mutable std::atomic<std::uint64_t> writev_calls_{0};
   mutable std::atomic<std::uint64_t> writev_replies_{0};
+
+  // Per-stage latency histograms, resolved once from cfg_.metrics at
+  // construction (null when metrics are off — every trace site checks).
+  obs::ConcurrentHistogram* stage_decode_ = nullptr;
+  obs::ConcurrentHistogram* stage_queue_ = nullptr;
+  obs::ConcurrentHistogram* stage_apply_ = nullptr;
+  obs::ConcurrentHistogram* stage_flush_ = nullptr;
+  std::atomic<std::uint64_t> trace_tick_{0};
+  std::uint64_t provider_id_ = 0;  ///< 0 = no provider registered
 };
 
 }  // namespace icgmm::net

@@ -1,0 +1,174 @@
+#include "obs/http_exporter.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+
+namespace icgmm::obs {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+void send_response(int fd, const char* status, const std::string& body) {
+  std::string resp = "HTTP/1.0 ";
+  resp += status;
+  resp += "\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: ";
+  resp += std::to_string(body.size());
+  resp += "\r\nConnection: close\r\n\r\n";
+  resp += body;
+  std::size_t off = 0;
+  while (off < resp.size()) {
+    const ssize_t n =
+        ::send(fd, resp.data() + off, resp.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return;  // peer gone; nothing to salvage on a one-shot connection
+  }
+}
+
+}  // namespace
+
+std::string render_events(const EventRing& events) {
+  std::string out;
+  out += "total=" + std::to_string(events.total()) +
+         " dropped=" + std::to_string(events.dropped()) +
+         " capacity=" + std::to_string(events.capacity()) + "\n";
+  for (const Event& e : events.dump()) {
+    out += "seq=" + std::to_string(e.seq) +
+           " t_ns=" + std::to_string(e.when_ns) + " type=" +
+           to_string(e.type) + " arg=" + std::to_string(e.arg) + "\n";
+  }
+  return out;
+}
+
+HttpExporter::HttpExporter(const MetricsRegistry& registry,
+                           const EventRing* events, HttpExporterConfig cfg)
+    : registry_(registry), events_(events), cfg_(cfg) {}
+
+HttpExporter::~HttpExporter() { stop(); }
+
+void HttpExporter::start() {
+  if (started_) throw std::logic_error("HttpExporter::start: already started");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) throw_errno("socket");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(cfg_.bind_any ? INADDR_ANY : INADDR_LOOPBACK);
+  addr.sin_port = htons(cfg_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = saved;
+    throw_errno("bind");
+  }
+  if (::listen(listen_fd_, 16) < 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = saved;
+    throw_errno("listen");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = saved;
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+
+  started_ = true;
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+void HttpExporter::stop() {
+  if (!started_) return;
+  running_.store(false, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  listen_fd_ = -1;
+  started_ = false;
+}
+
+void HttpExporter::serve_loop() {
+  // poll with a timeout instead of a blocking accept, so stop() needs no
+  // wake mechanism beyond flipping the flag.
+  while (running_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int n = ::poll(&pfd, 1, 100);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0 || !(pfd.revents & POLLIN)) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    serve_one(fd);
+    ::close(fd);
+  }
+}
+
+void HttpExporter::serve_one(int fd) {
+  // A stalled scraper must not wedge the exporter thread: bound both
+  // directions, then read until the header terminator (the request line
+  // is all this server looks at).
+  timeval tv{};
+  tv.tv_sec = 2;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+  std::string req;
+  char buf[1024];
+  while (req.find("\r\n\r\n") == std::string::npos && req.size() < 8192) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      req.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    break;  // EOF, timeout, or error — serve what arrived, if parseable
+  }
+  const std::size_t line_end = req.find("\r\n");
+  if (line_end == std::string::npos || req.compare(0, 4, "GET ") != 0) {
+    send_response(fd, "400 Bad Request", "bad request\n");
+    return;
+  }
+  const std::size_t path_end = req.find(' ', 4);
+  const std::string path = req.substr(
+      4, (path_end == std::string::npos || path_end > line_end
+              ? line_end
+              : path_end) -
+             4);
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (path == "/metrics") {
+    send_response(fd, "200 OK", registry_.render_prometheus());
+  } else if (path == "/healthz") {
+    send_response(fd, "200 OK", "ok\n");
+  } else if (path == "/events" && events_ != nullptr) {
+    send_response(fd, "200 OK", render_events(*events_));
+  } else {
+    send_response(fd, "404 Not Found", "not found\n");
+  }
+}
+
+}  // namespace icgmm::obs

@@ -1,0 +1,80 @@
+// Minimal HTTP/1.0 scrape endpoint for the metrics registry:
+//
+//   GET /metrics  -> Prometheus text exposition of registry.collect()
+//   GET /healthz  -> "ok" liveness probe
+//   GET /events   -> flight-recorder dump (one line per retained event)
+//
+// One background thread, one connection served at a time, connection
+// closed after each response — exactly what a scraper or a curl in CI
+// needs, and nothing a real HTTP stack would add (keep-alive, TLS,
+// chunking) that this deliberately is not. The scrape path shares nothing
+// with the serving hot path except the relaxed counter reads inside
+// collect(), so a slow scraper cannot backpressure serving.
+//
+// Linux-only (like the net layer); the source file is CMake-gated.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "obs/event_ring.hpp"
+#include "obs/registry.hpp"
+
+namespace icgmm::obs {
+
+struct HttpExporterConfig {
+  /// TCP port; 0 binds an ephemeral port (read it back via port()).
+  std::uint16_t port = 0;
+  /// Accept from any interface (default: loopback only).
+  bool bind_any = false;
+};
+
+class HttpExporter {
+ public:
+  /// Serves `registry` (and `events`, when non-null; /events 404s
+  /// otherwise). Neither is owned; both must outlive the exporter.
+  HttpExporter(const MetricsRegistry& registry, const EventRing* events,
+               HttpExporterConfig cfg);
+  ~HttpExporter();
+
+  HttpExporter(const HttpExporter&) = delete;
+  HttpExporter& operator=(const HttpExporter&) = delete;
+
+  /// Binds, listens, and spawns the serve thread. Throws
+  /// std::system_error on socket/bind failure. Not restartable.
+  void start();
+
+  /// Stops the serve thread and closes the socket. Idempotent; the
+  /// destructor calls it.
+  void stop();
+
+  /// Actual bound port (resolves ephemeral binds); valid after start().
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Requests served, by route (404s count toward requests only).
+  std::uint64_t requests() const noexcept {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void serve_loop();
+  void serve_one(int fd);
+
+  const MetricsRegistry& registry_;
+  const EventRing* events_;
+  HttpExporterConfig cfg_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  std::atomic<bool> running_{false};
+  bool started_ = false;
+  std::thread thread_;
+  std::atomic<std::uint64_t> requests_{0};
+};
+
+/// One line per retained event: "seq=N t_ns=... type=... arg=..." —
+/// shared by the /events route and the SIGUSR1 dump in icgmm_serve.
+std::string render_events(const EventRing& events);
+
+}  // namespace icgmm::obs

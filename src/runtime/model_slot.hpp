@@ -26,6 +26,7 @@
 #include <utility>
 
 #include "gmm/mixture.hpp"
+#include "obs/event_ring.hpp"
 
 namespace icgmm::runtime {
 
@@ -42,6 +43,11 @@ class ModelSlot {
     return model_;
   }
 
+  /// Optional flight recorder: each publish emits kModelPublish with the
+  /// new version. Set before any store() races it (Runtime wires this at
+  /// construction, before the refresher exists).
+  void set_event_ring(obs::EventRing* ring) noexcept { events_ = ring; }
+
   /// Publishes a refreshed model. Null stores are ignored (the slot always
   /// holds a servable model).
   void store(std::shared_ptr<const gmm::GaussianMixture> next) {
@@ -50,7 +56,9 @@ class ModelSlot {
       std::lock_guard<std::mutex> lock(mu_);
       model_ = std::move(next);
     }
-    version_.fetch_add(1, std::memory_order_release);
+    const std::uint64_t v =
+        version_.fetch_add(1, std::memory_order_release) + 1;
+    if (events_ != nullptr) events_->emit(obs::EventType::kModelPublish, v);
   }
 
   /// Number of publishes since construction (0 = still the initial model).
@@ -64,6 +72,7 @@ class ModelSlot {
   mutable std::mutex mu_;
   std::shared_ptr<const gmm::GaussianMixture> model_;  // guarded by mu_
   std::atomic<std::uint64_t> version_{0};
+  obs::EventRing* events_ = nullptr;  // set once before publishes start
 };
 
 }  // namespace icgmm::runtime

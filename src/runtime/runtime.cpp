@@ -14,12 +14,14 @@ Runtime::Runtime(RuntimeConfig cfg, const cache::ReplacementPolicy& prototype)
         "prototype mode has no scoring plumbing to defer to)");
   }
   sharded_ = std::make_unique<ShardedCache>(
-      ShardedCacheConfig{.cache = cfg_.cache, .shards = cfg_.shards},
+      ShardedCacheConfig{.cache = cfg_.cache, .shards = cfg_.shards,
+                         .events = cfg_.events},
       prototype);
   if (cfg_.front.enabled) front_ = std::make_unique<FrontCache>(cfg_.front);
   if (!cfg_.record.path.empty()) {
     recorder_ = std::make_unique<record::TraceRecorder>(cfg_.record);
   }
+  register_metrics();
 }
 
 Runtime::Runtime(RuntimeConfig cfg, gmm::GaussianMixture model,
@@ -30,12 +32,14 @@ Runtime::Runtime(RuntimeConfig cfg, gmm::GaussianMixture model,
   if (cfg_.async_miss.enabled) policy_cfg.deferred = true;
   slot_ = std::make_unique<ModelSlot>(
       std::make_shared<const gmm::GaussianMixture>(std::move(model)));
+  slot_->set_event_ring(cfg_.events);  // before the refresher can publish
   batchers_.reserve(cfg_.shards);
   sharded_ = std::make_unique<ShardedCache>(
       ShardedCacheConfig{.cache = cfg_.cache, .shards = cfg_.shards,
                          .miss_ring_capacity = cfg_.async_miss.enabled
                                                    ? cfg_.async_miss.ring_capacity
-                                                   : 0},
+                                                   : 0,
+                         .events = cfg_.events},
       [this, &policy_cfg](std::uint32_t) {
         auto batcher = std::make_unique<InferenceBatcher>(*slot_);
         InferenceBatcher* b = batcher.get();  // owned below; shard-lifetime
@@ -60,9 +64,46 @@ Runtime::Runtime(RuntimeConfig cfg, gmm::GaussianMixture model,
         *sharded_, batchers_,
         DecisionThreadConfig{.drain_batch = cfg_.async_miss.drain_batch});
   }
+  register_metrics();
+}
+
+void Runtime::register_metrics() {
+  if (cfg_.metrics == nullptr) return;
+  provider_id_ = cfg_.metrics->add_provider(
+      [this](std::vector<obs::MetricsRegistry::Sample>& out) {
+        const RuntimeSnapshot s = snapshot();
+        out.push_back({"icgmm_cache_accesses", s.merged.accesses});
+        out.push_back({"icgmm_cache_hits", s.merged.hits});
+        out.push_back({"icgmm_cache_read_misses", s.merged.read_misses});
+        out.push_back({"icgmm_cache_write_misses", s.merged.write_misses});
+        out.push_back({"icgmm_cache_fills", s.merged.fills});
+        out.push_back({"icgmm_cache_bypasses", s.merged.bypasses});
+        out.push_back({"icgmm_cache_evictions", s.merged.evictions});
+        out.push_back(
+            {"icgmm_cache_dirty_evictions", s.merged.dirty_evictions});
+        out.push_back({"icgmm_gmm_inferences", s.inferences});
+        out.push_back({"icgmm_gmm_score_batches", s.score_batches});
+        out.push_back({"icgmm_gmm_model_version", s.model_version});
+        out.push_back({"icgmm_gmm_models_published", s.models_published});
+        out.push_back({"icgmm_gmm_samples_observed", s.samples_observed});
+        out.push_back({"icgmm_gmm_samples_dropped", s.samples_dropped});
+        out.push_back({"icgmm_front_hits", s.front_hits});
+        out.push_back({"icgmm_front_fills", s.front_fills});
+        out.push_back({"icgmm_front_invalidations", s.front_invalidations});
+        out.push_back({"icgmm_deferred_enqueued", s.deferred_enqueued});
+        out.push_back({"icgmm_deferred_applied", s.deferred_applied});
+        out.push_back({"icgmm_deferred_dropped", s.deferred_dropped});
+        out.push_back({"icgmm_deferred_demotions", s.deferred_demotions});
+        out.push_back({"icgmm_record_written", s.records_written});
+        out.push_back({"icgmm_record_dropped", s.records_dropped});
+        out.push_back({"icgmm_record_chunks", s.record_chunks});
+      });
 }
 
 Runtime::~Runtime() {
+  // Drop the provider first: a concurrent scrape calls snapshot() on this
+  // object, so it must be unreachable before members start dying.
+  if (provider_id_ != 0) cfg_.metrics->remove_provider(provider_id_);
   // Stop-drain the decision thread while every member it touches is still
   // alive (it would also happen via member destruction order; explicit is
   // clearer and keeps the invariant independent of declaration order).
@@ -226,10 +267,20 @@ RuntimeSnapshot Runtime::snapshot() const {
 }
 
 void Runtime::drain_deferred() {
-  if (decision_) decision_->drain();
+  if (decision_) {
+    decision_->drain();
+    if (cfg_.events != nullptr) {
+      cfg_.events->emit(obs::EventType::kDrainBarrier, decision_->applied());
+    }
+  }
 }
 
 void Runtime::clear_stats() {
+  if (cfg_.events != nullptr) {
+    // Record the access count being discarded — the one number that lets
+    // a postmortem line up pre- and post-clear windows.
+    cfg_.events->emit(obs::EventType::kStatsClear, merged_stats().accesses);
+  }
   // The marker goes into the record stream first: with the serving
   // quiesced around a FLUSH (the admin contract), every access recorded
   // before this point belongs to the pre-clear window.

@@ -32,6 +32,8 @@
 #include <vector>
 
 #include "cache/policies/gmm_policy.hpp"
+#include "obs/event_ring.hpp"
+#include "obs/registry.hpp"
 #include "record/recorder.hpp"
 #include "runtime/decision_thread.hpp"
 #include "runtime/front_cache.hpp"
@@ -78,6 +80,15 @@ struct RuntimeConfig {
   /// the writer thread persists chunks off the critical path. Never
   /// blocks serving; overflow drops are counted in the snapshot.
   record::RecorderConfig record;
+  /// Optional observability sinks (not owned; must outlive the runtime).
+  /// With `metrics` set the runtime registers a provider exporting every
+  /// RuntimeSnapshot counter (icgmm_cache_*, icgmm_gmm_*, icgmm_front_*,
+  /// icgmm_deferred_*, icgmm_record_*) — the registry wraps the existing
+  /// atomics, it does not fork them. With `events` set the flight
+  /// recorder sees model publishes, drain barriers, stats clears, and
+  /// miss-ring drops.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::EventRing* events = nullptr;
 };
 
 /// One serving request — the unit both the trace replayer and the network
@@ -225,8 +236,10 @@ class Runtime {
 
  private:
   void maybe_sample(PageIndex page, Timestamp ts);
+  void register_metrics();
 
   RuntimeConfig cfg_;
+  std::uint64_t provider_id_ = 0;  ///< 0 = no provider registered
   std::string policy_name_;
   std::unique_ptr<ModelSlot> slot_;                       // GMM mode only
   std::vector<std::unique_ptr<InferenceBatcher>> batchers_;  // one per shard

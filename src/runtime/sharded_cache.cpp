@@ -19,7 +19,7 @@ cache::CacheConfig ShardedCache::split_config(const ShardedCacheConfig& cfg) {
 }
 
 ShardedCache::ShardedCache(ShardedCacheConfig cfg, const PolicyFactory& factory)
-    : router_(cfg.shards), shard_cfg_(split_config(cfg)) {
+    : router_(cfg.shards), shard_cfg_(split_config(cfg)), events_(cfg.events) {
   if (!factory) throw std::invalid_argument("ShardedCache: null policy factory");
   shards_.reserve(cfg.shards);
   for (std::uint32_t i = 0; i < cfg.shards; ++i) {
@@ -40,7 +40,8 @@ ShardedCache::ShardedCache(ShardedCacheConfig cfg,
       }) {}
 
 cache::AccessResult ShardedCache::access(const cache::AccessContext& ctx) {
-  Shard& shard = *shards_[router_.route(ctx.page)];
+  const std::uint32_t idx = router_.route(ctx.page);
+  Shard& shard = *shards_[idx];
   std::lock_guard<std::mutex> lock(shard.mu);
   const cache::AccessResult result = shard.cache->access(ctx);
   // Async miss pipeline: hand the miss to the decision thread. Pushed
@@ -48,7 +49,10 @@ cache::AccessResult ShardedCache::access(const cache::AccessContext& ctx) {
   // single-producer contract. A full ring drops (and counts) the rescore
   // rather than stalling the serving path.
   if (!result.hit && shard.ring) {
-    shard.ring->try_push({ctx.page, ctx.timestamp});
+    if (!shard.ring->try_push({ctx.page, ctx.timestamp}) &&
+        events_ != nullptr) {
+      events_->emit(obs::EventType::kRingDrop, idx);
+    }
   }
   // Mirror the outcome into the lock-free-readable counters (same
   // derivation the cache applies internally, see

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "cache/cache.hpp"
+#include "obs/event_ring.hpp"
 #include "runtime/miss_ring.hpp"
 #include "runtime/shard_router.hpp"
 
@@ -40,6 +41,9 @@ struct ShardedCacheConfig {
   /// contract hold). Zero = no rings, no per-miss overhead — the default
   /// synchronous mode. Set by Runtime's async miss pipeline.
   std::uint32_t miss_ring_capacity = 0;
+  /// Optional flight recorder (not owned; must outlive the cache): a miss
+  /// ring dropping a rescore emits kRingDrop with the shard index.
+  obs::EventRing* events = nullptr;
 };
 
 class ShardedCache {
@@ -160,6 +164,7 @@ class ShardedCache {
 
   ShardRouter router_;
   cache::CacheConfig shard_cfg_;
+  obs::EventRing* events_ = nullptr;
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

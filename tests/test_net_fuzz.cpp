@@ -73,6 +73,15 @@ std::vector<CorpusFrame> corpus(std::uint8_t version) {
                  {.code = ErrorCode::kBadRequest, .message = "bad batch"},
                  version);
   });
+  add("metrics_request",
+      [&](Bytes& b) { encode_metrics_request(b, seq, version); });
+  add("metrics_reply", [&](Bytes& b) {
+    MetricsReply reply;
+    reply.entries.push_back({"icgmm_cache_accesses", 12345});
+    reply.entries.push_back({"icgmm_server_stage_apply_ns_count", ~0ull});
+    reply.entries.push_back({"", 0});  // empty names are legal on the wire
+    encode_metrics_reply(b, seq, reply, version);
+  });
   return frames;
 }
 
@@ -130,6 +139,11 @@ void decode_everything(const Bytes& buf) {
     case MsgType::kError: {
       ErrorReply reply;
       EXPECT_TRUE(valid_status(decode_error(frame, reply)));
+      break;
+    }
+    case MsgType::kMetricsReply: {
+      MetricsReply reply;
+      EXPECT_TRUE(valid_status(decode_metrics_reply(frame, reply)));
       break;
     }
     default:

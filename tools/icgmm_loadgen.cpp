@@ -427,11 +427,18 @@ int main(int argc, char** argv) {
 
   // The server's own view, for cross-checking against the client counts.
   net::StatsReply server_stats;
+  net::MetricsReply server_metrics;
   bool have_server_stats = false;
+  bool have_server_metrics = false;
   try {
     net::Client c = net::Client::connect(args.host, args.port);
     server_stats = c.stats();
     have_server_stats = true;
+    // Same connection, right after STATS: with this loadgen's traffic
+    // drained the quiescence-stable counters must agree between the two
+    // surfaces. Servers without a registry return an empty set.
+    server_metrics = c.metrics();
+    have_server_metrics = !server_metrics.entries.empty();
     if (!args.quiet) {
       std::cout << "server stats: accesses=" << server_stats.accesses
                 << " hits=" << server_stats.hits
@@ -449,6 +456,40 @@ int main(int argc, char** argv) {
     }
   } catch (const std::exception& e) {
     std::cerr << "stats fetch failed: " << e.what() << "\n";
+  }
+
+  // The registry and the wire STATS pin export the same underlying
+  // atomics; any disagreement on the quiescence-stable cache counters is
+  // a serving bug, not noise — fail the run.
+  bool metrics_consistent = true;
+  if (have_server_stats && have_server_metrics) {
+    const auto metric = [&server_metrics](const char* name) -> std::uint64_t {
+      for (const net::MetricsEntry& e : server_metrics.entries) {
+        if (e.name == name) return e.value;
+      }
+      return 0;
+    };
+    const struct {
+      const char* name;
+      std::uint64_t wire;
+    } checks[] = {
+        {"icgmm_cache_accesses", server_stats.accesses},
+        {"icgmm_cache_hits", server_stats.hits},
+        {"icgmm_cache_read_misses", server_stats.read_misses},
+        {"icgmm_cache_write_misses", server_stats.write_misses},
+    };
+    for (const auto& chk : checks) {
+      if (metric(chk.name) != chk.wire) {
+        std::cerr << "server metrics mismatch: " << chk.name << "="
+                  << metric(chk.name) << " but wire STATS says " << chk.wire
+                  << "\n";
+        metrics_consistent = false;
+      }
+    }
+    if (metrics_consistent && !args.quiet) {
+      std::cout << "server metrics: " << server_metrics.entries.size()
+                << " entries, consistent with wire STATS\n";
+    }
   }
 
   if (!args.json_path.empty()) {
@@ -481,6 +522,18 @@ int main(int argc, char** argv) {
           << server_stats.records_dropped << ", \"record_chunks\": "
           << server_stats.record_chunks << "},\n";
     }
+    if (have_server_metrics) {
+      // Every registry sample, verbatim. Kept out of the "server" object:
+      // that line must stay byte-identical between a recording run and
+      // its replay, while histogram timings legitimately differ.
+      out << "  \"server_metrics\": {";
+      bool first = true;
+      for (const net::MetricsEntry& e : server_metrics.entries) {
+        out << (first ? "" : ", ") << "\"" << e.name << "\": " << e.value;
+        first = false;
+      }
+      out << "},\n";
+    }
     out << "  \"server\": ";
     if (have_server_stats) {
       out << "{\"accesses\": " << server_stats.accesses << ", \"hits\": "
@@ -495,5 +548,5 @@ int main(int argc, char** argv) {
     out << "\n}\n";
     if (!args.quiet) std::cout << "wrote " << args.json_path << "\n";
   }
-  return failed == 0 && completed > 0 ? 0 : 1;
+  return failed == 0 && completed > 0 && metrics_consistent ? 0 : 1;
 }

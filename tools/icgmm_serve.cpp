@@ -13,6 +13,7 @@
 //               [--front-promote K]
 //               [--record PATH] [--record-sample N] [--record-window W]
 //               [--record-ring CAP] [--record-chunk N]
+//               [--metrics-port P] [--trace-sample N]
 //               [--stats-every SECONDS] [--quiet]
 //
 // GMM policies train at startup on a synthetic workload (default: the
@@ -41,6 +42,16 @@
 // bit-for-bit (see docs/ARCHITECTURE.md). Capture is try-push-only: a
 // full recorder ring drops (counted in STATS), never stalls serving.
 // --record-sample N keeps 1 window in N of --record-window W requests.
+//
+// Observability (docs/OBSERVABILITY.md): the daemon always runs a
+// MetricsRegistry (server + runtime counters, per-stage latency
+// histograms) and a 256-event flight recorder; the periodic stats line,
+// the final report, and the wire METRICS verb all render from the same
+// registry collect(). --metrics-port P additionally serves Prometheus
+// text over HTTP on loopback (GET /metrics, /healthz, /events; P=0 binds
+// an ephemeral port, announced on a parseable line). --trace-sample N
+// records 1 in N per-stage timings (1 = every one, 0 = tracing off).
+// SIGUSR1 dumps the flight-recorder window to stderr.
 #include <chrono>
 #include <csignal>
 #include <cstring>
@@ -54,6 +65,9 @@
 #include "core/policy_engine.hpp"
 #include "core/threshold.hpp"
 #include "net/server.hpp"
+#include "obs/event_ring.hpp"
+#include "obs/http_exporter.hpp"
+#include "obs/registry.hpp"
 #include "trace/generator.hpp"
 
 namespace {
@@ -61,8 +75,10 @@ namespace {
 using namespace icgmm;
 
 volatile std::sig_atomic_t g_stop = 0;
+volatile std::sig_atomic_t g_dump_events = 0;
 
 void handle_signal(int) { g_stop = 1; }
+void handle_dump(int) { g_dump_events = 1; }
 
 struct Args {
   std::uint16_t port = 9090;
@@ -80,6 +96,8 @@ struct Args {
   runtime::AsyncMissConfig async_miss;  // off unless --async-miss
   runtime::FrontCacheConfig front;  // off unless a --front-* flag is given
   record::RecorderConfig record;  // off unless --record PATH is given
+  int metrics_port = -1;  // -1 = no HTTP endpoint; 0 = ephemeral port
+  std::uint32_t trace_sample = 1;
   unsigned stats_every = 10;
   bool quiet = false;
 };
@@ -114,6 +132,8 @@ Args parse(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--record-window")) args.record.sample_window = static_cast<std::uint32_t>(std::stoul(next()));
     else if (!std::strcmp(argv[i], "--record-ring")) args.record.ring_capacity = std::stoull(next());
     else if (!std::strcmp(argv[i], "--record-chunk")) args.record.chunk_records = static_cast<std::uint32_t>(std::stoul(next()));
+    else if (!std::strcmp(argv[i], "--metrics-port")) args.metrics_port = static_cast<int>(std::stoul(next()));
+    else if (!std::strcmp(argv[i], "--trace-sample")) args.trace_sample = static_cast<std::uint32_t>(std::stoul(next()));
     else if (!std::strcmp(argv[i], "--stats-every")) args.stats_every = static_cast<unsigned>(std::stoul(next()));
     else if (!std::strcmp(argv[i], "--quiet")) args.quiet = true;
     else throw std::invalid_argument(std::string("unknown flag: ") + argv[i]);
@@ -141,6 +161,13 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // One registry + flight recorder for the whole daemon: the runtime and
+  // server register providers/histograms into it, and every reporting
+  // surface (stats lines, METRICS verb, HTTP /metrics) renders from its
+  // collect(). Declared before the runtime so they outlive it.
+  obs::MetricsRegistry metrics;
+  obs::EventRing events(256);
+
   runtime::RuntimeConfig rcfg;
   rcfg.cache.capacity_bytes = args.cache_mb << 20;
   rcfg.cache.associativity = args.assoc;
@@ -150,6 +177,8 @@ int main(int argc, char** argv) {
   rcfg.front = args.front;
   rcfg.async_miss = args.async_miss;
   rcfg.record = args.record;
+  rcfg.metrics = &metrics;
+  rcfg.events = &events;
   // Stamp the capture with where it came from (host, build, flags) —
   // the same provenance header every BENCH_*.json carries.
   if (!rcfg.record.path.empty()) {
@@ -204,6 +233,9 @@ int main(int argc, char** argv) {
   scfg.port = args.port;
   scfg.bind_any = args.bind_any;
   scfg.workers = args.workers;
+  scfg.metrics = &metrics;
+  scfg.events = &events;
+  scfg.trace_sample = args.trace_sample;
   net::Server server(*rt, scfg);
   try {
     server.start();
@@ -212,8 +244,24 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  std::unique_ptr<obs::HttpExporter> exporter;
+  if (args.metrics_port >= 0) {
+    try {
+      exporter = std::make_unique<obs::HttpExporter>(
+          metrics, &events,
+          obs::HttpExporterConfig{
+              .port = static_cast<std::uint16_t>(args.metrics_port),
+              .bind_any = args.bind_any});
+      exporter->start();
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 1;
+    }
+  }
+
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
+  std::signal(SIGUSR1, handle_dump);
 
   // Announce the resolved port on a parseable line (CI greps for it).
   std::cout << "icgmm_serve listening on port " << server.port()
@@ -225,56 +273,98 @@ int main(int argc, char** argv) {
             << (rcfg.record.path.empty() ? ""
                                          : ", recording " + rcfg.record.path)
             << ")" << std::endl;
+  if (exporter) {
+    std::cout << "icgmm_serve metrics on port " << exporter->port()
+              << " (GET /metrics, /healthz, /events)" << std::endl;
+  }
+
+  // Both the periodic line and the final report render from the same
+  // registry collect() the METRICS verb and /metrics serve — the four
+  // surfaces can never disagree on a value.
+  const auto scrape = [&metrics](std::string_view name,
+                                 const std::vector<obs::MetricsRegistry::Sample>&
+                                     samples) {
+    return obs::MetricsRegistry::value_of(samples, name);
+  };
+  const auto hit_rate_of =
+      [](std::uint64_t hits, std::uint64_t accesses) {
+        return accesses == 0
+                   ? 0.0
+                   : static_cast<double>(hits) / static_cast<double>(accesses);
+      };
 
   std::uint64_t last_requests = 0;
   unsigned since_stats = 0;
   while (!g_stop) {
     std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    if (g_dump_events) {
+      g_dump_events = 0;
+      std::cerr << "flight recorder dump (SIGUSR1):\n"
+                << obs::render_events(events) << std::flush;
+    }
     if (args.stats_every == 0 || args.quiet) continue;
     if (++since_stats < args.stats_every * 4) continue;
     since_stats = 0;
-    const net::ServerStats ss = server.stats();
-    const runtime::RuntimeSnapshot snap = rt->snapshot();
-    std::cout << "stats: conns=" << ss.connections_accepted - ss.connections_closed
-              << " frames=" << ss.frames_served
-              << " requests=" << ss.requests_served
-              << " (+" << ss.requests_served - last_requests << ")"
-              << " hit_rate=" << snap.merged.hit_rate()
-              << " inferences=" << snap.inferences
-              << " model_v=" << snap.model_version;
-    if (rcfg.front.enabled) std::cout << " front_hits=" << snap.front_hits;
+    const auto samples = metrics.collect();
+    const std::uint64_t requests =
+        scrape("icgmm_server_requests_served", samples);
+    std::cout << "stats: conns="
+              << scrape("icgmm_server_connections_accepted", samples) -
+                     scrape("icgmm_server_connections_closed", samples)
+              << " frames=" << scrape("icgmm_server_frames_served", samples)
+              << " requests=" << requests
+              << " (+" << requests - last_requests << ")"
+              << " hit_rate="
+              << hit_rate_of(scrape("icgmm_cache_hits", samples),
+                             scrape("icgmm_cache_accesses", samples))
+              << " inferences=" << scrape("icgmm_gmm_inferences", samples)
+              << " model_v=" << scrape("icgmm_gmm_model_version", samples);
+    if (rcfg.front.enabled) {
+      std::cout << " front_hits=" << scrape("icgmm_front_hits", samples);
+    }
     if (rcfg.async_miss.enabled) {
-      std::cout << " deferred=" << snap.deferred_applied << "/"
-                << snap.deferred_enqueued
-                << " demotions=" << snap.deferred_demotions;
+      std::cout << " deferred=" << scrape("icgmm_deferred_applied", samples)
+                << "/" << scrape("icgmm_deferred_enqueued", samples)
+                << " demotions="
+                << scrape("icgmm_deferred_demotions", samples);
     }
     if (!rcfg.record.path.empty()) {
-      std::cout << " recorded=" << snap.records_written << "/"
-                << snap.records_dropped << " dropped";
+      std::cout << " recorded=" << scrape("icgmm_record_written", samples)
+                << "/" << scrape("icgmm_record_dropped", samples)
+                << " dropped";
     }
     std::cout << std::endl;
-    last_requests = ss.requests_served;
+    last_requests = requests;
   }
 
   std::cout << "shutting down..." << std::endl;
+  if (exporter) exporter->stop();
   server.stop();
   rt->stop();  // also drains and finalizes the recording, if any
-  const net::ServerStats ss = server.stats();
-  const runtime::RuntimeSnapshot snap = rt->snapshot();
-  std::cout << "served " << ss.requests_served << " requests in "
-            << ss.frames_served << " frames over "
-            << ss.connections_accepted << " connections ("
-            << ss.protocol_errors << " protocol errors, hit rate "
-            << snap.merged.hit_rate();
-  if (rcfg.front.enabled) std::cout << ", front hits " << snap.front_hits;
+  const auto samples = metrics.collect();
+  std::cout << "served " << scrape("icgmm_server_requests_served", samples)
+            << " requests in "
+            << scrape("icgmm_server_frames_served", samples)
+            << " frames over "
+            << scrape("icgmm_server_connections_accepted", samples)
+            << " connections ("
+            << scrape("icgmm_server_protocol_errors", samples)
+            << " protocol errors, hit rate "
+            << hit_rate_of(scrape("icgmm_cache_hits", samples),
+                           scrape("icgmm_cache_accesses", samples));
+  if (rcfg.front.enabled) {
+    std::cout << ", front hits " << scrape("icgmm_front_hits", samples);
+  }
   if (rcfg.async_miss.enabled) {
-    std::cout << ", deferred " << snap.deferred_applied << " applied / "
-              << snap.deferred_dropped << " dropped, "
-              << snap.deferred_demotions << " demotions";
+    std::cout << ", deferred " << scrape("icgmm_deferred_applied", samples)
+              << " applied / " << scrape("icgmm_deferred_dropped", samples)
+              << " dropped, " << scrape("icgmm_deferred_demotions", samples)
+              << " demotions";
   }
   if (!rcfg.record.path.empty()) {
-    std::cout << ", recorded " << snap.records_written << " in "
-              << snap.record_chunks << " chunks / " << snap.records_dropped
+    std::cout << ", recorded " << scrape("icgmm_record_written", samples)
+              << " in " << scrape("icgmm_record_chunks", samples)
+              << " chunks / " << scrape("icgmm_record_dropped", samples)
               << " dropped";
   }
   std::cout << ")" << std::endl;
