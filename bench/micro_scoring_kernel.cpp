@@ -1,8 +1,11 @@
 // Scoring-kernel microbenchmark: the seed GaussianMixture::log_score path
 // (AoS components, out-of-line per-component log_pdf, thread_local terms
-// buffer, per-call log-weight adds) vs the flat SoA gmm::ScorerKernel, on
-// the two miss-path shapes — single-page admission scoring and the 8-way
-// set rescore — across K in {2, 4, 8, 16}.
+// buffer, per-call log-weight adds) vs the flat SoA gmm::ScorerKernel vs
+// the integer fixed-point gmm::QuantScorerKernel, on the two miss-path
+// shapes — single-page admission scoring and the 8-way set rescore —
+// across K in {2, 4, 8, 16}. The quant columns measure the serving
+// configuration (`--scorer quantized`): Q16, timestamp cache on, same
+// dispatch geometry as the float kernel.
 //
 // Self-timed (steady_clock, interleaved best-of reps); deliberately does
 // NOT use google-benchmark so it builds everywhere the library builds.
@@ -27,6 +30,7 @@
 #include "common/table.hpp"
 #include "gmm/kernel.hpp"
 #include "gmm/mixture.hpp"
+#include "gmm/quant_kernel.hpp"
 #include "trace/timestamp_transform.hpp"
 
 namespace {
@@ -106,7 +110,9 @@ struct Row {
   const char* mode = "";  // "single" | "batch8"
   double seed_ns = 0.0;
   double kernel_ns = 0.0;
+  double quant_ns = 0.0;
   double speedup() const noexcept { return seed_ns / kernel_ns; }
+  double quant_speedup() const noexcept { return kernel_ns / quant_ns; }
 };
 
 const char* kernel_dispatch_arch() {
@@ -144,13 +150,18 @@ int main(int argc, char** argv) {
   for (auto& t : stamps) t = transform.next();
 
   std::vector<Row> rows;
-  Table table({"K", "mode", "seed ns", "kernel ns", "speedup"});
+  Table table({"K", "mode", "seed ns", "kernel ns", "speedup", "quant ns",
+               "quant vs kernel"});
   for (const std::size_t k : {2u, 4u, 8u, 16u}) {
     Rng model_rng(0xfeed + k);
     const gmm::GaussianMixture model = make_model(k, model_rng);
     std::vector<double> log_w;
     for (double w : model.weights()) log_w.push_back(std::log(w));
     const gmm::ScorerKernel kernel = model.make_kernel();
+    // The serving configuration of `--scorer quantized`: Q16 grid,
+    // timestamp cache on (PolicyEngine::quant_score_fn builds the same).
+    const gmm::QuantScorerKernel qkernel(model, {.frac_bits = 16},
+                                         /*timestamp_cache=*/true);
 
     // --- single-page path (admission scoring: one page per call) ---
     const Measurement seed_single = best_of(scores, reps, [&](std::size_t off) {
@@ -166,6 +177,13 @@ int main(int argc, char** argv) {
       double acc = 0.0;
       for (std::size_t i = 0; i < scores; ++i) {
         acc += kernel.score_one(pages[off + i], stamps[i]);
+      }
+      return acc;
+    });
+    const Measurement quant_single = best_of(scores, reps, [&](std::size_t off) {
+      double acc = 0.0;
+      for (std::size_t i = 0; i < scores; ++i) {
+        acc += qkernel.score_one(pages[off + i], stamps[i]);
       }
       return acc;
     });
@@ -195,22 +213,41 @@ int main(int argc, char** argv) {
       }
       return acc;
     });
+    const Measurement quant_batch = best_of(scores, reps, [&](std::size_t off) {
+      double acc = 0.0;
+      double out[kWays];
+      for (std::size_t b = 0; b < batches; ++b) {
+        qkernel.score_batch({&pages[off + b * kWays], kWays},
+                            stamps[b * kWays], {out, kWays});
+        acc += out[0] + out[kWays - 1];
+      }
+      return acc;
+    });
 
     rows.push_back({k, "single", seed_single.ns_per_score,
-                    kern_single.ns_per_score});
+                    kern_single.ns_per_score, quant_single.ns_per_score});
     rows.push_back({k, "batch8", seed_batch.ns_per_score,
-                    kern_batch.ns_per_score});
+                    kern_batch.ns_per_score, quant_batch.ns_per_score});
     for (const Row* r : {&rows[rows.size() - 2], &rows[rows.size() - 1]}) {
       table.add_row({std::to_string(r->k), r->mode, Table::fmt(r->seed_ns),
                      Table::fmt(r->kernel_ns),
-                     Table::fmt(r->speedup()) + "x"});
+                     Table::fmt(r->speedup()) + "x",
+                     Table::fmt(r->quant_ns),
+                     Table::fmt(r->quant_speedup()) + "x"});
     }
     // Checksums double as a sanity check that both paths scored the same
     // workload (they agree to ~1e-12 relative; exact equality is the unit
-    // tests' job).
+    // tests' job). The quantized path scores on a 2^-16 grid, so it gets
+    // the looser behavioral bound its accuracy tests pin (<1e-2 per-score
+    // absolute error, summed here over `scores` calls).
     if (std::abs(seed_single.checksum - kern_single.checksum) >
         1e-6 * std::abs(seed_single.checksum)) {
       std::cerr << "checksum mismatch at K=" << k << "\n";
+      return 1;
+    }
+    if (std::abs(quant_single.checksum - kern_single.checksum) >
+        1e-2 * static_cast<double>(scores)) {
+      std::cerr << "quant checksum divergence at K=" << k << "\n";
       return 1;
     }
   }
@@ -232,7 +269,9 @@ int main(int argc, char** argv) {
       out << "    {\"k\": " << r.k << ", \"mode\": \"" << r.mode
           << "\", \"seed_ns_per_score\": " << r.seed_ns
           << ", \"kernel_ns_per_score\": " << r.kernel_ns
-          << ", \"speedup\": " << r.speedup() << "}"
+          << ", \"speedup\": " << r.speedup()
+          << ", \"quant_ns_per_score\": " << r.quant_ns
+          << ", \"quant_speedup_vs_kernel\": " << r.quant_speedup() << "}"
           << (i + 1 < rows.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";

@@ -9,6 +9,8 @@
 //                 [--cache-mb MB] [--assoc WAYS] [--seed S]
 //                 [--threads T] [--shards S]
 //                 [--async-miss] [--async-ring CAP]
+//                 [--scorer float|quantized]
+//                 [--shadow-policy NAME] [--shadow-ring CAP]
 //                 [--front-cache] [--front-capacity M] [--front-replicas N]
 //                 [--front-promote K]
 //
@@ -20,6 +22,11 @@
 // flags imply it. --async-miss (GMM policies only) runs the asynchronous
 // miss pipeline: GMM decisions drain to a background thread and the
 // replay drains them before reporting, so the stats identities hold.
+// --scorer quantized (GMM policies only) serves through the fixed-point
+// QuantScorerKernel. --shadow-policy NAME runs a second policy against
+// the same stream off the serving path (gmm-* shadows require a gmm-*
+// serving policy) and reports its would-have-hit and divergence
+// counters; the replay drains the shadow before reporting.
 //
 // Examples:
 //   cache_sim_cli --benchmark hashmap --policy gmm-both --cache-mb 64
@@ -53,6 +60,9 @@ struct Args {
   std::uint32_t shards = 1;
   runtime::FrontCacheConfig front;  // off unless a --front-* flag is given
   runtime::AsyncMissConfig async_miss;  // off unless --async-miss
+  std::string scorer = "float";
+  std::string shadow_policy;  // empty = shadow evaluation off
+  std::uint32_t shadow_ring = 8192;
 };
 
 Args parse(int argc, char** argv) {
@@ -73,6 +83,9 @@ Args parse(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--shards")) args.shards = static_cast<std::uint32_t>(std::stoul(next()));
     else if (!std::strcmp(argv[i], "--async-miss")) args.async_miss.enabled = true;
     else if (!std::strcmp(argv[i], "--async-ring")) { args.async_miss.ring_capacity = static_cast<std::uint32_t>(std::stoul(next())); args.async_miss.enabled = true; }
+    else if (!std::strcmp(argv[i], "--scorer")) args.scorer = next();
+    else if (!std::strcmp(argv[i], "--shadow-policy")) args.shadow_policy = next();
+    else if (!std::strcmp(argv[i], "--shadow-ring")) args.shadow_ring = static_cast<std::uint32_t>(std::stoul(next()));
     else if (!std::strcmp(argv[i], "--front-cache")) args.front.enabled = true;
     else if (!std::strcmp(argv[i], "--front-capacity")) { args.front.capacity = static_cast<std::uint32_t>(std::stoul(next())); args.front.enabled = true; }
     else if (!std::strcmp(argv[i], "--front-replicas")) { args.front.replicas = static_cast<std::uint32_t>(std::stoul(next())); args.front.enabled = true; }
@@ -80,6 +93,17 @@ Args parse(int argc, char** argv) {
     else throw std::invalid_argument(std::string("unknown flag: ") + argv[i]);
   }
   return args;
+}
+
+std::unique_ptr<cache::ReplacementPolicy> make_classic(const std::string& name) {
+  if (name == "lru") return std::make_unique<cache::LruPolicy>();
+  if (name == "fifo") return std::make_unique<cache::FifoPolicy>();
+  if (name == "random") return std::make_unique<cache::RandomPolicy>();
+  if (name == "lfu") return std::make_unique<cache::LfuPolicy>();
+  if (name == "clock") return std::make_unique<cache::ClockPolicy>();
+  if (name == "arc") return std::make_unique<cache::ArcPolicy>();
+  if (name == "srrip") return std::make_unique<cache::SrripPolicy>();
+  return nullptr;
 }
 
 }  // namespace
@@ -115,6 +139,38 @@ int main(int argc, char** argv) {
     std::cerr << "error: --async-miss requires a gmm-* policy\n";
     return 1;
   }
+  if (args.scorer != "float" && args.scorer != "quantized") {
+    std::cerr << "error: --scorer must be float or quantized\n";
+    return 1;
+  }
+  const cache::ScorerBackend backend = args.scorer == "quantized"
+                                           ? cache::ScorerBackend::kQuantized
+                                           : cache::ScorerBackend::kFloat;
+  if (backend == cache::ScorerBackend::kQuantized &&
+      args.policy.rfind("gmm", 0) != 0) {
+    std::cerr << "error: --scorer quantized requires a gmm-* policy\n";
+    return 1;
+  }
+  if (args.shadow_policy.rfind("gmm", 0) == 0 &&
+      args.policy.rfind("gmm", 0) != 0) {
+    std::cerr << "error: a gmm-* shadow requires a gmm-* serving policy\n";
+    return 1;
+  }
+  if (!args.shadow_policy.empty()) {
+    rcfg.shadow.enabled = true;
+    rcfg.shadow.policy_name = args.shadow_policy;
+    rcfg.shadow.ring_capacity = args.shadow_ring;
+    if (args.shadow_policy.rfind("gmm", 0) != 0) {
+      if (!make_classic(args.shadow_policy)) {
+        std::cerr << "error: unknown shadow policy '" << args.shadow_policy
+                  << "'\n";
+        return 1;
+      }
+      rcfg.shadow.policy_factory = [name = args.shadow_policy](std::uint32_t) {
+        return make_classic(name);
+      };
+    }
+  }
   if (rcfg.front.enabled && rcfg.front.replicas == 0) {
     rcfg.front.replicas = args.threads;  // one replica per serving thread
   }
@@ -133,25 +189,36 @@ int main(int argc, char** argv) {
         args.policy == "gmm-caching"    ? cache::GmmStrategy::kCachingOnly
         : args.policy == "gmm-eviction" ? cache::GmmStrategy::kEvictionOnly
                                         : cache::GmmStrategy::kCachingEviction;
-    rt = system.make_runtime(rcfg, strategy,
-                             system.pick_threshold(workload, strategy));
+    const double threshold = system.pick_threshold(workload, strategy);
+    if (rcfg.shadow.enabled && args.shadow_policy.rfind("gmm", 0) == 0) {
+      // The shadow reuses the trained engine: same model and threshold
+      // recipe, strategy/scorer from the shadow flags. `system` outlives
+      // the runtime (both are main-scope locals, system declared first).
+      const cache::GmmStrategy sstrat =
+          args.shadow_policy == "gmm-caching" ? cache::GmmStrategy::kCachingOnly
+          : args.shadow_policy == "gmm-eviction"
+              ? cache::GmmStrategy::kEvictionOnly
+              : cache::GmmStrategy::kCachingEviction;
+      const cache::GmmPolicyConfig shadow_cfg{
+          .strategy = sstrat, .threshold = threshold, .scorer = backend};
+      rcfg.shadow.policy_factory = [&system, shadow_cfg](std::uint32_t) {
+        return system.engine().make_policy(shadow_cfg);
+      };
+    }
+    rt = system.make_runtime(rcfg, strategy, threshold, backend);
     replay_cfg.policy_runs_on_miss = true;  // GMM scores every miss
   } else {
-    std::unique_ptr<cache::ReplacementPolicy> policy;
-    if (args.policy == "lru") policy = std::make_unique<cache::LruPolicy>();
-    else if (args.policy == "fifo") policy = std::make_unique<cache::FifoPolicy>();
-    else if (args.policy == "random") policy = std::make_unique<cache::RandomPolicy>();
-    else if (args.policy == "lfu") policy = std::make_unique<cache::LfuPolicy>();
-    else if (args.policy == "clock") policy = std::make_unique<cache::ClockPolicy>();
-    else if (args.policy == "arc") policy = std::make_unique<cache::ArcPolicy>();
-    else if (args.policy == "srrip") policy = std::make_unique<cache::SrripPolicy>();
-    else {
+    std::unique_ptr<cache::ReplacementPolicy> policy = make_classic(args.policy);
+    if (!policy) {
       std::cerr << "error: unknown policy '" << args.policy << "'\n";
       return 1;
     }
     rt = std::make_unique<runtime::Runtime>(rcfg, *policy);
   }
   served = runtime::replay_trace(*rt, workload, replay_cfg);
+  // Shadow trails the stream by a bounded amount; settle it so the
+  // report's shadow rows are exact for the whole replay.
+  rt->drain_shadow();
   } catch (const std::exception& e) {
     // e.g. a --shards value the cache geometry cannot split into
     std::cerr << "error: " << e.what() << "\n";
@@ -205,6 +272,22 @@ int main(int argc, char** argv) {
     report.add_row({"deferred dropped", std::to_string(snap.deferred_dropped)});
     report.add_row({"deferred demotions",
                     std::to_string(snap.deferred_demotions)});
+  }
+  if (rcfg.shadow.enabled) {
+    // Drained above, so these are exact over the whole replay (modulo
+    // ring-full drops, reported alongside).
+    const runtime::RuntimeSnapshot snap = rt->snapshot();
+    report.add_row({"shadow policy", rcfg.shadow.policy_name});
+    report.add_row({"shadow hits", std::to_string(snap.shadow_hits)});
+    report.add_row(
+        {"shadow hit rate",
+         Table::fmt_percent(snap.shadow_accesses == 0
+                                ? 0.0
+                                : static_cast<double>(snap.shadow_hits) /
+                                      static_cast<double>(snap.shadow_accesses))});
+    report.add_row({"shadow divergence",
+                    std::to_string(snap.shadow_divergence)});
+    report.add_row({"shadow dropped", std::to_string(snap.shadow_dropped)});
   }
   report.add_row({"SSD read time", Table::fmt(result.latency.fill_read_ns / 1e6, 1) + " ms"});
   report.add_row({"SSD writeback time", Table::fmt(result.latency.writeback_ns / 1e6, 1) + " ms"});

@@ -30,6 +30,10 @@ class Fixed {
   }
 
   static constexpr Fixed from_double(double v) noexcept {
+    // NaN carries no magnitude to saturate toward; map it to zero rather
+    // than fall through the range checks into an undefined float->int
+    // cast (HLS ap_fixed quantizes NaN to 0 as well).
+    if (v != v) return from_raw(0);
     // Round to nearest; saturate to the representable range.
     const double scaled = v * static_cast<double>(kOne);
     if (scaled >= static_cast<double>(std::numeric_limits<std::int64_t>::max()))
@@ -49,7 +53,7 @@ class Fixed {
     return from_raw(sat_add(a.raw_, b.raw_));
   }
   friend constexpr Fixed operator-(Fixed a, Fixed b) noexcept {
-    return from_raw(sat_add(a.raw_, -b.raw_));
+    return from_raw(sat_sub(a.raw_, b.raw_));
   }
   friend constexpr Fixed operator*(Fixed a, Fixed b) noexcept {
     const __int128 wide = static_cast<__int128>(a.raw_) * b.raw_;
@@ -71,6 +75,17 @@ class Fixed {
     std::int64_t r = 0;
     if (__builtin_add_overflow(a, b, &r)) {
       return a > 0 ? std::numeric_limits<std::int64_t>::max()
+                   : std::numeric_limits<std::int64_t>::min();
+    }
+    return r;
+  }
+
+  // Dedicated subtract: negating b first would overflow for
+  // b == INT64_MIN, so saturate on the subtraction itself.
+  static constexpr std::int64_t sat_sub(std::int64_t a, std::int64_t b) noexcept {
+    std::int64_t r = 0;
+    if (__builtin_sub_overflow(a, b, &r)) {
+      return b < 0 ? std::numeric_limits<std::int64_t>::max()
                    : std::numeric_limits<std::int64_t>::min();
     }
     return r;

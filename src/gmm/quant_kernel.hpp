@@ -1,0 +1,185 @@
+// Integer fixed-point scoring kernel — the serving-path promotion of the
+// seed's QuantizedGmm and the software analogue of the paper's FPGA
+// fixed-point datapath (§4.1 maps the GMM scoring pipeline onto DSP
+// blocks; the scores the hardware produces are Q-format integers, not
+// doubles).
+//
+// Structure mirrors ScorerKernel exactly — the same six pre-folded SoA
+// coefficient arrays (mu_p | mu_t | a | b | g | c), the same per-K
+// template dispatch through one stored function pointer, the same
+// single-owner timestamp-coefficient cache — but every array is int32 in
+// Q(frac_bits) fixed point and the whole score is computed in integer
+// arithmetic:
+//
+//   t[k] = clamp(c[k] - q_k(x)),  q_k evaluated with int64 products
+//   score = m + ln(sum_k exp(t[k] - m)),  m = max_k t[k]
+//
+// exp runs through a packed Q19 lookup table (2048 intervals over
+// [0, 32) log-e units; each u32 entry carries the interval's low value
+// and its slope, so one load feeds the interpolation), and the final
+// ln(sum) is a direct per-kernel table over the accumulator's exact
+// range [2^19, K*2^19] — no mantissa normalization, no bit-scan. The
+// hot loop is integer multiply/shift/load only. On AVX-512 hosts the
+// fixed-K cores dispatch to hand-written int64 SIMD (one zmm quadratic
+// form per 8 components, gathered exp, vectorized 8-page batch finish);
+// everywhere else the portable cores auto-vectorize at x86-64-v3. Both
+// compute the same integer formula, so scores stay bit-identical
+// across dispatch choices.
+//
+// Numerical contract
+// ------------------
+// Every log-domain quantity is saturated ("clamp, not wrap" — the
+// AP_SAT discipline of common/fixed_point.hpp) into [-1024, +1024],
+// coefficients are magnitude-bounded at construction so no intermediate
+// product can overflow int64, and the result is an exact multiple of
+// 2^-frac_bits returned as a double. Scores are therefore bit-exact
+// deterministic: batch vs single, any platform, any vector width —
+// integer addition is associative. A threshold snapped onto the same
+// grid with quantize_threshold makes `score >= threshold` an exact
+// integer comparison, which is how pick_threshold operates in the
+// quantized domain.
+//
+// Threading: same as ScorerKernel — timestamp-cache kernels are
+// single-owner; cache-disabled kernels are stateless and shareable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "gmm/mixture.hpp"
+
+namespace icgmm::gmm {
+
+struct QuantScorerConfig {
+  /// Fractional bits of the Q format used for inputs, coefficients and
+  /// the returned log-score. Clamped to [kMinFracBits, kMaxFracBits] at
+  /// construction. More bits = finer log-domain grid = fewer admission
+  /// decisions flipped vs the float kernel.
+  unsigned frac_bits = 16;
+
+  friend constexpr bool operator==(const QuantScorerConfig&,
+                                   const QuantScorerConfig&) = default;
+};
+
+class QuantScorerKernel {
+ public:
+  static constexpr unsigned kMinFracBits = 6;
+  static constexpr unsigned kMaxFracBits = 20;
+  /// Log-domain saturation bound: every t[k], max and final score is
+  /// clamped into [-kLogBound, +kLogBound]. Well beyond any reachable
+  /// finite log-score (|c| <= ~353) yet small enough that the clamped
+  /// raw value fits int32 at kMaxFracBits.
+  static constexpr double kLogBound = 1024.0;
+  /// Same fixed dispatch set as the float kernel.
+  static constexpr std::size_t kMaxFixedComponents = 32;
+
+  explicit QuantScorerKernel(const GaussianMixture& model,
+                             QuantScorerConfig cfg = {},
+                             bool timestamp_cache = false);
+
+  std::size_t size() const noexcept { return k_; }
+  unsigned frac_bits() const noexcept { return frac_bits_; }
+  const Normalizer& normalizer() const noexcept { return norm_; }
+  bool timestamp_cache_enabled() const noexcept { return cache_enabled_; }
+
+  /// Quantized log-score of one page at one timestamp (raw units, the
+  /// miss path). Always an exact multiple of 2^-frac_bits in
+  /// [-kLogBound, kLogBound].
+  double score_one(PageIndex page, Timestamp t) const noexcept;
+
+  /// Raw-unit doubles variant (trace samples store doubles).
+  double score_raw(double raw_page, double raw_time) const noexcept;
+
+  /// Batch scoring at a shared timestamp; bit-identical to score_one per
+  /// page. Requires out.size() >= pages.size().
+  void score_batch(std::span<const PageIndex> pages, Timestamp t,
+                   std::span<double> out) const noexcept;
+
+  /// Snaps a value onto this kernel's score grid (round-to-nearest,
+  /// saturating into [-kLogBound, kLogBound]).
+  double quantize(double v) const noexcept {
+    return quantize_threshold(v, frac_bits_);
+  }
+
+  /// Snaps an admission threshold onto the Q(frac_bits) grid so that
+  /// `quantized_score >= threshold` is an exact integer comparison.
+  /// -inf (percentile 0) maps to -kLogBound; NaN maps to 0.
+  static double quantize_threshold(double v, unsigned frac_bits) noexcept;
+
+  /// Testing hook: while set, newly constructed kernels use the portable
+  /// cores even on hosts where the AVX-512 cores would dispatch. The
+  /// equivalence tests use it to prove both dispatch choices produce
+  /// bit-identical scores; existing kernels keep their dispatch.
+  static void force_portable_for_testing(bool on) noexcept;
+
+ private:
+  using BatchFn = void (*)(const QuantScorerKernel&, const std::int32_t*,
+                           std::size_t, std::int32_t, double*);
+
+  template <std::size_t K, std::size_t KLanes> friend struct QuantBatchEntry;
+  template <std::size_t K, std::size_t KLanes> friend struct QuantAvx512Entry;
+  friend struct QuantBatchGeneric;
+
+  void run_batch(const std::int32_t* xs, std::size_t n, std::int32_t xt,
+                 double* out) const noexcept {
+    batch_fn_(*this, xs, n, xt, out);
+  }
+
+  static BatchFn pick_batch_fn(std::size_t k) noexcept;
+
+  /// Quantizes a normalized coordinate into Q(frac_bits), saturating at
+  /// the input-domain bound (+-16) the construction-time coefficient
+  /// bounds are sized against.
+  std::int32_t to_fixed_input(double v) const noexcept;
+
+  std::size_t k_ = 0;
+  /// SoA stride; K = 4 pads to 8 lanes like the float kernel.
+  std::size_t stride_ = 0;
+  unsigned frac_bits_ = 16;
+  /// Shared block exponent of the a/b/g coefficient arrays: equals
+  /// frac_bits_ for typical models, backs off just far enough that the
+  /// largest inverse-covariance coefficient fits int32 (near-singular
+  /// fits keep relative precision instead of saturating).
+  unsigned coef_frac_bits_ = 16;
+  std::int32_t log_bound_raw_ = 0;   ///< 1024 << frac_bits
+  std::int32_t input_bound_raw_ = 0; ///< (16 << frac_bits) - 1
+  double inv_scale_ = 0.0;           ///< exact 2^-frac_bits
+  Normalizer norm_;
+  bool cache_enabled_ = false;
+  BatchFn batch_fn_ = nullptr;
+  /// 6 contiguous arrays of stride_ int32: mu_p | mu_t | a | b | g | c.
+  std::vector<std::int32_t> soa_;
+  /// Pre-widened int64 copies of mu_p and a (mpv | a, 2 * stride_) so
+  /// the AVX-512 core loads 64-bit lanes without per-call widening.
+  std::vector<std::int64_t> wide_;
+  /// Per-kernel ln table over the exp accumulator's exact range: entry j
+  /// packs ln((2^19 + (j << acc_shift_)) / 2^19) in Q26 (low u32) and
+  /// the delta to the next entry (high u32), so the final log-sum-exp
+  /// correction is one load, one multiply and two shifts.
+  std::vector<std::uint64_t> lntab_;
+  unsigned acc_shift_ = 0;
+
+  /// Timestamp-coefficient cache (single-owner kernels only), mirroring
+  /// ScorerKernel: for the last xt seen, cross[i] = (dt*b[i])>>Fc clamped
+  /// into the overflow-safety bound (kTermBound, not the log bound —
+  /// large-coefficient components need the full cross-term range), and
+  /// ctm[i] = c[i] - clamp((dt*dt>>F)*g[i]>>Fc), the page-independent
+  /// remainder of the term folded into one value.
+  mutable std::int32_t cache_xt_ = 0;
+  mutable bool cache_valid_ = false;
+  alignas(64) mutable std::int64_t cache_cross_[kMaxFixedComponents];
+  alignas(64) mutable std::int64_t cache_ctm_[kMaxFixedComponents];
+  mutable std::vector<std::int64_t> spill_;  ///< 2*k_ when K > fixed set
+  /// Raw-time conversion memo: serving feeds runs of identical
+  /// timestamps (Algorithm 1 repeats each logical stamp len_window
+  /// times), so score_raw caches the last conversion. Single-owner
+  /// kernels only, like the coefficient cache.
+  mutable double last_raw_time_ = 0.0;
+  mutable std::int32_t last_xt_ = 0;
+  mutable bool time_memo_valid_ = false;
+};
+
+}  // namespace icgmm::gmm

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <numbers>
 
 namespace icgmm::gmm {
@@ -58,10 +60,17 @@ Q32 QuantizedGmm::exp_fixed(double x) const noexcept {
   const Q32 mantissa = Q32::from_double(
       exp_table_[lo] + (exp_table_[hi] - exp_table_[lo]) * frac);
   if (k == 0) return mantissa;
-  // Saturating left shift (k <= ~40 in practice: scores are bounded by the
-  // narrowest component's peak density).
+  // Saturating left shift (k <= ~40 in practice: scores are bounded by
+  // the narrowest component's peak density). Both guards are needed: the
+  // k >= 30 cut bounds the shift count, and the headroom check keeps a
+  // large mantissa from wrapping through the sign bit at smaller k —
+  // AP_SAT semantics, a wrapped score would flip an admit decision.
   if (k >= 30) return Q32::from_raw(std::numeric_limits<std::int64_t>::max());
-  return Q32::from_raw(mantissa.raw() << k);
+  const std::int64_t m = mantissa.raw();
+  if (m > (std::numeric_limits<std::int64_t>::max() >> k)) {
+    return Q32::from_raw(std::numeric_limits<std::int64_t>::max());
+  }
+  return Q32::from_raw(m << k);
 }
 
 double QuantizedGmm::score(double raw_page, double raw_time) const noexcept {

@@ -150,7 +150,7 @@ void encode_stats_request(std::vector<std::uint8_t>& out, std::uint64_t seq,
 
 void encode_stats_reply(std::vector<std::uint8_t>& out, std::uint64_t seq,
                         const StatsReply& reply, std::uint8_t version) {
-  put_header(out, MsgType::kStatsReply, seq, 15 * 8, version);
+  put_header(out, MsgType::kStatsReply, seq, 20 * 8, version);
   put_u64(out, reply.accesses);
   put_u64(out, reply.hits);
   put_u64(out, reply.read_misses);
@@ -166,6 +166,11 @@ void encode_stats_reply(std::vector<std::uint8_t>& out, std::uint64_t seq,
   put_u64(out, reply.records_written);
   put_u64(out, reply.records_dropped);
   put_u64(out, reply.record_chunks);
+  put_u64(out, reply.shadow_accesses);
+  put_u64(out, reply.shadow_hits);
+  put_u64(out, reply.shadow_misses);
+  put_u64(out, reply.shadow_divergence);
+  put_u64(out, reply.shadow_dropped);
 }
 
 void encode_model_info_request(std::vector<std::uint8_t>& out,
@@ -331,7 +336,7 @@ DecodeStatus decode_access_reply(const Frame& frame,
 
 DecodeStatus decode_stats_reply(const Frame& frame, StatsReply& out) noexcept {
   const std::span<const std::uint8_t> p = frame.payload;
-  if (frame.header.type != MsgType::kStatsReply || p.size() != 15 * 8) {
+  if (frame.header.type != MsgType::kStatsReply || p.size() != 20 * 8) {
     return DecodeStatus::kBadPayload;
   }
   const std::uint8_t* d = p.data();
@@ -350,6 +355,11 @@ DecodeStatus decode_stats_reply(const Frame& frame, StatsReply& out) noexcept {
   out.records_written = get_u64(d + 96);
   out.records_dropped = get_u64(d + 104);
   out.record_chunks = get_u64(d + 112);
+  out.shadow_accesses = get_u64(d + 120);
+  out.shadow_hits = get_u64(d + 128);
+  out.shadow_misses = get_u64(d + 136);
+  out.shadow_divergence = get_u64(d + 144);
+  out.shadow_dropped = get_u64(d + 152);
   return DecodeStatus::kOk;
 }
 

@@ -48,7 +48,7 @@
 //   ACCESS_REPLY  u32 count, u32 hits, u32 admitted, u32 evictions,
 //                 u32 dirty_evictions (per-batch aggregate).
 //   STATS         empty request; reply carries the merged RuntimeSnapshot
-//                 counters as 15 x u64 (see StatsReply).
+//                 counters as 20 x u64 (see StatsReply).
 //   MODEL_INFO    empty request; reply: u32 shards, u32 components,
 //                 u64 model_version, u16 name_len, name bytes.
 //   PING          empty request; PONG reply echoes the seq.
@@ -58,7 +58,7 @@
 //                 {u16 name_len, name bytes, u64 value} — the server's
 //                 whole metrics registry as length-prefixed name/value
 //                 pairs (empty set when the server runs without a
-//                 registry). Unlike the fixed 15-field STATS pin, the
+//                 registry). Unlike the fixed 20-field STATS pin, the
 //                 entry set is open-ended: clients match names, never
 //                 positions.
 //   ERROR         u16 code (ErrorCode), u16 msg_len, msg bytes — sent by
@@ -181,6 +181,15 @@ struct StatsReply {
   std::uint64_t records_written = 0;
   std::uint64_t records_dropped = 0;
   std::uint64_t record_chunks = 0;
+  // Shadow policy evaluation counters (all 0 when the server runs
+  // without a shadow). Appended within the protocol version, same as the
+  // recorder trio before them: the payload stays fixed-size, decoders
+  // pin the new length.
+  std::uint64_t shadow_accesses = 0;
+  std::uint64_t shadow_hits = 0;
+  std::uint64_t shadow_misses = 0;
+  std::uint64_t shadow_divergence = 0;
+  std::uint64_t shadow_dropped = 0;
 };
 
 struct ModelInfoReply {

@@ -609,6 +609,11 @@ void Server::serve_frame(std::span<const std::uint8_t> frame_bytes,
       reply.records_written = snap.records_written;
       reply.records_dropped = snap.records_dropped;
       reply.record_chunks = snap.record_chunks;
+      reply.shadow_accesses = snap.shadow_accesses;
+      reply.shadow_hits = snap.shadow_hits;
+      reply.shadow_misses = snap.shadow_misses;
+      reply.shadow_divergence = snap.shadow_divergence;
+      reply.shadow_dropped = snap.shadow_dropped;
       encode_stats_reply(out, seq, reply, version);
       return;
     }

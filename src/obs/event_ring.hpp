@@ -33,6 +33,7 @@ enum class EventType : std::uint8_t {
   kDrainBarrier = 5,  ///< arg = deferred decisions applied so far
   kStatsClear = 6,    ///< arg = accesses at the clear
   kRingDrop = 7,      ///< arg = shard whose miss ring dropped a rescore
+  kShadowRingDrop = 8,  ///< arg = shard whose shadow ring dropped an access
 };
 
 const char* to_string(EventType t) noexcept;
@@ -136,6 +137,7 @@ inline const char* to_string(EventType t) noexcept {
     case EventType::kDrainBarrier: return "drain-barrier";
     case EventType::kStatsClear: return "stats-clear";
     case EventType::kRingDrop: return "ring-drop";
+    case EventType::kShadowRingDrop: return "shadow-ring-drop";
   }
   return "unknown";
 }

@@ -13,27 +13,36 @@ void batched_log_score(const gmm::GaussianMixture& model,
   model.kernel().score_batch(pages, t, out);
 }
 
-const gmm::ScorerKernel& InferenceBatcher::current_kernel() {
+void InferenceBatcher::refresh_kernels() {
   const std::uint64_t published = slot_->version();
   if (published != version_) {
     model_ = slot_->load();
     kernel_ = model_->make_kernel();
+    if (qkernel_) {
+      qkernel_.emplace(*model_, gmm::QuantScorerConfig{quant_frac_bits_},
+                       /*timestamp_cache=*/true);
+    }
     version_ = published;
   }
-  return kernel_;
 }
 
 void InferenceBatcher::score_span(std::span<const PageIndex> pages,
                                   Timestamp t, std::span<double> out) {
   // One snapshot pin (and one timestamp-coefficient fold) per span.
-  current_kernel().score_batch(pages, t, out);
+  refresh_kernels();
+  if (qkernel_) {
+    qkernel_->score_batch(pages, t, out);
+  } else {
+    kernel_.score_batch(pages, t, out);
+  }
   batches_.fetch_add(1, std::memory_order_relaxed);
   scored_.fetch_add(pages.size(), std::memory_order_relaxed);
 }
 
 double InferenceBatcher::score_one(PageIndex page, Timestamp t) {
   scored_.fetch_add(1, std::memory_order_relaxed);
-  return current_kernel().score_one(page, t);
+  refresh_kernels();
+  return qkernel_ ? qkernel_->score_one(page, t) : kernel_.score_one(page, t);
 }
 
 }  // namespace icgmm::runtime

@@ -1,23 +1,23 @@
-// Bounded single-producer/single-consumer ring carrying deferred miss
-// rescores from the serving path to the decision thread — the async miss
-// pipeline's hand-off point (the ICGMM decoupling: the datapath answers
-// the access immediately, the GMM engine scores asynchronously).
+// Bounded single-producer/single-consumer rings carrying work from the
+// serving path to a background thread — the hand-off point both the
+// async miss pipeline and the shadow evaluator share (the ICGMM
+// decoupling: the datapath answers the access immediately, background
+// engines observe asynchronously).
 //
 // Producer discipline: pushes happen while the owning shard's mutex is
 // held, so successive pushes are serialized and ordered (the mutex
 // provides the happens-before edge between producing threads); the ring
 // itself only has to order one producer against one consumer, which the
-// release/acquire pair on tail_/head_ does. The consumer is the single
-// DecisionThread worker.
+// release/acquire pair on tail_/head_ does. The consumer is a single
+// background worker (DecisionThread or ShadowEvaluator).
 //
 // Overflow never blocks the serving path: like ModelRefresher's bounded
 // sample queue, a full ring drops the entry and counts it. A dropped
-// rescore costs policy quality slowly (the set keeps its last stored
-// scores until the next deferred rescore lands); blocking would cost
-// serving latency immediately. The drop counter is what lets the
-// bounded-staleness invariant stay checkable: at any drain barrier,
-// pushed() == (entries applied by the consumer) and every offered entry
-// is either pushed or dropped.
+// entry costs fidelity slowly (a missed rescore, a shadow directory that
+// skipped one access); blocking would cost serving latency immediately.
+// The drop counter is what lets the bounded-staleness invariant stay
+// checkable: at any drain barrier, pushed() == (entries applied by the
+// consumer) and every offered entry is either pushed or dropped.
 #pragma once
 
 #include <atomic>
@@ -29,33 +29,29 @@
 
 namespace icgmm::runtime {
 
-/// One deferred decision: "this page missed (and was provisionally
-/// admitted) at this logical timestamp — rescore its set and apply the
-/// GMM's admission/eviction judgement."
-struct MissEntry {
-  PageIndex page = 0;
-  Timestamp timestamp = 0;
-};
-
-class MissRing {
+/// The generic SPSC ring. T must be trivially copyable (entries are
+/// copied in and out by value, racing slots are never observed thanks to
+/// the release/acquire pair).
+template <typename T>
+class SpscRing {
  public:
   /// Capacity is rounded up to a power of two (minimum 2) so the index
   /// math is a mask instead of a modulo.
-  explicit MissRing(std::uint32_t capacity) {
+  explicit SpscRing(std::uint32_t capacity) {
     std::uint64_t cap = 2;
     while (cap < capacity) cap <<= 1;
     buf_.resize(cap);
     mask_ = cap - 1;
   }
 
-  MissRing(const MissRing&) = delete;
-  MissRing& operator=(const MissRing&) = delete;
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
 
   std::uint64_t capacity() const noexcept { return buf_.size(); }
 
   /// Producer side (call under the owning shard's lock). Returns false —
   /// and counts the drop — when the ring is full.
-  bool try_push(const MissEntry& e) noexcept {
+  bool try_push(const T& e) noexcept {
     const std::uint64_t t = tail_.load(std::memory_order_relaxed);
     if (t - head_.load(std::memory_order_acquire) >= buf_.size()) {
       dropped_.fetch_add(1, std::memory_order_relaxed);
@@ -66,9 +62,9 @@ class MissRing {
     return true;
   }
 
-  /// Consumer side (DecisionThread only): pops up to out.size() entries in
-  /// FIFO order, returns how many were written.
-  std::size_t pop_batch(std::span<MissEntry> out) noexcept {
+  /// Consumer side (the background worker only): pops up to out.size()
+  /// entries in FIFO order, returns how many were written.
+  std::size_t pop_batch(std::span<T> out) noexcept {
     const std::uint64_t h = head_.load(std::memory_order_relaxed);
     const std::uint64_t t = tail_.load(std::memory_order_acquire);
     const std::size_t n =
@@ -100,7 +96,7 @@ class MissRing {
   }
 
  private:
-  std::vector<MissEntry> buf_;
+  std::vector<T> buf_;
   std::uint64_t mask_ = 0;
   // Head and tail on separate cache lines: the producer only dirties
   // tail_, the consumer only dirties head_.
@@ -108,5 +104,27 @@ class MissRing {
   alignas(64) std::atomic<std::uint64_t> tail_{0};
   std::atomic<std::uint64_t> dropped_{0};
 };
+
+/// One deferred decision: "this page missed (and was provisionally
+/// admitted) at this logical timestamp — rescore its set and apply the
+/// GMM's admission/eviction judgement."
+struct MissEntry {
+  PageIndex page = 0;
+  Timestamp timestamp = 0;
+};
+
+using MissRing = SpscRing<MissEntry>;
+
+/// One observed access, as the shadow evaluator sees it: the request
+/// plus the serving cache's verdict, so would-have-hit divergence is
+/// computable without touching serving state.
+struct ShadowAccessEntry {
+  PageIndex page = 0;
+  Timestamp timestamp = 0;
+  bool is_write = false;
+  bool serving_hit = false;
+};
+
+using ShadowRing = SpscRing<ShadowAccessEntry>;
 
 }  // namespace icgmm::runtime

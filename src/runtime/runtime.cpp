@@ -15,11 +15,19 @@ Runtime::Runtime(RuntimeConfig cfg, const cache::ReplacementPolicy& prototype)
   }
   sharded_ = std::make_unique<ShardedCache>(
       ShardedCacheConfig{.cache = cfg_.cache, .shards = cfg_.shards,
+                         .shadow_ring_capacity = cfg_.shadow.enabled
+                                                     ? cfg_.shadow.ring_capacity
+                                                     : 0,
                          .events = cfg_.events},
       prototype);
   if (cfg_.front.enabled) front_ = std::make_unique<FrontCache>(cfg_.front);
   if (!cfg_.record.path.empty()) {
     recorder_ = std::make_unique<record::TraceRecorder>(cfg_.record);
+  }
+  if (cfg_.shadow.enabled) {
+    shadow_ = std::make_unique<ShadowEvaluator>(
+        *sharded_, cfg_.shadow.policy_factory,
+        ShadowEvaluatorConfig{.drain_batch = cfg_.shadow.drain_batch});
   }
   register_metrics();
 }
@@ -30,6 +38,13 @@ Runtime::Runtime(RuntimeConfig cfg, gmm::GaussianMixture model,
   // Async mode flips every shard policy into deferred mode: provisional
   // admission on the serving path, real decisions on the decision thread.
   if (cfg_.async_miss.enabled) policy_cfg.deferred = true;
+  // The quantized backend scores on a 2^-frac_bits grid; snapping the
+  // admission threshold onto that grid here — the single wiring site —
+  // makes every score-vs-threshold comparison exact integer math.
+  if (policy_cfg.scorer == cache::ScorerBackend::kQuantized) {
+    policy_cfg.threshold = gmm::QuantScorerKernel::quantize_threshold(
+        policy_cfg.threshold, policy_cfg.quant_frac_bits);
+  }
   slot_ = std::make_unique<ModelSlot>(
       std::make_shared<const gmm::GaussianMixture>(std::move(model)));
   slot_->set_event_ring(cfg_.events);  // before the refresher can publish
@@ -39,9 +54,13 @@ Runtime::Runtime(RuntimeConfig cfg, gmm::GaussianMixture model,
                          .miss_ring_capacity = cfg_.async_miss.enabled
                                                    ? cfg_.async_miss.ring_capacity
                                                    : 0,
+                         .shadow_ring_capacity = cfg_.shadow.enabled
+                                                     ? cfg_.shadow.ring_capacity
+                                                     : 0,
                          .events = cfg_.events},
       [this, &policy_cfg](std::uint32_t) {
-        auto batcher = std::make_unique<InferenceBatcher>(*slot_);
+        auto batcher = std::make_unique<InferenceBatcher>(
+            *slot_, policy_cfg.scorer, policy_cfg.quant_frac_bits);
         InferenceBatcher* b = batcher.get();  // owned below; shard-lifetime
         auto policy = std::make_unique<cache::GmmPolicy>(
             [b](PageIndex page, Timestamp ts) { return b->score_one(page, ts); },
@@ -63,6 +82,11 @@ Runtime::Runtime(RuntimeConfig cfg, gmm::GaussianMixture model,
     decision_ = std::make_unique<DecisionThread>(
         *sharded_, batchers_,
         DecisionThreadConfig{.drain_batch = cfg_.async_miss.drain_batch});
+  }
+  if (cfg_.shadow.enabled) {
+    shadow_ = std::make_unique<ShadowEvaluator>(
+        *sharded_, cfg_.shadow.policy_factory,
+        ShadowEvaluatorConfig{.drain_batch = cfg_.shadow.drain_batch});
   }
   register_metrics();
 }
@@ -97,6 +121,11 @@ void Runtime::register_metrics() {
         out.push_back({"icgmm_record_written", s.records_written});
         out.push_back({"icgmm_record_dropped", s.records_dropped});
         out.push_back({"icgmm_record_chunks", s.record_chunks});
+        out.push_back({"icgmm_shadow_accesses", s.shadow_accesses});
+        out.push_back({"icgmm_shadow_hits", s.shadow_hits});
+        out.push_back({"icgmm_shadow_misses", s.shadow_misses});
+        out.push_back({"icgmm_shadow_divergence", s.shadow_divergence});
+        out.push_back({"icgmm_shadow_dropped", s.shadow_dropped});
       });
 }
 
@@ -108,6 +137,7 @@ Runtime::~Runtime() {
   // alive (it would also happen via member destruction order; explicit is
   // clearer and keeps the invariant independent of declaration order).
   if (decision_) decision_->stop();
+  if (shadow_) shadow_->stop();
   stop();
 }
 
@@ -263,7 +293,19 @@ RuntimeSnapshot Runtime::snapshot() const {
     snap.records_dropped = rs.records_dropped;
     snap.record_chunks = rs.chunks_written;
   }
+  if (shadow_) {
+    const ShadowStats ss = shadow_->stats();
+    snap.shadow_accesses = ss.accesses;
+    snap.shadow_hits = ss.hits;
+    snap.shadow_misses = ss.misses;
+    snap.shadow_divergence = ss.divergence;
+    snap.shadow_dropped = sharded_->shadow_ring_dropped();
+  }
   return snap;
+}
+
+void Runtime::drain_shadow() {
+  if (shadow_) shadow_->drain();
 }
 
 void Runtime::drain_deferred() {
@@ -289,6 +331,10 @@ void Runtime::clear_stats() {
   // after the clear would demote a block into the post-clear eviction
   // counters.
   drain_deferred();
+  // Settle the shadow the same way so its lifetime totals are exact at
+  // the clear point (they are NOT zeroed — same contract as the deferred
+  // counters: the clear scopes serving stats, not background engines).
+  drain_shadow();
   sharded_->clear_stats();
   if (front_) {
     // Epoch-based invalidation on flush: entries promoted before the

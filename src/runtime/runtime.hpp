@@ -39,6 +39,7 @@
 #include "runtime/front_cache.hpp"
 #include "runtime/inference_batcher.hpp"
 #include "runtime/model_refresher.hpp"
+#include "runtime/shadow_evaluator.hpp"
 #include "runtime/sharded_cache.hpp"
 
 namespace icgmm::runtime {
@@ -59,6 +60,27 @@ struct AsyncMissConfig {
   std::uint32_t drain_batch = 32;
 };
 
+/// Shadow policy evaluation (both construction modes): a second policy
+/// observes every access from a bounded per-shard ring and maintains its
+/// own tag-only directories off the serving path. Default off = no rings,
+/// no thread, no per-access overhead — serving is bit-identical to a
+/// runtime without the feature (invariant #9, pinned by the shadow-off
+/// golden test).
+struct ShadowConfig {
+  bool enabled = false;
+  /// Builds the shadow policy for shadow shard `i`. Required when
+  /// enabled. May capture anything with runtime lifetime (e.g. a scorer
+  /// over a trained model) — it runs on the shadow thread only.
+  ShadowEvaluator::PolicyFactory policy_factory;
+  /// Reporting-only label for logs and tool output.
+  std::string policy_name = "shadow";
+  /// Per-shard ShadowRing capacity (rounded up to a power of two). A
+  /// full ring drops accesses (counted) rather than stalling serving.
+  std::uint32_t ring_capacity = 8192;
+  /// Max ring entries the shadow thread replays per pop.
+  std::uint32_t drain_batch = 64;
+};
+
 struct RuntimeConfig {
   /// TOTAL cache geometry, split evenly across shards.
   cache::CacheConfig cache;
@@ -74,6 +96,8 @@ struct RuntimeConfig {
   /// Asynchronous miss pipeline (GMM-mode constructor only; the prototype
   /// constructor rejects it — it has no scoring plumbing to defer to).
   AsyncMissConfig async_miss;
+  /// Shadow policy evaluation (off by default; either constructor).
+  ShadowConfig shadow;
   /// Production traffic capture (off while record.path is empty): every
   /// accepted access is try-pushed into a TraceRecorder ring before
   /// serving, a clear_stats() lands a FLUSH marker in the stream, and
@@ -140,6 +164,15 @@ struct RuntimeSnapshot {
   std::uint64_t records_written = 0;
   std::uint64_t records_dropped = 0;
   std::uint64_t record_chunks = 0;
+  // Shadow policy evaluation (all 0 when shadow is off). After a
+  // drain_shadow(): shadow_accesses + shadow_dropped == merged.accesses
+  // counted since the shadow started, and shadow_hits + shadow_misses ==
+  // shadow_accesses always.
+  std::uint64_t shadow_accesses = 0;   ///< accesses replayed by the shadow
+  std::uint64_t shadow_hits = 0;       ///< would-have-hit under the shadow
+  std::uint64_t shadow_misses = 0;     ///< would-have-missed
+  std::uint64_t shadow_divergence = 0; ///< shadow verdict != serving verdict
+  std::uint64_t shadow_dropped = 0;    ///< accesses lost to full shadow rings
 };
 
 class Runtime {
@@ -233,6 +266,16 @@ class Runtime {
   }
   /// Null unless cfg.record.path was set.
   record::TraceRecorder* recorder() noexcept { return recorder_.get(); }
+  /// Null unless cfg.shadow.enabled.
+  const ShadowEvaluator* shadow() const noexcept { return shadow_.get(); }
+
+  /// Shadow bounded-staleness barrier: blocks until every access served
+  /// before this call has been replayed into the shadow directories, so
+  /// the shadow counters are exact for that prefix. No-op with shadow
+  /// off. clear_stats() runs it implicitly (shadow counters themselves
+  /// are lifetime totals and are NOT zeroed — same contract as the
+  /// deferred counters).
+  void drain_shadow();
 
  private:
   void maybe_sample(PageIndex page, Timestamp ts);
@@ -247,10 +290,11 @@ class Runtime {
   std::unique_ptr<FrontCache> front_;                     // cfg.front.enabled
   std::unique_ptr<ModelRefresher> refresher_;
   std::unique_ptr<record::TraceRecorder> recorder_;       // cfg.record.path
-  // Declared last (destroyed first): the worker references sharded_ and
-  // batchers_, so it must be gone before they are. ~Runtime also stops it
-  // explicitly for clarity.
+  // Declared last (destroyed first): the workers reference sharded_ (and
+  // the decision thread also batchers_), so they must be gone before
+  // those are. ~Runtime also stops them explicitly for clarity.
   std::unique_ptr<DecisionThread> decision_;  // cfg.async_miss.enabled
+  std::unique_ptr<ShadowEvaluator> shadow_;   // cfg.shadow.enabled
 };
 
 }  // namespace icgmm::runtime

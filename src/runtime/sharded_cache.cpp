@@ -29,6 +29,9 @@ ShardedCache::ShardedCache(ShardedCacheConfig cfg, const PolicyFactory& factory)
     if (cfg.miss_ring_capacity > 0) {
       shard->ring = std::make_unique<MissRing>(cfg.miss_ring_capacity);
     }
+    if (cfg.shadow_ring_capacity > 0) {
+      shard->shadow = std::make_unique<ShadowRing>(cfg.shadow_ring_capacity);
+    }
     shards_.push_back(std::move(shard));
   }
 }
@@ -52,6 +55,18 @@ cache::AccessResult ShardedCache::access(const cache::AccessContext& ctx) {
     if (!shard.ring->try_push({ctx.page, ctx.timestamp}) &&
         events_ != nullptr) {
       events_->emit(obs::EventType::kRingDrop, idx);
+    }
+  }
+  // Shadow evaluation: every access (hit or miss) flows to the shadow
+  // policy with the serving verdict attached, under the same lock-held
+  // single-producer discipline. The shadow never reads serving state;
+  // this push is the entire coupling surface.
+  if (shard.shadow) {
+    if (!shard.shadow->try_push({.page = ctx.page, .timestamp = ctx.timestamp,
+                                 .is_write = ctx.is_write,
+                                 .serving_hit = result.hit}) &&
+        events_ != nullptr) {
+      events_->emit(obs::EventType::kShadowRingDrop, idx);
     }
   }
   // Mirror the outcome into the lock-free-readable counters (same
@@ -136,6 +151,22 @@ std::uint64_t ShardedCache::ring_dropped() const noexcept {
   std::uint64_t total = 0;
   for (const auto& shard : shards_) {
     if (shard->ring) total += shard->ring->dropped();
+  }
+  return total;
+}
+
+std::uint64_t ShardedCache::shadow_ring_pushed() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    if (shard->shadow) total += shard->shadow->pushed();
+  }
+  return total;
+}
+
+std::uint64_t ShardedCache::shadow_ring_dropped() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    if (shard->shadow) total += shard->shadow->dropped();
   }
   return total;
 }

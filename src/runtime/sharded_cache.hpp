@@ -41,8 +41,16 @@ struct ShardedCacheConfig {
   /// contract hold). Zero = no rings, no per-miss overhead — the default
   /// synchronous mode. Set by Runtime's async miss pipeline.
   std::uint32_t miss_ring_capacity = 0;
+  /// When non-zero, each shard carries a bounded ShadowRing of this
+  /// capacity and access() enqueues EVERY access (hit or miss, with the
+  /// serving verdict) into the owning shard's ring — the feed for the
+  /// shadow policy evaluator. Same producer discipline and never-block
+  /// overflow contract as the miss ring. Zero = no rings, no per-access
+  /// overhead — the default. Set by Runtime's shadow evaluation.
+  std::uint32_t shadow_ring_capacity = 0;
   /// Optional flight recorder (not owned; must outlive the cache): a miss
-  /// ring dropping a rescore emits kRingDrop with the shard index.
+  /// ring dropping a rescore emits kRingDrop with the shard index; a
+  /// shadow ring dropping an access emits kShadowRingDrop.
   obs::EventRing* events = nullptr;
 };
 
@@ -108,6 +116,7 @@ class ShardedCache {
     std::unique_ptr<cache::SetAssociativeCache> cache;
     Counters counters;
     std::unique_ptr<MissRing> ring;  ///< null unless miss_ring_capacity > 0
+    std::unique_ptr<ShadowRing> shadow;  ///< null unless shadow_ring_capacity > 0
   };
 
  public:
@@ -116,6 +125,13 @@ class ShardedCache {
   /// calls serialized by the shard lock.
   MissRing* miss_ring(std::uint32_t shard) noexcept {
     return shards_[shard]->ring.get();
+  }
+
+  /// Shard `i`'s shadow access ring, or nullptr when shadow_ring_capacity
+  /// was 0. The ShadowEvaluator is the only consumer; producers are
+  /// access() calls serialized by the shard lock.
+  ShadowRing* shadow_ring(std::uint32_t shard) noexcept {
+    return shards_[shard]->shadow.get();
   }
 
   /// Mutating view of one shard handed to with_shard_mut's callback. Keeps
@@ -158,6 +174,11 @@ class ShardedCache {
   std::uint64_t ring_pushed() const noexcept;
   std::uint64_t ring_popped() const noexcept;
   std::uint64_t ring_dropped() const noexcept;
+
+  /// Sums of the per-shard shadow ring counters (0 when shadow rings are
+  /// disabled). Same exactness contract as the miss-ring counters.
+  std::uint64_t shadow_ring_pushed() const noexcept;
+  std::uint64_t shadow_ring_dropped() const noexcept;
 
  private:
   static cache::CacheConfig split_config(const ShardedCacheConfig& cfg);

@@ -52,6 +52,36 @@ TEST(FixedPoint, SaturatesOnOverflow) {
   EXPECT_EQ((neg + neg).raw(), std::numeric_limits<std::int64_t>::min());
 }
 
+TEST(FixedPoint, SubtractionSaturatesAtTheExtremes) {
+  const auto min = Q16::from_raw(std::numeric_limits<std::int64_t>::min());
+  const auto max = Q16::from_raw(std::numeric_limits<std::int64_t>::max());
+  const auto one = Q16::from_double(1.0);
+  // min - positive would wrap past the bottom in two's complement; the
+  // saturating path must clamp instead (the HLS ap_fixed contract).
+  EXPECT_EQ((min - one).raw(), std::numeric_limits<std::int64_t>::min());
+  // max - negative would wrap past the top.
+  EXPECT_EQ((max - Q16::from_double(-1.0)).raw(),
+            std::numeric_limits<std::int64_t>::max());
+  // Negating the most negative value is the classic INT64_MIN trap:
+  // 0 - min must saturate to max, not stay min.
+  EXPECT_EQ((Q16::from_double(0.0) - min).raw(),
+            std::numeric_limits<std::int64_t>::max());
+  // Same-value subtraction at the extremes is exact.
+  EXPECT_EQ((min - min).raw(), 0);
+  EXPECT_EQ((max - max).raw(), 0);
+}
+
+TEST(FixedPoint, NonFiniteInputsArePinned) {
+  // NaN -> 0: a NaN-to-int cast is UB, and 0 is the conservative score
+  // contribution (matches the clamp-don't-wrap discipline).
+  EXPECT_EQ(Q16::from_double(std::numeric_limits<double>::quiet_NaN()).raw(),
+            0);
+  EXPECT_EQ(Q16::from_double(std::numeric_limits<double>::infinity()).raw(),
+            std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(Q16::from_double(-std::numeric_limits<double>::infinity()).raw(),
+            std::numeric_limits<std::int64_t>::min());
+}
+
 TEST(FixedPoint, ComparisonOperators) {
   const auto a = Q16::from_double(1.0);
   const auto b = Q16::from_double(2.0);

@@ -1,0 +1,318 @@
+// gmm::QuantScorerKernel — the integer fixed-point serving scorer. The
+// accuracy/equivalence harness behind promoting it into production:
+//  * admission decisions disagree with the float kernel on < 1% of
+//    accesses, across every synthetic generator, a Zipf workload, and a
+//    recorded production capture (the promotion gate);
+//  * quantization error is monotone in frac_bits (more bits never hurt);
+//  * model_io round-trips rebuild a bit-identical kernel, and the
+//    persisted QuantScorerConfig survives save/load;
+//  * the same degenerate-input sweep the float kernel passes: every
+//    dispatch width, zero weights, near-singular covariance — always
+//    finite, always clamped, batch bit-identical to single.
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/policy_engine.hpp"
+#include "core/threshold.hpp"
+#include "gmm/kernel.hpp"
+#include "gmm/mixture.hpp"
+#include "gmm/model_io.hpp"
+#include "gmm/quant_kernel.hpp"
+#include "record/format.hpp"
+#include "test_util.hpp"
+#include "trace/generator.hpp"
+#include "trace/timestamp_transform.hpp"
+
+namespace icgmm::gmm {
+namespace {
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+/// Same random-mixture family as the float kernel sweep: normalized box,
+/// moderately anisotropic covariances, optional zero weight.
+GaussianMixture random_model(std::size_t k, Rng& rng,
+                             bool with_zero_weight = false) {
+  std::vector<double> weights;
+  std::vector<Gaussian2D> comps;
+  for (std::size_t i = 0; i < k; ++i) {
+    weights.push_back(with_zero_weight && i == 0 ? 0.0
+                                                 : 0.1 + rng.uniform());
+    const Vec2 mean{rng.uniform(), rng.uniform()};
+    const double spp = rng.uniform(0.001, 0.1);
+    const double stt = rng.uniform(0.001, 0.1);
+    const double spt = rng.uniform(-0.6, 0.6) * std::sqrt(spp * stt);
+    comps.emplace_back(mean, Cov2{spp, spt, stt});
+  }
+  Normalizer norm;
+  norm.p_scale = 1.0 / 65536.0;
+  norm.t_scale = 1.0 / 1000.0;
+  return GaussianMixture(std::move(weights), std::move(comps), norm);
+}
+
+/// Trains the production policy engine on `t`, scores the trace's own
+/// (page, Algorithm-1 timestamp) stream through both kernels, and counts
+/// how often the admission verdicts differ. Each backend compares against
+/// the 5th-percentile threshold of its OWN score distribution — the
+/// quantized serving path picks its threshold in the quantized domain
+/// (the snapped grid), never by reusing a float-domain cut verbatim.
+/// Repetitive workloads (stream) concentrate huge probability mass on a
+/// single score atom; a per-domain percentile keeps that atom on the same
+/// side of the cut in both domains, exactly as tuning does in production.
+double decision_disagreement_rate(const trace::Trace& t) {
+  core::PolicyEngine engine(test_util::small_system_config(16, 8, 4000).policy);
+  engine.train(t);
+  const GaussianMixture& model = engine.model();
+  const ScorerKernel float_kernel = model.make_kernel();
+  const QuantScorerKernel quant_kernel(model);
+
+  trace::TimestampTransform transform;
+  std::vector<double> float_scores, quant_scores;
+  float_scores.reserve(t.size());
+  quant_scores.reserve(t.size());
+  for (const trace::Record& r : t) {
+    const Timestamp ts = transform.next();
+    float_scores.push_back(float_kernel.score_one(r.page(), ts));
+    quant_scores.push_back(quant_kernel.score_one(r.page(), ts));
+  }
+  auto percentile_threshold = [](std::vector<double> scores) {
+    std::sort(scores.begin(), scores.end());
+    return core::threshold_at_percentile(scores, 0.05);
+  };
+  const double float_threshold = percentile_threshold(float_scores);
+  const double quant_threshold = percentile_threshold(quant_scores);
+
+  std::uint64_t flips = 0;
+  for (std::size_t i = 0; i < float_scores.size(); ++i) {
+    const bool admit_float = float_scores[i] >= float_threshold;
+    const bool admit_quant = quant_scores[i] >= quant_threshold;
+    flips += admit_float != admit_quant ? 1 : 0;
+  }
+  return static_cast<double>(flips) / static_cast<double>(float_scores.size());
+}
+
+TEST(GmmQuantKernel, DecisionDisagreementUnderOnePercentAllGenerators) {
+  // The promotion gate, on every synthetic workload family the bench
+  // harness models plus a Zipf trace as the eighth.
+  for (const trace::Benchmark b : trace::kAllBenchmarks) {
+    const trace::Trace t = trace::generate(b, 20000, 0xD1);
+    const double rate = decision_disagreement_rate(t);
+    EXPECT_LT(rate, 0.01) << "generator " << trace::to_string(b);
+  }
+  const trace::Trace zipf = test_util::zipf_trace(20000, 4096, 0.9, 0xD2);
+  EXPECT_LT(decision_disagreement_rate(zipf), 0.01) << "zipf";
+}
+
+TEST(GmmQuantKernel, DecisionDisagreementUnderOnePercentRecordedCapture) {
+  // Same gate on a recorded production capture: write a capture file the
+  // way the serving recorder does, read it back through the ingest path,
+  // and run the comparison on the recovered trace.
+  const trace::Trace source = test_util::zipf_trace(15000, 2048, 0.8, 0xD3);
+  std::vector<record::RecordedEntry> entries;
+  entries.reserve(source.size());
+  trace::TimestampTransform transform;
+  std::uint64_t ns = 0;
+  for (const trace::Record& r : source) {
+    ns += 1200;
+    entries.push_back({.page = r.page(),
+                       .timestamp = transform.next(),
+                       .arrival_ns = ns,
+                       .is_write = r.is_write()});
+  }
+  const std::string path = testing::TempDir() + "/quant_capture.icgmmrec";
+  {
+    std::ofstream os(path, std::ios::binary);
+    record::write_file_header(os, {.provenance = "quant-kernel-test"});
+    record::append_chunk(os, entries);
+  }
+  const record::RecordedTrace recorded = record::read_recorded_file(path);
+  ASSERT_EQ(recorded.trace.size(), source.size());
+  ASSERT_FALSE(recorded.tail_truncated);
+  EXPECT_LT(decision_disagreement_rate(recorded.trace), 0.01);
+}
+
+TEST(GmmQuantKernel, ErrorIsMonotoneInFracBits) {
+  // Each +4 fractional bits shrinks the score grid 16x; the max |quant -
+  // float| error over a fixed probe set must never grow with precision.
+  Rng rng(0xF1);
+  const GaussianMixture model = random_model(8, rng);
+  const ScorerKernel float_kernel = model.make_kernel();
+  std::vector<std::pair<double, double>> probes;
+  for (int i = 0; i < 500; ++i) {
+    probes.push_back({rng.uniform(0.0, 65536.0), rng.uniform(0.0, 1000.0)});
+  }
+  double prev = std::numeric_limits<double>::infinity();
+  for (const unsigned frac : {6u, 10u, 14u, 18u}) {
+    const QuantScorerKernel quant(model, {.frac_bits = frac});
+    double worst = 0.0;
+    for (const auto& [p, t] : probes) {
+      worst = std::max(worst,
+                       std::abs(quant.score_raw(p, t) -
+                                float_kernel.score_raw(p, t)));
+    }
+    EXPECT_LE(worst, prev) << "frac_bits " << frac;
+    prev = worst;
+  }
+  // At 18 bits the grid is 2^-18: errors are dominated by the LUTs and
+  // must be small in absolute terms.
+  EXPECT_LT(prev, 1e-3);
+}
+
+TEST(GmmQuantKernel, ModelIoRoundTripRebuildsBitIdenticalKernel) {
+  // The weight-buffer contract: save/load of the float model must yield a
+  // quantized kernel whose every score matches the original to the bit —
+  // quantization happens after (and deterministically from) the persisted
+  // parameters.
+  Rng rng(0xF2);
+  const GaussianMixture model = random_model(12, rng);
+  std::stringstream ss;
+  save_model(ss, model);
+  const GaussianMixture reloaded = load_model(ss);
+
+  const QuantScorerKernel original(model);
+  const QuantScorerKernel rebuilt(reloaded);
+  for (int i = 0; i < 300; ++i) {
+    const PageIndex page = rng.below(1u << 16);
+    const Timestamp ts = rng.below(1000);
+    EXPECT_EQ(bits(original.score_one(page, ts)),
+              bits(rebuilt.score_one(page, ts)));
+  }
+}
+
+TEST(GmmQuantKernel, QuantConfigRoundTrips) {
+  for (const unsigned frac : {6u, 12u, 16u, 20u}) {
+    const QuantScorerConfig cfg{.frac_bits = frac};
+    std::stringstream ss;
+    save_quant_config(ss, cfg);
+    EXPECT_EQ(load_quant_config(ss), cfg);
+  }
+}
+
+TEST(GmmQuantKernel, ThresholdQuantizationContract) {
+  constexpr unsigned kFrac = 16;
+  const double scale = static_cast<double>(1u << kFrac);
+  // Finite values snap to the nearest grid point.
+  for (const double v : {0.0, 1.25, -3.7, 17.001, -353.0}) {
+    const double snapped = QuantScorerKernel::quantize_threshold(v, kFrac);
+    EXPECT_EQ(snapped * scale, std::round(snapped * scale));
+    EXPECT_LE(std::abs(snapped - v), 0.5 / scale + 1e-12);
+  }
+  // -inf (percentile 0 / admit-everything) maps to the lower log bound,
+  // +inf to the upper; NaN is pinned to 0.
+  EXPECT_EQ(QuantScorerKernel::quantize_threshold(
+                -std::numeric_limits<double>::infinity(), kFrac),
+            -QuantScorerKernel::kLogBound);
+  EXPECT_EQ(QuantScorerKernel::quantize_threshold(
+                std::numeric_limits<double>::infinity(), kFrac),
+            QuantScorerKernel::kLogBound);
+  EXPECT_EQ(QuantScorerKernel::quantize_threshold(
+                std::numeric_limits<double>::quiet_NaN(), kFrac),
+            0.0);
+}
+
+TEST(GmmQuantKernel, RandomizedSweepBatchMatchesSingleAndStaysClamped) {
+  // Every dispatch width (fixed-K table, padded lanes, generic spill),
+  // with and without a zero-weight component: batch and single must be
+  // bit-identical, every score an exact grid multiple inside the log
+  // bound.
+  Rng rng(0xF3);
+  for (const std::size_t k : {1u, 2u, 3u, 4u, 7u, 8u, 16u, 32u, 33u, 64u}) {
+    for (const bool zero_weight : {false, true}) {
+      if (zero_weight && k == 1) continue;  // all-zero weights are invalid
+      const GaussianMixture m = random_model(k, rng, zero_weight);
+      const QuantScorerKernel kern(m);
+      const double scale =
+          static_cast<double>(1u << kern.frac_bits());
+
+      std::vector<PageIndex> pages;
+      for (int i = 0; i < 64; ++i) pages.push_back(rng.below(1u << 16));
+      const Timestamp ts = rng.below(1000);
+      std::vector<double> batch(pages.size());
+      kern.score_batch(pages, ts, batch);
+      for (std::size_t i = 0; i < pages.size(); ++i) {
+        SCOPED_TRACE(testing::Message()
+                     << "k=" << k << " zero=" << zero_weight << " i=" << i);
+        const double one = kern.score_one(pages[i], ts);
+        EXPECT_EQ(bits(batch[i]), bits(one));
+        EXPECT_TRUE(std::isfinite(one));
+        EXPECT_GE(one, -QuantScorerKernel::kLogBound);
+        EXPECT_LE(one, QuantScorerKernel::kLogBound);
+        EXPECT_EQ(one * scale, std::round(one * scale));  // exact grid
+      }
+    }
+  }
+}
+
+TEST(GmmQuantKernel, Avx512DispatchMatchesPortableBitExact) {
+  // The cross-dispatch determinism contract: on hosts where the
+  // hand-written AVX-512 cores are selected, they must produce the same
+  // bits as the portable cores — single path, full 8-page blocks, and
+  // the block remainder. On hosts without AVX-512 both kernels run the
+  // portable core and the test degenerates to a tautology, which is
+  // fine: the property it pins only exists where the dispatch forks.
+  Rng rng(0xF5);
+  for (const std::size_t k : {4u, 8u, 16u, 32u}) {
+    const GaussianMixture m = random_model(k, rng);
+    const QuantScorerKernel native(m, {}, /*timestamp_cache=*/true);
+    QuantScorerKernel::force_portable_for_testing(true);
+    const QuantScorerKernel portable(m, {}, /*timestamp_cache=*/true);
+    QuantScorerKernel::force_portable_for_testing(false);
+
+    std::vector<PageIndex> pages;
+    for (int i = 0; i < 27; ++i) pages.push_back(rng.below(1u << 16));
+    const Timestamp ts = rng.below(1000);
+    for (const PageIndex p : pages) {
+      SCOPED_TRACE(testing::Message() << "k=" << k << " page=" << p);
+      EXPECT_EQ(bits(native.score_one(p, ts)), bits(portable.score_one(p, ts)));
+    }
+    // 27 pages = three 8-page vector blocks plus a 3-page remainder.
+    std::vector<double> got(pages.size()), want(pages.size());
+    native.score_batch(pages, ts, got);
+    portable.score_batch(pages, ts, want);
+    for (std::size_t i = 0; i < pages.size(); ++i) {
+      SCOPED_TRACE(testing::Message() << "k=" << k << " i=" << i);
+      EXPECT_EQ(bits(got[i]), bits(want[i]));
+    }
+  }
+}
+
+TEST(GmmQuantKernel, NearSingularCovarianceClampsNotWraps) {
+  // Covariance at the edge of positive definiteness: log-domain terms
+  // blow past the saturation bound, and the clamp-not-wrap contract
+  // requires the score to pin inside [-kLogBound, kLogBound] — never a
+  // wrapped garbage value.
+  const double s = 1e-12;
+  std::vector<double> weights{1.0};
+  std::vector<Gaussian2D> comps{Gaussian2D({0.5, 0.5}, {s, 0.0, s})};
+  const GaussianMixture m(weights, comps, {});
+  const QuantScorerKernel kern(m);
+  for (const double probe : {0.5, 0.5001, 2.0, 100.0}) {
+    const double got = kern.score_raw(probe, 0.5);
+    EXPECT_TRUE(std::isfinite(got)) << probe;
+    EXPECT_GE(got, -QuantScorerKernel::kLogBound) << probe;
+    EXPECT_LE(got, QuantScorerKernel::kLogBound) << probe;
+  }
+  // At the mean the density is enormous: expect the positive clamp side.
+  EXPECT_GT(kern.score_raw(0.5, 0.5), 0.0);
+}
+
+TEST(GmmQuantKernel, FracBitsAreClampedToTheSupportedRange) {
+  Rng rng(0xF4);
+  const GaussianMixture m = random_model(4, rng);
+  EXPECT_EQ(QuantScorerKernel(m, {.frac_bits = 2}).frac_bits(),
+            QuantScorerKernel::kMinFracBits);
+  EXPECT_EQ(QuantScorerKernel(m, {.frac_bits = 31}).frac_bits(),
+            QuantScorerKernel::kMaxFracBits);
+}
+
+}  // namespace
+}  // namespace icgmm::gmm

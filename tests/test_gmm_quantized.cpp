@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/rng.hpp"
 #include "gmm/em.hpp"
@@ -50,6 +51,29 @@ TEST(QuantizedGmm, ZeroFarFromSupport) {
   const GaussianMixture model = trained_model(4, 17);
   const QuantizedGmm quantized(model);
   EXPECT_NEAR(quantized.score(1e6, 1e6), 0.0, 1e-6);
+}
+
+TEST(QuantizedGmm, NearSingularCovarianceClampsInsteadOfWrapping) {
+  // det ~ 1e-24 pushes log_norm to ~ +26, so the peak density overflows
+  // the Q32 range and the exp barrel shift must saturate. AP_SAT
+  // semantics: the score pins at the fixed-point ceiling — a wrapped
+  // (negative) score would make the policy reject its hottest page.
+  std::vector<double> weights{1.0};
+  const double s = 1e-12;
+  std::vector<Gaussian2D> comps{Gaussian2D({0.5, 0.5}, {s, 0.0, s})};
+  const GaussianMixture model(weights, comps, {});
+  const QuantizedGmm quantized(model);
+  const double at_mean = quantized.score(0.5, 0.5);
+  EXPECT_TRUE(std::isfinite(at_mean));
+  EXPECT_GE(at_mean, 0.0);
+  // Pinned at (2^63 - 1) / 2^32, modulo the unit weight multiply.
+  const double ceiling =
+      static_cast<double>(std::numeric_limits<std::int64_t>::max()) /
+      static_cast<double>(Q32::kOne);
+  EXPECT_GT(at_mean, 0.5 * ceiling);
+  // Slightly off-mean still saturates (larger shift counts), and the
+  // score stays monotonically clamped rather than wrapping.
+  EXPECT_GE(quantized.score(0.5 + 1e-7, 0.5), 0.0);
 }
 
 TEST(QuantizedGmm, MaxAbsErrorBounded) {

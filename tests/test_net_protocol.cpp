@@ -149,10 +149,15 @@ TEST(NetProtocol, StatsRoundTrip) {
   reply.records_written = 111;
   reply.records_dropped = 222;
   reply.record_chunks = 333;
+  reply.shadow_accesses = 444;
+  reply.shadow_hits = 260;
+  reply.shadow_misses = 184;
+  reply.shadow_divergence = 17;
+  reply.shadow_dropped = 5;
   Bytes buf;
   encode_stats_reply(buf, 3, reply);
-  // Layout pin: 15 u64 counters since the recorder fields joined.
-  ASSERT_EQ(buf.size(), kHeaderBytes + 15 * 8);
+  // Layout pin: 20 u64 counters since the shadow fields joined.
+  ASSERT_EQ(buf.size(), kHeaderBytes + 20 * 8);
   StatsReply decoded;
   ASSERT_EQ(decode_stats_reply(must_decode(buf), decoded), DecodeStatus::kOk);
   EXPECT_EQ(decoded.accesses, reply.accesses);
@@ -170,6 +175,11 @@ TEST(NetProtocol, StatsRoundTrip) {
   EXPECT_EQ(decoded.records_written, reply.records_written);
   EXPECT_EQ(decoded.records_dropped, reply.records_dropped);
   EXPECT_EQ(decoded.record_chunks, reply.record_chunks);
+  EXPECT_EQ(decoded.shadow_accesses, reply.shadow_accesses);
+  EXPECT_EQ(decoded.shadow_hits, reply.shadow_hits);
+  EXPECT_EQ(decoded.shadow_misses, reply.shadow_misses);
+  EXPECT_EQ(decoded.shadow_divergence, reply.shadow_divergence);
+  EXPECT_EQ(decoded.shadow_dropped, reply.shadow_dropped);
 }
 
 TEST(NetProtocol, ModelInfoRoundTrip) {

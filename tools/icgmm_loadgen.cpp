@@ -453,6 +453,15 @@ int main(int argc, char** argv) {
                   << " dropped=" << server_stats.records_dropped
                   << " chunks=" << server_stats.record_chunks << "\n";
       }
+      if (server_stats.shadow_accesses > 0 ||
+          server_stats.shadow_dropped > 0) {
+        std::cout << "server shadow: accesses="
+                  << server_stats.shadow_accesses
+                  << " hits=" << server_stats.shadow_hits
+                  << " misses=" << server_stats.shadow_misses
+                  << " divergence=" << server_stats.shadow_divergence
+                  << " dropped=" << server_stats.shadow_dropped << "\n";
+      }
     }
   } catch (const std::exception& e) {
     std::cerr << "stats fetch failed: " << e.what() << "\n";
@@ -521,6 +530,16 @@ int main(int argc, char** argv) {
           << server_stats.records_written << ", \"records_dropped\": "
           << server_stats.records_dropped << ", \"record_chunks\": "
           << server_stats.record_chunks << "},\n";
+      // Same reasoning as server_record: the shadow trails the serving
+      // path, so a recording run and its replay legitimately disagree on
+      // shadow counters — they stay out of the byte-compared "server"
+      // object.
+      out << "  \"server_shadow\": {\"shadow_accesses\": "
+          << server_stats.shadow_accesses << ", \"shadow_hits\": "
+          << server_stats.shadow_hits << ", \"shadow_misses\": "
+          << server_stats.shadow_misses << ", \"shadow_divergence\": "
+          << server_stats.shadow_divergence << ", \"shadow_dropped\": "
+          << server_stats.shadow_dropped << "},\n";
     }
     if (have_server_metrics) {
       // Every registry sample, verbatim. Kept out of the "server" object:

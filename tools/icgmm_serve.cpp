@@ -9,6 +9,8 @@
 //               [--train-requests N] [--train-benchmark NAME] [--seed S]
 //               [--adapt] [--sample-every N]
 //               [--async-miss] [--async-ring CAP]
+//               [--scorer float|quantized]
+//               [--shadow-policy NAME] [--shadow-ring CAP]
 //               [--front-cache] [--front-capacity M] [--front-replicas N]
 //               [--front-promote K]
 //               [--record PATH] [--record-sample N] [--record-window W]
@@ -36,6 +38,19 @@
 // decision runs on a background decision thread — eventual-policy
 // consistency, see docs/ARCHITECTURE.md. FLUSH drains the pipeline first,
 // so flushed counters remain exact.
+//
+// --scorer quantized (GMM policies only) serves through the int-SIMD
+// fixed-point QuantScorerKernel instead of the float ScorerKernel; the
+// admission threshold is snapped onto the quantized score grid, so
+// score-vs-threshold comparisons are exact integer math.
+//
+// --shadow-policy NAME runs a second policy (any classic name, or a
+// gmm-* strategy when the serving policy is also GMM) against the live
+// stream off the serving path: per-shard bounded rings feed a background
+// evaluator owning its own tag-only directories, and the would-have-hit
+// and divergence counters surface through STATS, METRICS, and /metrics
+// as icgmm_shadow_* (see docs/ARCHITECTURE.md). Never touches serving
+// state. --shadow-ring bounds the per-shard ring (full = drop + count).
 //
 // --record PATH captures every accepted access (page, timestamp, R/W,
 // arrival time) to an append-only chunked file the loadgen can replay
@@ -94,6 +109,9 @@ struct Args {
   bool adapt = false;
   std::uint32_t sample_every = 64;
   runtime::AsyncMissConfig async_miss;  // off unless --async-miss
+  std::string scorer = "float";
+  std::string shadow_policy;  // empty = shadow evaluation off
+  std::uint32_t shadow_ring = 8192;
   runtime::FrontCacheConfig front;  // off unless a --front-* flag is given
   record::RecorderConfig record;  // off unless --record PATH is given
   int metrics_port = -1;  // -1 = no HTTP endpoint; 0 = ephemeral port
@@ -123,6 +141,9 @@ Args parse(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--sample-every")) args.sample_every = static_cast<std::uint32_t>(std::stoul(next()));
     else if (!std::strcmp(argv[i], "--async-miss")) args.async_miss.enabled = true;
     else if (!std::strcmp(argv[i], "--async-ring")) { args.async_miss.ring_capacity = static_cast<std::uint32_t>(std::stoul(next())); args.async_miss.enabled = true; }
+    else if (!std::strcmp(argv[i], "--scorer")) args.scorer = next();
+    else if (!std::strcmp(argv[i], "--shadow-policy")) args.shadow_policy = next();
+    else if (!std::strcmp(argv[i], "--shadow-ring")) args.shadow_ring = static_cast<std::uint32_t>(std::stoul(next()));
     else if (!std::strcmp(argv[i], "--front-cache")) args.front.enabled = true;
     else if (!std::strcmp(argv[i], "--front-capacity")) { args.front.capacity = static_cast<std::uint32_t>(std::stoul(next())); args.front.enabled = true; }
     else if (!std::strcmp(argv[i], "--front-replicas")) { args.front.replicas = static_cast<std::uint32_t>(std::stoul(next())); args.front.enabled = true; }
@@ -148,6 +169,12 @@ std::unique_ptr<cache::ReplacementPolicy> make_classic(const std::string& name) 
   if (name == "lfu") return std::make_unique<cache::LfuPolicy>();
   if (name == "clock") return std::make_unique<cache::ClockPolicy>();
   throw std::invalid_argument("unknown policy: " + name);
+}
+
+cache::GmmStrategy strategy_from(const std::string& name) {
+  return name == "gmm-caching"    ? cache::GmmStrategy::kCachingOnly
+         : name == "gmm-eviction" ? cache::GmmStrategy::kEvictionOnly
+                                  : cache::GmmStrategy::kCachingEviction;
 }
 
 }  // namespace
@@ -193,13 +220,46 @@ int main(int argc, char** argv) {
                  "policies have no deferred decision to run)\n";
     return 1;
   }
+  if (args.scorer != "float" && args.scorer != "quantized") {
+    std::cerr << "error: --scorer must be float or quantized\n";
+    return 1;
+  }
+  const bool quantized = args.scorer == "quantized";
+  if (quantized && args.policy.rfind("gmm", 0) != 0) {
+    std::cerr << "error: --scorer quantized requires a GMM policy (the "
+                 "classic policies never score)\n";
+    return 1;
+  }
+  if (args.shadow_policy.rfind("gmm", 0) == 0 &&
+      args.policy.rfind("gmm", 0) != 0) {
+    std::cerr << "error: a gmm-* shadow policy requires a GMM serving "
+                 "policy (the shadow reuses the trained engine)\n";
+    return 1;
+  }
+  if (!args.shadow_policy.empty()) {
+    rcfg.shadow.enabled = true;
+    rcfg.shadow.policy_name = args.shadow_policy;
+    rcfg.shadow.ring_capacity = args.shadow_ring;
+  }
   if (rcfg.front.enabled && rcfg.front.replicas == 0) {
     // One replica per worker (the I/O thread serves when workers == 0).
     rcfg.front.replicas = args.workers > 0 ? args.workers : 1;
   }
 
   std::unique_ptr<runtime::Runtime> rt;
+  // Kept alive past construction: a gmm-* shadow factory captures it (the
+  // runtime copies the factory into its config, so the engine must live
+  // as long as the daemon).
+  std::shared_ptr<core::PolicyEngine> engine;
   try {
+    const cache::ScorerBackend backend = quantized
+                                             ? cache::ScorerBackend::kQuantized
+                                             : cache::ScorerBackend::kFloat;
+    if (rcfg.shadow.enabled && args.shadow_policy.rfind("gmm", 0) != 0) {
+      rcfg.shadow.policy_factory = [name = args.shadow_policy](std::uint32_t) {
+        return make_classic(name);
+      };
+    }
     if (args.policy.rfind("gmm", 0) == 0) {
       if (!args.quiet) {
         std::cout << "training GMM on " << args.train_requests << " "
@@ -209,17 +269,27 @@ int main(int argc, char** argv) {
           trace::benchmark_from_string(args.train_benchmark),
           args.train_requests, args.seed);
       core::PolicyEngineConfig pe_cfg;
-      core::PolicyEngine engine(pe_cfg);
-      engine.train(workload);
+      engine = std::make_shared<core::PolicyEngine>(pe_cfg);
+      engine->train(workload);
       const double threshold =
-          core::threshold_at_percentile(engine.training_scores(), 0.05);
-      const cache::GmmStrategy strategy =
-          args.policy == "gmm-caching"    ? cache::GmmStrategy::kCachingOnly
-          : args.policy == "gmm-eviction" ? cache::GmmStrategy::kEvictionOnly
-                                          : cache::GmmStrategy::kCachingEviction;
+          core::threshold_at_percentile(engine->training_scores(), 0.05);
+      if (rcfg.shadow.enabled && args.shadow_policy.rfind("gmm", 0) == 0) {
+        // The shadow reuses the trained engine: same model, same
+        // threshold recipe, strategy (and scorer backend) from the
+        // shadow flags. make_policy snaps the threshold when quantized.
+        const cache::GmmPolicyConfig shadow_cfg{
+            .strategy = strategy_from(args.shadow_policy),
+            .threshold = threshold,
+            .scorer = backend};
+        rcfg.shadow.policy_factory = [engine, shadow_cfg](std::uint32_t) {
+          return engine->make_policy(shadow_cfg);
+        };
+      }
       rt = std::make_unique<runtime::Runtime>(
-          rcfg, engine.model(),
-          cache::GmmPolicyConfig{.strategy = strategy, .threshold = threshold});
+          rcfg, engine->model(),
+          cache::GmmPolicyConfig{.strategy = strategy_from(args.policy),
+                                 .threshold = threshold,
+                                 .scorer = backend});
     } else {
       rt = std::make_unique<runtime::Runtime>(rcfg, *make_classic(args.policy));
     }
@@ -270,6 +340,9 @@ int main(int argc, char** argv) {
             << (args.adapt ? ", adaptive" : "")
             << (rcfg.async_miss.enabled ? ", async-miss" : "")
             << (rcfg.front.enabled ? ", front-cache" : "")
+            << (quantized ? ", scorer quantized" : "")
+            << (rcfg.shadow.enabled ? ", shadow " + rcfg.shadow.policy_name
+                                    : "")
             << (rcfg.record.path.empty() ? ""
                                          : ", recording " + rcfg.record.path)
             << ")" << std::endl;
@@ -333,6 +406,13 @@ int main(int argc, char** argv) {
                 << "/" << scrape("icgmm_record_dropped", samples)
                 << " dropped";
     }
+    if (rcfg.shadow.enabled) {
+      std::cout << " shadow="
+                << scrape("icgmm_shadow_hits", samples) << "/"
+                << scrape("icgmm_shadow_accesses", samples)
+                << " divergence="
+                << scrape("icgmm_shadow_divergence", samples);
+    }
     std::cout << std::endl;
     last_requests = requests;
   }
@@ -365,6 +445,14 @@ int main(int argc, char** argv) {
     std::cout << ", recorded " << scrape("icgmm_record_written", samples)
               << " in " << scrape("icgmm_record_chunks", samples)
               << " chunks / " << scrape("icgmm_record_dropped", samples)
+              << " dropped";
+  }
+  if (rcfg.shadow.enabled) {
+    std::cout << ", shadow " << rcfg.shadow.policy_name << " "
+              << scrape("icgmm_shadow_hits", samples) << " hits / "
+              << scrape("icgmm_shadow_accesses", samples) << " accesses, "
+              << scrape("icgmm_shadow_divergence", samples)
+              << " divergence, " << scrape("icgmm_shadow_dropped", samples)
               << " dropped";
   }
   std::cout << ")" << std::endl;
